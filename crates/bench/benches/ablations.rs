@@ -1,0 +1,167 @@
+//! Ablation benches for the design choices DESIGN.md calls out: each
+//! group measures a full scaled-down run with one mechanism toggled,
+//! so `cargo bench` quantifies how much that mechanism contributes.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tiersim_core::{run_workload, Dataset, ExperimentConfig, Kernel, MachineConfig};
+use tiersim_policy::TieringMode;
+
+fn cfg() -> ExperimentConfig {
+    ExperimentConfig { scale: 11, degree: 8, trials: 1, sample_period: 211 }
+}
+
+fn machine(f: impl FnOnce(&mut MachineConfig)) -> MachineConfig {
+    let mut m = cfg().machine(TieringMode::AutoNuma);
+    f(&mut m);
+    m
+}
+
+fn run(m: MachineConfig) -> f64 {
+    let w = cfg().workload(Kernel::Bc, Dataset::Kron);
+    run_workload(m, w).unwrap().total_secs
+}
+
+/// NVM internal 256 B buffer on/off: drives the sequential/random latency
+/// split the paper attributes to the Optane architecture.
+fn ablate_xpbuffer(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablate_xpbuffer");
+    g.sample_size(10);
+    g.bench_function("buffered", |b| b.iter(|| run(machine(|_| {}))));
+    g.bench_function("unbuffered", |b| {
+        b.iter(|| {
+            run(machine(|m| {
+                // Every NVM access pays the media latency.
+                m.mem.nvm.buffer_entries = 1;
+                m.mem.nvm.read_hit = m.mem.nvm.read_miss;
+                m.mem.nvm.write_hit = m.mem.nvm.write_miss;
+            }))
+        })
+    });
+    g.finish();
+}
+
+/// Promotion rate limit sweep (kernel `numa_balancing_rate_limit_mbps`).
+fn ablate_rate_limit(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablate_rate_limit");
+    g.sample_size(10);
+    for mbps in [1u64, 64, 65_536] {
+        g.bench_function(format!("limit_{mbps}mbps"), |b| {
+            b.iter(|| {
+                run(machine(|m| {
+                    m.os.promo_rate_limit_bytes_per_sec = mbps << 20;
+                }))
+            })
+        });
+    }
+    g.finish();
+}
+
+/// Dynamic threshold vs fixed threshold (clamps pinned to the initial
+/// value disable adaptation).
+fn ablate_threshold(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablate_threshold");
+    g.sample_size(10);
+    g.bench_function("dynamic", |b| b.iter(|| run(machine(|_| {}))));
+    g.bench_function("fixed", |b| {
+        b.iter(|| {
+            run(machine(|m| {
+                m.os.hot_threshold_min_cycles = m.os.hot_threshold_cycles;
+                m.os.hot_threshold_max_cycles = m.os.hot_threshold_cycles;
+            }))
+        })
+    });
+    g.finish();
+}
+
+/// Page cache on/off (Finding 5's mechanism).
+fn ablate_page_cache(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablate_page_cache");
+    g.sample_size(10);
+    g.bench_function("enabled", |b| b.iter(|| run(machine(|_| {}))));
+    g.bench_function("disabled", |b| {
+        b.iter(|| run(machine(|m| m.os.page_cache_enabled = false)))
+    });
+    g.finish();
+}
+
+/// Direction-optimizing BFS vs top-down-only: the bottom-up phase's
+/// sequential scans change the external access mix.
+fn ablate_bfs_direction(c: &mut Criterion) {
+    use tiersim_graph::{bfs, build_sim_csr, BfsParams, UniformGenerator};
+    use tiersim_mem::NullBackend;
+    let el = UniformGenerator::new(11, 16).seed(9).generate();
+    let mut m = NullBackend::new();
+    let graph = build_sim_csr(&mut m, &el, true, 4);
+    let mut g = c.benchmark_group("ablate_bfs_direction");
+    g.bench_function("direction_optimizing", |b| {
+        b.iter(|| bfs(&mut m, &graph, 0, 4, BfsParams::default()))
+    });
+    g.bench_function("top_down_only", |b| {
+        b.iter(|| bfs(&mut m, &graph, 0, 4, BfsParams { alpha: 1, beta: 18 }))
+    });
+    g.finish();
+}
+
+/// TLB-reach sweep: Table 3's TLB-miss amplification depends on how much
+/// of the footprint the TLBs cover.
+fn ablate_tlb_reach(c: &mut Criterion) {
+    use tiersim_mem::TlbGeometry;
+    let mut g = c.benchmark_group("ablate_tlb_reach");
+    g.sample_size(10);
+    for (name, dtlb, stlb) in [
+        ("tiny_16_64", 16usize, 64usize),
+        ("medium_64_512", 64, 512),
+        ("huge_256_4096", 256, 4096),
+    ] {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                run(machine(|m| {
+                    m.mem.dtlb = TlbGeometry { entries: dtlb, ways: 4 };
+                    m.mem.stlb = TlbGeometry { entries: stlb, ways: 8 };
+                }))
+            })
+        });
+    }
+    g.finish();
+}
+
+/// Tiering-mode comparison: AutoNUMA vs the paper's static mapping vs
+/// Memory Mode vs the all-DRAM/all-NVM brackets, on bc_kron.
+fn ablate_tiering_mode(c: &mut Criterion) {
+    use tiersim_core::{plan_from_report, run_workload};
+    let mut g = c.benchmark_group("ablate_tiering_mode");
+    g.sample_size(10);
+    let w = cfg().workload(Kernel::Bc, Dataset::Kron);
+    g.bench_function("autonuma", |b| {
+        b.iter(|| run_workload(cfg().machine(TieringMode::AutoNuma), w).unwrap().total_secs)
+    });
+    let base = cfg().machine(TieringMode::AutoNuma);
+    let profile = run_workload(base.clone(), w).unwrap();
+    let plan = plan_from_report(&profile, &base, false);
+    g.bench_function("static_object", |b| {
+        b.iter(|| {
+            let mut m = base.clone();
+            m.mode = TieringMode::StaticObject(plan.clone());
+            run_workload(m, w).unwrap().total_secs
+        })
+    });
+    g.bench_function("memory_mode", |b| {
+        b.iter(|| run_workload(cfg().machine(TieringMode::MemoryMode), w).unwrap().total_secs)
+    });
+    g.bench_function("all_nvm", |b| {
+        b.iter(|| run_workload(cfg().machine(TieringMode::AllNvm), w).unwrap().total_secs)
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    ablate_xpbuffer,
+    ablate_rate_limit,
+    ablate_threshold,
+    ablate_page_cache,
+    ablate_bfs_direction,
+    ablate_tlb_reach,
+    ablate_tiering_mode
+);
+criterion_main!(benches);

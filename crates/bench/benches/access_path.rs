@@ -1,0 +1,113 @@
+//! Microbenchmarks of the simulator's hot access path: cache hits, device
+//! misses, TLB walks, and page migration.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use tiersim_mem::{
+    AccessKind, CacheGeometry, DramModel, DramTimings, MemConfig, MemPolicy, MemorySystem,
+    NvmModel, NvmTimings, SetAssocCache, Tier, VirtAddr, PAGE_SIZE,
+};
+
+fn sys_with_resident(pages: u64, tier: Tier) -> (MemorySystem, VirtAddr) {
+    let mut sys = MemorySystem::new(
+        MemConfig::builder()
+            .dram_capacity((pages + 16) * PAGE_SIZE)
+            .nvm_capacity(4 * (pages + 16) * PAGE_SIZE)
+            .build()
+            .unwrap(),
+    )
+    .unwrap();
+    let a = sys.mmap(pages * PAGE_SIZE, MemPolicy::Default, "bench").unwrap();
+    for i in 0..pages {
+        sys.map_page((a + i * PAGE_SIZE).page(), tier, 0).unwrap();
+    }
+    (sys, a)
+}
+
+fn bench_access(c: &mut Criterion) {
+    let mut g = c.benchmark_group("access_path");
+
+    let (mut sys, a) = sys_with_resident(16, Tier::Dram);
+    sys.access(a, AccessKind::Load, 0).unwrap(); // warm
+    g.bench_function("l1_hit", |b| {
+        b.iter(|| sys.access(black_box(a), AccessKind::Load, 0).unwrap())
+    });
+
+    let (mut sys, a) = sys_with_resident(2048, Tier::Dram);
+    let mut i = 0u64;
+    g.bench_function("dram_scattered", |b| {
+        b.iter(|| {
+            i = i.wrapping_add(40503) % 2048;
+            sys.access(black_box(a + i * PAGE_SIZE + (i % 64) * 64), AccessKind::Load, 0)
+                .unwrap()
+        })
+    });
+
+    let (mut sys, a) = sys_with_resident(2048, Tier::Nvm);
+    let mut i = 0u64;
+    g.bench_function("nvm_scattered", |b| {
+        b.iter(|| {
+            i = i.wrapping_add(40503) % 2048;
+            sys.access(black_box(a + i * PAGE_SIZE + (i % 64) * 64), AccessKind::Load, 0)
+                .unwrap()
+        })
+    });
+
+    let (mut sys, a) = sys_with_resident(64, Tier::Nvm);
+    let mut flip = false;
+    g.bench_function("migrate_page", |b| {
+        b.iter(|| {
+            let to = if flip { Tier::Nvm } else { Tier::Dram };
+            flip = !flip;
+            sys.migrate_page(a.page(), to).unwrap()
+        })
+    });
+    g.finish();
+}
+
+fn bench_components(c: &mut Criterion) {
+    let mut g = c.benchmark_group("components");
+
+    let mut cache = SetAssocCache::new(CacheGeometry { capacity: 32 << 10, ways: 8, latency: 4 });
+    let mut line = 0u64;
+    g.bench_function("cache_access", |b| {
+        b.iter(|| {
+            line = line.wrapping_add(97) & 0xFFFF;
+            cache.access(black_box(line), false)
+        })
+    });
+
+    let mut dram = DramModel::new(DramTimings {
+        banks: 16,
+        row_bytes: 8 << 10,
+        read_hit: 160,
+        read_miss: 245,
+        write_hit: 160,
+        write_miss: 245,
+    });
+    let mut addr = 0u64;
+    g.bench_function("dram_device", |b| {
+        b.iter(|| {
+            addr = addr.wrapping_add(64 * 131) & 0xFF_FFFF;
+            dram.read(black_box(addr))
+        })
+    });
+
+    let mut nvm = NvmModel::new(NvmTimings {
+        buffer_entries: 16,
+        block_bytes: 256,
+        read_hit: 330,
+        read_miss: 930,
+        write_hit: 420,
+        write_miss: 1250,
+    });
+    g.bench_function("nvm_device", |b| {
+        b.iter(|| {
+            addr = addr.wrapping_add(64 * 131) & 0xFF_FFFF;
+            nvm.read(black_box(addr))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_access, bench_components);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Benchmarks of the graph substrate: generators, builders, and the
+//! kernels on a free (null) backend, isolating algorithm overhead from
+//! memory simulation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tiersim_graph::{
+    bc, bfs, build_sim_csr, cc_afforest, cc_sv, pr, BfsParams, KroneckerGenerator, PrParams,
+    UniformGenerator,
+};
+use tiersim_mem::NullBackend;
+
+const SCALE: u32 = 12;
+const DEGREE: usize = 8;
+
+fn bench_generators(c: &mut Criterion) {
+    let mut g = c.benchmark_group("generate");
+    g.bench_function("kronecker", |b| {
+        b.iter(|| KroneckerGenerator::new(SCALE, DEGREE).seed(1).generate())
+    });
+    g.bench_function("uniform", |b| {
+        b.iter(|| UniformGenerator::new(SCALE, DEGREE).seed(1).generate())
+    });
+    g.finish();
+}
+
+fn bench_build_and_kernels(c: &mut Criterion) {
+    let el = KroneckerGenerator::new(SCALE, DEGREE).seed(1).generate();
+    let mut g = c.benchmark_group("kernels_null_backend");
+    g.sample_size(20);
+
+    g.bench_function("build_csr", |b| {
+        b.iter(|| {
+            let mut m = NullBackend::new();
+            build_sim_csr(&mut m, &el, true, 4)
+        })
+    });
+
+    let mut m = NullBackend::new();
+    let graph = build_sim_csr(&mut m, &el, true, 4);
+    g.bench_function("bfs", |b| {
+        b.iter(|| bfs(&mut m, &graph, 1, 4, BfsParams::default()))
+    });
+    g.bench_function("bc_one_source", |b| b.iter(|| bc(&mut m, &graph, &[1], 4)));
+    g.bench_function("cc_sv", |b| b.iter(|| cc_sv(&mut m, &graph, 4)));
+    g.bench_function("cc_afforest", |b| b.iter(|| cc_afforest(&mut m, &graph, 2, 4)));
+    g.bench_function("pagerank", |b| {
+        b.iter(|| pr(&mut m, &graph, PrParams { max_iters: 5, ..Default::default() }, 4))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_generators, bench_build_and_kernels);
+criterion_main!(benches);

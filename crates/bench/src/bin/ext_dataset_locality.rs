@@ -1,0 +1,42 @@
+//! Extension experiment (beyond the paper): does AutoNUMA's trouble come
+//! from graph *irregularity*? Run the same kernel on the paper's irregular
+//! inputs (kron/urand) and on a spatially-local lattice ("road"), and
+//! compare the page-touch profile, promotion activity, and the benefit of
+//! the object-level static mapping.
+
+use tiersim_bench::{banner, Cli};
+use tiersim_core::render::{pct, secs, TextTable};
+use tiersim_core::{plan_from_report, run_workload, Dataset, Kernel};
+use tiersim_policy::TieringMode;
+use tiersim_profile::TouchHistogram;
+
+fn main() {
+    let cli = Cli::from_env();
+    banner("extension — dataset locality (irregular vs lattice)", &cli);
+    let cfg = cli.experiment;
+    let mut t = TextTable::new(vec![
+        "Dataset", "1-touch", "3+-touch", "Promotions", "AutoNUMA", "Static", "Static gain",
+    ]);
+    for dataset in [Dataset::Kron, Dataset::Urand, Dataset::Road] {
+        let w = cfg.workload(Kernel::Bfs, dataset);
+        let base = cfg.machine(TieringMode::AutoNuma);
+        let auto = run_workload(base.clone(), w).expect("autonuma run");
+        let plan = plan_from_report(&auto, &base, true);
+        let mut sc = base;
+        sc.mode = TieringMode::StaticObject(plan);
+        let stat = run_workload(sc, w).expect("static run");
+        let (one, _, three) = TouchHistogram::of(&auto.samples).access_fractions();
+        t.row(vec![
+            dataset.to_string(),
+            pct(one),
+            pct(three),
+            auto.counters.pgpromote_success.to_string(),
+            secs(auto.total_secs),
+            secs(stat.total_secs),
+            pct(1.0 - stat.total_secs / auto.total_secs),
+        ]);
+    }
+    let text = t.render();
+    println!("{text}");
+    cli.maybe_write_out(&text);
+}

@@ -1,0 +1,42 @@
+//! Extension experiment (beyond the paper): the paper's static
+//! object-level mapping vs a *dynamic* object-level tierer that re-ranks
+//! and migrates objects online — the future work its conclusion sketches.
+
+use tiersim_bench::{banner, Cli};
+use tiersim_core::{plan_from_report, run_workload, Dataset, Kernel};
+use tiersim_core::render::{pct, secs, TextTable};
+use tiersim_policy::{DynamicObjectConfig, TieringMode};
+
+fn main() {
+    let cli = Cli::from_env();
+    banner("extension — dynamic vs static object-level tiering", &cli);
+    let cfg = cli.experiment;
+    let mut t = TextTable::new(vec![
+        "Workload", "AutoNUMA", "Static object", "Dynamic object", "Static gain", "Dynamic gain",
+    ]);
+    for kernel in [Kernel::Bc, Kernel::Cc] {
+        for dataset in [Dataset::Kron, Dataset::Urand] {
+            let w = cfg.workload(kernel, dataset);
+            let base = cfg.machine(TieringMode::AutoNuma);
+            let auto = run_workload(base.clone(), w).expect("autonuma");
+            let plan = plan_from_report(&auto, &base, true);
+            let mut sc = base.clone();
+            sc.mode = TieringMode::StaticObject(plan);
+            let stat = run_workload(sc, w).expect("static");
+            let mut dc = base;
+            dc.mode = TieringMode::DynamicObject(DynamicObjectConfig::default());
+            let dynr = run_workload(dc, w).expect("dynamic");
+            t.row(vec![
+                w.name(),
+                secs(auto.total_secs),
+                secs(stat.total_secs),
+                secs(dynr.total_secs),
+                pct(1.0 - stat.total_secs / auto.total_secs),
+                pct(1.0 - dynr.total_secs / auto.total_secs),
+            ]);
+        }
+    }
+    let text = t.render();
+    println!("{text}");
+    cli.maybe_write_out(&text);
+}

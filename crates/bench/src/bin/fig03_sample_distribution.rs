@@ -1,0 +1,13 @@
+//! Reproduces the paper's Figure 3 (sample distribution across levels).
+
+use tiersim_bench::{banner, Cli};
+use tiersim_core::experiments::Characterization;
+
+fn main() {
+    let cli = Cli::from_env();
+    banner("Figure 3 — sample distribution across levels", &cli);
+    let c = Characterization::run(&cli.experiment).expect("characterization run");
+    let text = c.render_fig3();
+    println!("{text}");
+    cli.maybe_write_out(&text);
+}

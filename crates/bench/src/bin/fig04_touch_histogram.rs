@@ -1,0 +1,13 @@
+//! Reproduces the paper's Figure 4 (page touch-count histogram).
+
+use tiersim_bench::{banner, Cli};
+use tiersim_core::experiments::Characterization;
+
+fn main() {
+    let cli = Cli::from_env();
+    banner("Figure 4 — page touch-count histogram", &cli);
+    let c = Characterization::run(&cli.experiment).expect("characterization run");
+    let text = c.render_fig4();
+    println!("{text}");
+    cli.maybe_write_out(&text);
+}

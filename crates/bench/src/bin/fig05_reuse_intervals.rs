@@ -1,0 +1,13 @@
+//! Reproduces the paper's Figure 5 (2-touch reuse intervals).
+
+use tiersim_bench::{banner, Cli};
+use tiersim_core::experiments::Characterization;
+
+fn main() {
+    let cli = Cli::from_env();
+    banner("Figure 5 — 2-touch reuse intervals", &cli);
+    let c = Characterization::run(&cli.experiment).expect("characterization run");
+    let text = c.render_fig5();
+    println!("{text}");
+    cli.maybe_write_out(&text);
+}

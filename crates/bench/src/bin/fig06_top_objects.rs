@@ -1,0 +1,14 @@
+//! Reproduces Figure 6: top-10 objects by DRAM and NVM samples
+//! (`bc_kron`).
+
+use tiersim_bench::{banner, Cli};
+use tiersim_core::experiments::ObjectAnalysis;
+
+fn main() {
+    let cli = Cli::from_env();
+    banner("Figure 6 — top objects by external samples (bc_kron)", &cli);
+    let a = ObjectAnalysis::run(&cli.experiment).expect("bc_kron run");
+    let text = a.render_fig6(10);
+    println!("{text}");
+    cli.maybe_write_out(&text);
+}

@@ -1,0 +1,27 @@
+//! Reproduces Figure 7: allocation amounts over time, marking when the
+//! hottest NVM object was allocated (`bc_kron`).
+
+use tiersim_bench::{banner, Cli};
+use tiersim_core::experiments::ObjectAnalysis;
+use tiersim_core::render::TextTable;
+
+fn main() {
+    let cli = Cli::from_env();
+    banner("Figure 7 — allocation timeline (bc_kron)", &cli);
+    let a = ObjectAnalysis::run(&cli.experiment).expect("bc_kron run");
+    let tl = a.fig7();
+    let mut t = TextTable::new(vec!["t(s)", "live MB"]);
+    for &(secs, bytes) in &tl.points {
+        t.row(vec![format!("{secs:.4}"), format!("{:.2}", bytes as f64 / (1 << 20) as f64)]);
+    }
+    let mut text = t.render();
+    text.push_str(&format!(
+        "peak live: {:.2} MB\n",
+        tl.peak_bytes() as f64 / (1 << 20) as f64
+    ));
+    if let Some(secs) = a.hottest_nvm_alloc_secs() {
+        text.push_str(&format!("hottest NVM object allocated at t = {secs:.4}s\n"));
+    }
+    println!("{text}");
+    cli.maybe_write_out(&text);
+}

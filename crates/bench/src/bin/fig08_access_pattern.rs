@@ -1,0 +1,40 @@
+//! Reproduces Figure 8: the access pattern of the hottest NVM object over
+//! its lifetime, plus a one-second zoom showing fine-grained randomness
+//! (`bc_kron`).
+
+use tiersim_bench::{banner, Cli};
+use tiersim_core::experiments::ObjectAnalysis;
+
+fn main() {
+    let cli = Cli::from_env();
+    banner("Figure 8 — hottest NVM object access pattern (bc_kron)", &cli);
+    let a = ObjectAnalysis::run(&cli.experiment).expect("bc_kron run");
+    let Some(pattern) = a.fig8() else {
+        println!("no NVM samples recorded; increase --scale");
+        return;
+    };
+    let mut text = String::new();
+    text.push_str(&format!(
+        "samples on hottest NVM object: {} (randomness metric {:.3})\n",
+        pattern.points.len(),
+        pattern.randomness().unwrap_or(0.0),
+    ));
+    text.push_str("t(s)      page  thread\n");
+    for &(t, page, tid) in pattern.points.iter().take(40) {
+        text.push_str(&format!("{t:<8.4}  {page:<5} t{tid}\n"));
+    }
+    if pattern.points.len() > 40 {
+        text.push_str(&format!("... ({} more)\n", pattern.points.len() - 40));
+    }
+    // The paper's zoom: one "dilated second" wide window mid-run.
+    if let Some(&(mid, _, _)) = pattern.points.get(pattern.points.len() / 2) {
+        let z = pattern.zoom(mid, mid + 0.001);
+        text.push_str(&format!(
+            "zoom [{mid:.4}s, +1ms): {} samples, randomness {:.3}\n",
+            z.points.len(),
+            z.randomness().unwrap_or(0.0),
+        ));
+    }
+    println!("{text}");
+    cli.maybe_write_out(&text);
+}

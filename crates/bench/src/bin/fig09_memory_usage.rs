@@ -1,0 +1,14 @@
+//! Reproduces Figure 9: DRAM/NVM usage, demotion/promotion counters, and
+//! CPU utilization over time (`bc_kron`).
+
+use tiersim_bench::{banner, Cli};
+use tiersim_core::experiments::AutonumaTrace;
+
+fn main() {
+    let cli = Cli::from_env();
+    banner("Figure 9 — memory usage and migration counters over time (bc_kron)", &cli);
+    let tr = AutonumaTrace::run(&cli.experiment).expect("bc_kron run");
+    let text = tr.render_fig9();
+    println!("{text}");
+    cli.maybe_write_out(&text);
+}

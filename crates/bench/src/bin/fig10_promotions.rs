@@ -1,0 +1,14 @@
+//! Reproduces Figure 10: DRAM load samples over time vs pages promoted
+//! (`bc_kron`).
+
+use tiersim_bench::{banner, Cli};
+use tiersim_core::experiments::AutonumaTrace;
+
+fn main() {
+    let cli = Cli::from_env();
+    banner("Figure 10 — DRAM loads vs promotions over time (bc_kron)", &cli);
+    let tr = AutonumaTrace::run(&cli.experiment).expect("bc_kron run");
+    let text = tr.render_fig10();
+    println!("{text}");
+    cli.maybe_write_out(&text);
+}

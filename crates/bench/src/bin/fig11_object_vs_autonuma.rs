@@ -1,0 +1,15 @@
+//! Reproduces Figure 11: execution time of the object-level static
+//! mapping vs AutoNUMA across the six paper workloads, including the
+//! spill variants for the CC workloads.
+
+use tiersim_bench::{banner, Cli};
+use tiersim_core::experiments::Comparison;
+
+fn main() {
+    let cli = Cli::from_env();
+    banner("Figure 11 — object-level static mapping vs AutoNUMA", &cli);
+    let c = Comparison::run(&cli.experiment).expect("comparison runs");
+    let text = c.render();
+    println!("{text}");
+    cli.maybe_write_out(&text);
+}

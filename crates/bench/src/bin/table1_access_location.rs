@@ -1,0 +1,13 @@
+//! Reproduces the paper's Table 1 (external access location).
+
+use tiersim_bench::{banner, Cli};
+use tiersim_core::experiments::Characterization;
+
+fn main() {
+    let cli = Cli::from_env();
+    banner("Table 1 — external access location", &cli);
+    let c = Characterization::run(&cli.experiment).expect("characterization run");
+    let text = c.render_table1();
+    println!("{text}");
+    cli.maybe_write_out(&text);
+}

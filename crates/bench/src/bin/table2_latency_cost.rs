@@ -1,0 +1,13 @@
+//! Reproduces the paper's Table 2 (external latency cost split).
+
+use tiersim_bench::{banner, Cli};
+use tiersim_core::experiments::Characterization;
+
+fn main() {
+    let cli = Cli::from_env();
+    banner("Table 2 — external latency cost split", &cli);
+    let c = Characterization::run(&cli.experiment).expect("characterization run");
+    let text = c.render_table2();
+    println!("{text}");
+    cli.maybe_write_out(&text);
+}

@@ -1,0 +1,139 @@
+//! # tiersim-bench — reproduction harness
+//!
+//! One binary per paper table/figure (`table1_access_location`,
+//! `fig03_sample_distribution`, …, `fig11_object_vs_autonuma`, plus
+//! `repro_all`), each printing the same rows/series the paper reports,
+//! and Criterion micro/macro benchmarks under `benches/`.
+//!
+//! All binaries accept:
+//!
+//! ```text
+//! --scale N     graph scale (default 16; paper used 30/31)
+//! --degree N    average degree (default 16)
+//! --trials N    kernel trials (default 4)
+//! --out PATH    also write the printed output to a file
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+use std::path::PathBuf;
+use tiersim_core::ExperimentConfig;
+
+/// Parsed command-line options shared by all reproduction binaries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Cli {
+    /// Experiment parameters.
+    pub experiment: ExperimentConfig,
+    /// Optional output-file path.
+    pub out: Option<PathBuf>,
+}
+
+impl Cli {
+    /// Parses `args` (without the program name).
+    ///
+    /// # Errors
+    ///
+    /// Returns a usage string on unknown flags or malformed values.
+    pub fn parse(args: impl IntoIterator<Item = String>) -> Result<Cli, String> {
+        let mut cli = Cli { experiment: ExperimentConfig::default(), out: None };
+        let mut it = args.into_iter();
+        while let Some(arg) = it.next() {
+            let mut value = |name: &str| {
+                it.next().ok_or_else(|| format!("missing value for {name}"))
+            };
+            match arg.as_str() {
+                "--scale" => {
+                    cli.experiment.scale = value("--scale")?
+                        .parse()
+                        .map_err(|e| format!("bad --scale: {e}"))?;
+                }
+                "--degree" => {
+                    cli.experiment.degree = value("--degree")?
+                        .parse()
+                        .map_err(|e| format!("bad --degree: {e}"))?;
+                }
+                "--trials" => {
+                    cli.experiment.trials = value("--trials")?
+                        .parse()
+                        .map_err(|e| format!("bad --trials: {e}"))?;
+                }
+                "--out" => cli.out = Some(PathBuf::from(value("--out")?)),
+                "--help" | "-h" => return Err(USAGE.to_string()),
+                other => return Err(format!("unknown argument: {other}\n{USAGE}")),
+            }
+        }
+        if cli.experiment.scale < 4 || cli.experiment.scale > 28 {
+            return Err("--scale must be in 4..=28".to_string());
+        }
+        Ok(cli)
+    }
+
+    /// Parses the process arguments, exiting with usage on error.
+    pub fn from_env() -> Cli {
+        match Cli::parse(std::env::args().skip(1)) {
+            Ok(cli) => cli,
+            Err(msg) => {
+                eprintln!("{msg}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    /// Writes `text` to the `--out` path if one was given.
+    pub fn maybe_write_out(&self, text: &str) {
+        if let Some(path) = &self.out {
+            if let Err(e) = std::fs::write(path, text) {
+                eprintln!("failed to write {}: {e}", path.display());
+                std::process::exit(1);
+            }
+            eprintln!("wrote {}", path.display());
+        }
+    }
+}
+
+/// Usage text shared by the binaries.
+pub const USAGE: &str = "usage: <bin> [--scale N] [--degree N] [--trials N] [--out PATH]";
+
+/// Prints the standard experiment banner.
+pub fn banner(what: &str, cli: &Cli) {
+    println!(
+        "== {what} (scale {}, degree {}, trials {}) ==",
+        cli.experiment.scale, cli.experiment.degree, cli.experiment.trials
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<Cli, String> {
+        Cli::parse(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn defaults_when_no_args() {
+        let cli = parse(&[]).unwrap();
+        assert_eq!(cli.experiment, ExperimentConfig::default());
+        assert!(cli.out.is_none());
+    }
+
+    #[test]
+    fn parses_all_flags() {
+        let cli = parse(&["--scale", "14", "--degree", "8", "--trials", "2", "--out", "/tmp/x.txt"])
+            .unwrap();
+        assert_eq!(cli.experiment.scale, 14);
+        assert_eq!(cli.experiment.degree, 8);
+        assert_eq!(cli.experiment.trials, 2);
+        assert_eq!(cli.out.as_deref(), Some(std::path::Path::new("/tmp/x.txt")));
+    }
+
+    #[test]
+    fn rejects_unknown_and_invalid() {
+        assert!(parse(&["--bogus"]).is_err());
+        assert!(parse(&["--scale", "abc"]).is_err());
+        assert!(parse(&["--scale"]).is_err());
+        assert!(parse(&["--scale", "40"]).is_err());
+        assert!(parse(&["--help"]).is_err());
+    }
+}

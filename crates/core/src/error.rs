@@ -1,0 +1,63 @@
+//! Error type for the core crate.
+
+use core::fmt;
+
+/// Errors produced by machine assembly and experiment running.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// The memory-system simulator rejected a configuration or operation.
+    Mem(tiersim_mem::MemError),
+    /// The OS model rejected a configuration or ran out of memory.
+    Os(tiersim_os::OsError),
+    /// A machine/experiment parameter was rejected.
+    InvalidConfig {
+        /// Human-readable description of the offending parameter.
+        what: &'static str,
+    },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Mem(e) => write!(f, "memory system: {e}"),
+            CoreError::Os(e) => write!(f, "os model: {e}"),
+            CoreError::InvalidConfig { what } => write!(f, "invalid configuration: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Mem(e) => Some(e),
+            CoreError::Os(e) => Some(e),
+            CoreError::InvalidConfig { .. } => None,
+        }
+    }
+}
+
+impl From<tiersim_mem::MemError> for CoreError {
+    fn from(e: tiersim_mem::MemError) -> Self {
+        CoreError::Mem(e)
+    }
+}
+
+impl From<tiersim_os::OsError> for CoreError {
+    fn from(e: tiersim_os::OsError) -> Self {
+        CoreError::Os(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::error::Error;
+
+    #[test]
+    fn display_and_sources() {
+        let e = CoreError::from(tiersim_mem::MemError::OutOfMemory);
+        assert!(e.to_string().contains("memory system"));
+        assert!(e.source().is_some());
+        assert!(CoreError::InvalidConfig { what: "x" }.source().is_none());
+    }
+}

@@ -1,0 +1,194 @@
+//! Object-level static mapping vs AutoNUMA (paper §7: Figure 11).
+
+use super::ExperimentConfig;
+use crate::error::CoreError;
+use crate::render::{pct, secs, TextTable};
+use crate::runner::{plan_from_report, run_workload};
+use crate::workload::{Kernel, WorkloadConfig};
+use tiersim_policy::TieringMode;
+
+/// One bar of Figure 11.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig11Row {
+    /// Workload label; spill-variant rows carry the paper's `*` suffix.
+    pub workload: String,
+    /// Application execution time (load + build + trials) under AutoNUMA,
+    /// seconds — the quantity the paper's Figure 11 compares.
+    pub autonuma_secs: f64,
+    /// Application execution time under the static object mapping.
+    pub static_secs: f64,
+    /// Kernel-trials-only time under AutoNUMA, seconds.
+    pub autonuma_trial_secs: f64,
+    /// Kernel-trials-only time under the static mapping, seconds.
+    pub static_trial_secs: f64,
+    /// NVM load samples under AutoNUMA.
+    pub autonuma_nvm_samples: u64,
+    /// NVM load samples under the static mapping.
+    pub static_nvm_samples: u64,
+    /// Whether the spill variant was used.
+    pub spill: bool,
+}
+
+impl Fig11Row {
+    /// Execution-time improvement over AutoNUMA (positive = static
+    /// mapping is faster), as a fraction.
+    pub fn improvement(&self) -> f64 {
+        if self.autonuma_secs == 0.0 {
+            return 0.0;
+        }
+        1.0 - self.static_secs / self.autonuma_secs
+    }
+
+    /// Reduction in NVM samples vs AutoNUMA, as a fraction.
+    pub fn nvm_reduction(&self) -> f64 {
+        if self.autonuma_nvm_samples == 0 {
+            return 0.0;
+        }
+        1.0 - self.static_nvm_samples as f64 / self.autonuma_nvm_samples as f64
+    }
+}
+
+/// The Figure 11 comparison: each paper workload run under AutoNUMA and
+/// under the profile-derived static object mapping, plus spill-variant
+/// rows for the CC workloads (the paper's `cc_kron*`/`cc_urand*`).
+#[derive(Debug)]
+pub struct Comparison {
+    /// One row per bar of the figure.
+    pub rows: Vec<Fig11Row>,
+}
+
+impl Comparison {
+    /// Runs the full comparison.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first run error.
+    pub fn run(cfg: &ExperimentConfig) -> Result<Comparison, CoreError> {
+        let mut rows = Vec::new();
+        for w in cfg.workloads() {
+            rows.push(Self::compare(cfg, w, false)?);
+            if w.kernel == Kernel::Cc {
+                rows.push(Self::compare(cfg, w, true)?);
+            }
+        }
+        Ok(Comparison { rows })
+    }
+
+    /// Runs one workload pair (AutoNUMA + static) and builds its row.
+    ///
+    /// # Errors
+    ///
+    /// Propagates run errors.
+    pub fn compare(
+        cfg: &ExperimentConfig,
+        workload: WorkloadConfig,
+        spill: bool,
+    ) -> Result<Fig11Row, CoreError> {
+        let base = cfg.machine_for(&workload, TieringMode::AutoNuma);
+        let auto = run_workload(base.clone(), workload)?;
+        let plan = plan_from_report(&auto, &base, spill);
+        let mut static_cfg = base;
+        static_cfg.mode = TieringMode::StaticObject(plan);
+        let stat = run_workload(static_cfg, workload)?;
+        let name =
+            if spill { format!("{}*", workload.name()) } else { workload.name() };
+        Ok(Fig11Row {
+            workload: name,
+            autonuma_secs: auto.total_secs,
+            static_secs: stat.total_secs,
+            autonuma_trial_secs: auto.exec_secs(),
+            static_trial_secs: stat.exec_secs(),
+            autonuma_nvm_samples: auto.nvm_samples(),
+            static_nvm_samples: stat.nvm_samples(),
+            spill,
+        })
+    }
+
+    /// Mean improvement across non-spill rows (the paper reports 21%
+    /// average).
+    pub fn mean_improvement(&self) -> f64 {
+        let base: Vec<f64> =
+            self.rows.iter().filter(|r| !r.spill).map(Fig11Row::improvement).collect();
+        if base.is_empty() { 0.0 } else { base.iter().sum::<f64>() / base.len() as f64 }
+    }
+
+    /// Best improvement across all rows (the paper reports up to 51%).
+    pub fn max_improvement(&self) -> f64 {
+        self.rows.iter().map(Fig11Row::improvement).fold(f64::MIN, f64::max)
+    }
+
+    /// Convenience accessor: the row for `name` (e.g. `"cc_kron*"`).
+    pub fn row(&self, name: &str) -> Option<&Fig11Row> {
+        self.rows.iter().find(|r| r.workload == name)
+    }
+
+    /// Renders the comparison as a text table.
+    pub fn render(&self) -> String {
+        let mut t = TextTable::new(vec![
+            "Workload",
+            "AutoNUMA",
+            "Object-level",
+            "Improvement",
+            "NVM sample reduction",
+        ]);
+        for r in &self.rows {
+            t.row(vec![
+                r.workload.clone(),
+                secs(r.autonuma_secs),
+                secs(r.static_secs),
+                pct(r.improvement()),
+                pct(r.nvm_reduction()),
+            ]);
+        }
+        let mut out = t.render();
+        out.push_str(&format!(
+            "avg improvement (whole-object rows): {}; max improvement: {}\n",
+            pct(self.mean_improvement()),
+            pct(self.max_improvement()),
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::tiny_config;
+    use crate::workload::Dataset;
+
+    #[test]
+    fn single_pair_comparison_runs() {
+        let cfg = tiny_config();
+        let w = cfg.workload(Kernel::Bfs, Dataset::Kron);
+        let row = Comparison::compare(&cfg, w, false).unwrap();
+        assert!(row.autonuma_secs > 0.0);
+        assert!(row.static_secs > 0.0);
+        assert!(!row.spill);
+        assert!(row.workload == "bfs_kron");
+    }
+
+    #[test]
+    fn spill_row_is_labeled_with_asterisk() {
+        let cfg = tiny_config();
+        let w = cfg.workload(Kernel::Cc, Dataset::Urand);
+        let row = Comparison::compare(&cfg, w, true).unwrap();
+        assert_eq!(row.workload, "cc_urand*");
+        assert!(row.spill);
+    }
+
+    #[test]
+    fn improvement_math() {
+        let r = Fig11Row {
+            workload: "x".into(),
+            autonuma_secs: 2.0,
+            static_secs: 1.0,
+            autonuma_trial_secs: 1.0,
+            static_trial_secs: 0.6,
+            autonuma_nvm_samples: 100,
+            static_nvm_samples: 25,
+            spill: false,
+        };
+        assert!((r.improvement() - 0.5).abs() < 1e-12);
+        assert!((r.nvm_reduction() - 0.75).abs() < 1e-12);
+    }
+}

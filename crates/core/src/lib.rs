@@ -1,0 +1,51 @@
+//! # tiersim-core — machine assembly, workload runner, experiments
+//!
+//! Ties the substrates together into the system the paper studies:
+//!
+//! - [`Machine`] wires the memory simulator (`tiersim-mem`), the Linux-MM
+//!   model (`tiersim-os`) and the profiler (`tiersim-profile`) behind one
+//!   [`tiersim_mem::MemBackend`], so the GAPBS-like workloads of
+//!   `tiersim-graph` run on it unchanged.
+//! - [`run_workload`] executes a full run — file load through the page
+//!   cache, CSR build, kernel trials — and produces a [`RunReport`] with
+//!   samples, allocations, counters and per-second timelines.
+//! - [`experiments`] derives every table and figure of the paper's
+//!   evaluation from those reports; `tiersim-bench` exposes one
+//!   reproduction binary per experiment.
+//!
+//! ## Quickstart
+//!
+//! ```no_run
+//! use tiersim_core::{run_workload, Dataset, Kernel, MachineConfig, WorkloadConfig};
+//! use tiersim_policy::TieringMode;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let workload = WorkloadConfig::new(Kernel::Bfs, Dataset::Kron).scale(14);
+//! let machine = MachineConfig::scaled_default(workload.steady_app_bytes(), TieringMode::AutoNuma);
+//! let report = run_workload(machine, workload)?;
+//! println!("exec time: {:.3}s, NVM samples: {}", report.exec_secs(), report.nvm_samples());
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod config;
+mod error;
+pub mod experiments;
+mod machine;
+pub mod render;
+mod report;
+mod runner;
+mod timeline;
+mod workload;
+
+pub use config::MachineConfig;
+pub use error::CoreError;
+pub use experiments::ExperimentConfig;
+pub use machine::Machine;
+pub use report::RunReport;
+pub use runner::{generate, plan_from_report, run_autonuma_vs_static, run_workload};
+pub use timeline::{TimelineOps, TimelineSnapshot};
+pub use workload::{Dataset, Kernel, LoadMode, WorkloadConfig};

@@ -1,0 +1,125 @@
+//! Plain-text table rendering for the reproduction harness.
+
+/// A simple aligned text table.
+///
+/// # Examples
+///
+/// ```
+/// use tiersim_core::render::TextTable;
+///
+/// let mut t = TextTable::new(vec!["Workload", "Outside Cache"]);
+/// t.row(vec!["bc_kron".into(), "49.1%".into()]);
+/// let s = t.render();
+/// assert!(s.contains("bc_kron"));
+/// assert!(s.lines().count() >= 3);
+/// ```
+#[derive(Debug, Clone)]
+pub struct TextTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with the given column headers.
+    pub fn new(header: Vec<&str>) -> Self {
+        TextTable { header: header.into_iter().map(String::from).collect(), rows: Vec::new() }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the header width.
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.header.len(), "row width mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Renders the table with aligned columns and a separator line.
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for c in 0..cols {
+                widths[c] = widths[c].max(row[c].len());
+            }
+        }
+        let fmt_row = |cells: &[String]| {
+            cells
+                .iter()
+                .enumerate()
+                .map(|(c, s)| format!("{:width$}", s, width = widths[c]))
+                .collect::<Vec<_>>()
+                .join("  ")
+                .trim_end()
+                .to_string()
+        };
+        let mut out = String::new();
+        out.push_str(&fmt_row(&self.header));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (cols - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders as CSV (no quoting; cells must not contain commas).
+    pub fn to_csv(&self) -> String {
+        let mut out = self.header.join(",");
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Formats a fraction as a percentage with one decimal, e.g. `"49.1%"`.
+pub fn pct(fraction: f64) -> String {
+    format!("{:.1}%", fraction * 100.0)
+}
+
+/// Formats seconds with three decimals.
+pub fn secs(s: f64) -> String {
+    format!("{s:.3}s")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_aligns_columns() {
+        let mut t = TextTable::new(vec!["a", "bbbb"]);
+        t.row(vec!["xxxxx".into(), "1".into()]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].starts_with("a    "));
+        assert!(lines[2].starts_with("xxxxx"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn mismatched_row_panics() {
+        let mut t = TextTable::new(vec!["a"]);
+        t.row(vec!["1".into(), "2".into()]);
+    }
+
+    #[test]
+    fn csv_output() {
+        let mut t = TextTable::new(vec!["w", "v"]);
+        t.row(vec!["bc".into(), "1.5".into()]);
+        assert_eq!(t.to_csv(), "w,v\nbc,1.5\n");
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(pct(0.4911), "49.1%");
+        assert_eq!(secs(1.23456), "1.235s");
+    }
+}

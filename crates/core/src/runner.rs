@@ -1,0 +1,328 @@
+//! The workload runner: generate → load → build → run trials → report.
+
+use crate::config::MachineConfig;
+use crate::error::CoreError;
+use crate::machine::Machine;
+use crate::report::RunReport;
+use crate::workload::{Dataset, Kernel, WorkloadConfig};
+use tiersim_graph::{
+    bc, bfs, build_sim_csr, build_sim_weights, cc_afforest, cc_sv, load_sim_csr_streamed, pr,
+    sg_file_bytes, sssp, tc, BfsParams, EdgeList, KroneckerGenerator, PrParams, SimCsrGraph,
+    SourcePicker, UniformGenerator,
+};
+use tiersim_policy::{aggregate_by_label, plan_static, StaticPlan, TieringMode};
+
+/// Generates a workload's edge list (host-side; in the paper this is the
+/// offline GAPBS `converter` step that produces the `.sg` file).
+pub fn generate(workload: &WorkloadConfig) -> EdgeList {
+    match workload.dataset {
+        Dataset::Kron => KroneckerGenerator::new(workload.scale, workload.degree)
+            .seed(workload.seed)
+            .generate(),
+        Dataset::Urand => UniformGenerator::new(workload.scale, workload.degree)
+            .seed(workload.seed)
+            .generate(),
+        Dataset::Road => {
+            // Lattices need an even scale; round up.
+            tiersim_graph::GridGenerator::new(workload.scale + workload.scale % 2).generate()
+        }
+    }
+}
+
+fn run_trials(
+    m: &mut Machine,
+    g: &SimCsrGraph,
+    workload: &WorkloadConfig,
+    threads: usize,
+) -> Vec<f64> {
+    let mut picker = SourcePicker::new(workload.seed ^ 0x5eed);
+    let mut trial_secs = Vec::with_capacity(workload.trials);
+    let mut timed = |m: &mut Machine, f: &mut dyn FnMut(&mut Machine)| {
+        let t0 = m.now_secs();
+        f(m);
+        trial_secs.push(m.now_secs() - t0);
+    };
+    match workload.kernel {
+        Kernel::Bfs => {
+            for _ in 0..workload.trials {
+                let source = picker.pick(g);
+                timed(m, &mut |m| {
+                    let r = bfs(m, g, source, threads, BfsParams::default());
+                    r.dist.into_host(m);
+                });
+            }
+        }
+        Kernel::Bc => {
+            // GAPBS BC runs `trials` timed executions, each allocating
+            // fresh per-vertex arrays — the allocation churn behind the
+            // paper's Figure 7.
+            for _ in 0..workload.trials {
+                let source = picker.pick(g);
+                timed(m, &mut |m| {
+                    let scores = bc(m, g, &[source], threads);
+                    scores.into_host(m);
+                });
+            }
+        }
+        Kernel::Cc => {
+            for _ in 0..workload.trials {
+                timed(m, &mut |m| {
+                    let comp = cc_sv(m, g, threads);
+                    comp.into_host(m);
+                });
+            }
+        }
+        Kernel::CcAff => {
+            for _ in 0..workload.trials {
+                timed(m, &mut |m| {
+                    let comp = cc_afforest(m, g, 2, threads);
+                    comp.into_host(m);
+                });
+            }
+        }
+        Kernel::Pr => {
+            for _ in 0..workload.trials {
+                timed(m, &mut |m| {
+                    let scores = pr(m, g, PrParams::default(), threads);
+                    scores.into_host(m);
+                });
+            }
+        }
+        Kernel::Sssp => {
+            let weights = build_sim_weights(m, g, threads);
+            for _ in 0..workload.trials {
+                let source = picker.pick(g);
+                timed(m, &mut |m| {
+                    let dist = sssp(m, g, &weights, source, 32, threads);
+                    dist.into_host(m);
+                });
+            }
+            weights.into_host(m);
+        }
+        Kernel::Tc => {
+            for _ in 0..workload.trials {
+                timed(m, &mut |m| {
+                    tc(m, g, threads);
+                });
+            }
+        }
+    }
+    trial_secs
+}
+
+/// Runs one workload on one machine configuration, producing a full
+/// [`RunReport`].
+///
+/// Phases mirror the paper's runs: the graph file streams through the
+/// page cache (I/O-bound, low CPU), the CSR build allocates and frees the
+/// transient objects, then the kernel trials run.
+///
+/// # Errors
+///
+/// Returns [`CoreError`] on invalid configuration or unrecoverable OOM.
+pub fn run_workload(
+    machine_cfg: MachineConfig,
+    workload: WorkloadConfig,
+) -> Result<RunReport, CoreError> {
+    let threads = machine_cfg.threads;
+    let mode_name = machine_cfg.mode.name().to_string();
+    let mut m = Machine::new(machine_cfg)?;
+    let el = generate(&workload);
+
+    // Phases 1+2: get the graph into simulated memory.
+    let (g, load_end_secs) = match workload.load {
+        crate::workload::LoadMode::SgFile => {
+            // The paper's artifact flow: the converter built the `.sg`
+            // offline; the run streams it through the page cache and
+            // copies it into the CSR arrays.
+            let mut host = tiersim_graph::CsrGraph::from_edges(&el, true);
+            drop(el);
+            if workload.kernel == Kernel::Tc {
+                // GAPBS preprocesses TC inputs: sorted, deduplicated lists.
+                host.sort_neighbors();
+                host.dedup_neighbors();
+            }
+            let _total = sg_file_bytes(host.num_nodes(), host.num_edges());
+            // The read() loop interleaves 1 MiB file reads with the
+            // copy-out, so page cache and CSR growth compete for DRAM
+            // concurrently, as in the paper's long load phase.
+            let g = load_sim_csr_streamed(&mut m, &host, threads, 1 << 20, |m, bytes| {
+                m.file_read(bytes).expect("file read");
+            });
+            let load_end = m.now_secs();
+            m.snapshot_now();
+            (g, load_end)
+        }
+        crate::workload::LoadMode::GenerateAndBuild => {
+            m.file_read(el.serialized_bytes())?;
+            let load_end = m.now_secs();
+            m.snapshot_now();
+            (build_sim_csr(&mut m, &el, true, threads), load_end)
+        }
+    };
+    let build_end_secs = m.now_secs();
+    m.snapshot_now();
+
+    // Phase 3: kernel trials.
+    let trial_secs = run_trials(&mut m, &g, &workload, threads);
+    g.unmap(&mut m);
+    m.snapshot_now();
+
+    let total_secs = m.now_secs();
+    let counters = m.os().counters();
+    let mem_stats = *m.mem().stats();
+    let nvm_write_amplification = m.mem().nvm_write_amplification();
+    let (samples, tracker, timeline) = m.into_artifacts();
+    Ok(RunReport {
+        workload,
+        mode_name,
+        load_end_secs,
+        build_end_secs,
+        trial_secs,
+        total_secs,
+        samples,
+        tracker,
+        counters,
+        timeline,
+        mem_stats,
+        nvm_write_amplification,
+    })
+}
+
+/// Builds the paper's §7 static object plan from a profiling run: fold the
+/// run's samples by label, rank by density, and pack into
+/// `plan_dram_headroom × DRAM`.
+pub fn plan_from_report(report: &RunReport, machine_cfg: &MachineConfig, spill: bool) -> StaticPlan {
+    let mapped = report.mapped();
+    let stats = aggregate_by_label(&mapped);
+    let budget = (machine_cfg.mem.dram_capacity as f64 * machine_cfg.plan_dram_headroom) as u64;
+    plan_static(&stats, budget, spill)
+}
+
+/// Convenience: run `workload` under AutoNUMA, then under the
+/// profile-derived static object plan. Returns `(autonuma, static)`
+/// reports. The AutoNUMA run doubles as the profiling run, as in the
+/// paper's offline methodology.
+///
+/// # Errors
+///
+/// Propagates [`CoreError`] from either run.
+pub fn run_autonuma_vs_static(
+    workload: WorkloadConfig,
+    spill: bool,
+) -> Result<(RunReport, RunReport), CoreError> {
+    let base_cfg =
+        MachineConfig::scaled_default(workload.steady_app_bytes(), TieringMode::AutoNuma);
+    let auto = run_workload(base_cfg.clone(), workload)?;
+    let plan = plan_from_report(&auto, &base_cfg, spill);
+    let mut static_cfg = base_cfg;
+    static_cfg.mode = TieringMode::StaticObject(plan);
+    let stat = run_workload(static_cfg, workload)?;
+    Ok((auto, stat))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tiersim_graph::reference;
+
+    fn tiny(kernel: Kernel, dataset: Dataset) -> WorkloadConfig {
+        WorkloadConfig::new(kernel, dataset).scale(10).trials(2)
+    }
+
+    fn cfg(workload: &WorkloadConfig, mode: TieringMode) -> MachineConfig {
+        MachineConfig::scaled_default(workload.steady_app_bytes(), mode)
+    }
+
+    #[test]
+    fn bfs_run_produces_report() {
+        let w = tiny(Kernel::Bfs, Dataset::Kron);
+        let r = run_workload(cfg(&w, TieringMode::AutoNuma), w).unwrap();
+        assert_eq!(r.trial_secs.len(), 2);
+        assert!(r.exec_secs() > 0.0);
+        assert!(r.load_end_secs > 0.0);
+        // With the streamed .sg loader, load and deserialize are one
+        // phase; the explicit build phase exists under GenerateAndBuild.
+        assert!(r.build_end_secs >= r.load_end_secs);
+        assert!(r.total_secs >= r.build_end_secs);
+        assert!(!r.samples.is_empty());
+        assert!(r.tracker.len() >= 5, "build + kernel objects tracked");
+        assert!(r.mem_stats.total() > 0);
+    }
+
+    #[test]
+    fn bc_runs_one_timed_pass_per_trial() {
+        let w = tiny(Kernel::Bc, Dataset::Urand);
+        let r = run_workload(cfg(&w, TieringMode::AutoNuma), w).unwrap();
+        // GAPBS BC re-allocates its arrays every trial, so each trial is a
+        // separate timed execution and leaves its own tracked objects.
+        assert_eq!(r.trial_secs.len(), 2);
+        let sigma_count =
+            r.tracker.records().iter().filter(|rec| &*rec.site == "bc.sigma").count();
+        assert_eq!(sigma_count, 2);
+    }
+
+    #[test]
+    fn all_kernels_run_under_autonuma() {
+        for kernel in [Kernel::Cc, Kernel::CcAff, Kernel::Pr, Kernel::Sssp, Kernel::Tc] {
+            let w = tiny(kernel, Dataset::Kron).trials(1);
+            let r = run_workload(cfg(&w, TieringMode::AutoNuma), w).unwrap();
+            assert!(r.exec_secs() > 0.0, "{kernel}");
+        }
+    }
+
+    #[test]
+    fn first_touch_has_zero_migrations() {
+        let w = tiny(Kernel::Bfs, Dataset::Urand);
+        let r = run_workload(cfg(&w, TieringMode::FirstTouch), w).unwrap();
+        assert!(r.counters.no_migrations());
+    }
+
+    #[test]
+    fn deterministic_given_same_config() {
+        let w = tiny(Kernel::Cc, Dataset::Kron).trials(1);
+        let a = run_workload(cfg(&w, TieringMode::AutoNuma), w).unwrap();
+        let b = run_workload(cfg(&w, TieringMode::AutoNuma), w).unwrap();
+        assert_eq!(a.total_secs, b.total_secs);
+        assert_eq!(a.samples.len(), b.samples.len());
+        assert_eq!(a.counters, b.counters);
+    }
+
+    #[test]
+    fn sim_results_match_reference_through_runner_graph() {
+        // The runner's generated graph produces verified BFS distances.
+        let w = tiny(Kernel::Bfs, Dataset::Kron);
+        let el = generate(&w);
+        let mut null = tiersim_mem::NullBackend::new();
+        let g = build_sim_csr(&mut null, &el, true, 2);
+        let host = g.to_host_csr();
+        let r = tiersim_graph::bfs(&mut null, &g, 1, 2, BfsParams::default());
+        assert_eq!(r.dist.host(), reference::bfs_ref(&host, 1).as_slice());
+    }
+
+    #[test]
+    fn generate_and_build_mode_has_build_phase() {
+        let mut w = tiny(Kernel::Bfs, Dataset::Kron);
+        w.load = crate::workload::LoadMode::GenerateAndBuild;
+        let r = run_workload(cfg(&w, TieringMode::AutoNuma), w).unwrap();
+        // The in-process build is a distinct phase and leaves the builder
+        // temporaries in the allocation log (freed before the trials).
+        assert!(r.build_end_secs > r.load_end_secs);
+        let edge_list = r
+            .tracker
+            .records()
+            .iter()
+            .find(|rec| &*rec.site == "builder.edge_list")
+            .expect("edge list tracked");
+        assert!(edge_list.free_time.is_some(), "edge list freed after build");
+    }
+
+    #[test]
+    fn static_plan_pipeline_runs() {
+        let w = tiny(Kernel::Bfs, Dataset::Kron);
+        let (auto, stat) = run_autonuma_vs_static(w, false).unwrap();
+        assert_eq!(auto.mode_name, "autonuma");
+        assert_eq!(stat.mode_name, "static_object");
+        assert!(stat.counters.no_migrations(), "static mapping never migrates");
+    }
+}

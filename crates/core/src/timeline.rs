@@ -1,0 +1,70 @@
+//! Periodic run-state snapshots (the paper's once-per-second
+//! numastat/vmstat/CPU polling behind Figures 9 and 10).
+
+use tiersim_os::{NumaStat, VmCounters};
+
+/// One timeline snapshot.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TimelineSnapshot {
+    /// Simulated time in seconds.
+    pub time_secs: f64,
+    /// numastat-style memory usage.
+    pub numastat: NumaStat,
+    /// Cumulative vmstat counters at this moment.
+    pub counters: VmCounters,
+    /// CPU utilization in `[0, 1]` over the window ending here (busy
+    /// cycles across all threads / wall cycles × threads).
+    pub cpu_util: f64,
+    /// Current dynamic hot threshold in cycles.
+    pub threshold_cycles: u64,
+}
+
+/// Helpers over a snapshot series.
+pub trait TimelineOps {
+    /// Per-window deltas of `f(counters)` between consecutive snapshots,
+    /// as `(time_secs, delta)` (first window measures from zero).
+    fn counter_deltas(&self, f: impl Fn(&VmCounters) -> u64) -> Vec<(f64, u64)>;
+}
+
+impl TimelineOps for [TimelineSnapshot] {
+    fn counter_deltas(&self, f: impl Fn(&VmCounters) -> u64) -> Vec<(f64, u64)> {
+        let mut prev = 0u64;
+        self.iter()
+            .map(|s| {
+                let cur = f(&s.counters);
+                let d = cur.saturating_sub(prev);
+                prev = cur;
+                (s.time_secs, d)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snap(t: f64, promoted: u64) -> TimelineSnapshot {
+        let counters = VmCounters { pgpromote_success: promoted, ..Default::default() };
+        TimelineSnapshot {
+            time_secs: t,
+            numastat: NumaStat::default(),
+            counters,
+            cpu_util: 0.5,
+            threshold_cycles: 0,
+        }
+    }
+
+    #[test]
+    fn deltas_between_snapshots() {
+        let series = [snap(1.0, 5), snap(2.0, 5), snap(3.0, 12)];
+        let d = series.counter_deltas(|c| c.pgpromote_success);
+        assert_eq!(d, vec![(1.0, 5), (2.0, 0), (3.0, 7)]);
+    }
+
+    #[test]
+    fn empty_series_yields_empty_deltas() {
+        let series: [TimelineSnapshot; 0] = [];
+        assert!(series.counter_deltas(|c| c.pgdemote_kswapd).is_empty());
+    }
+}

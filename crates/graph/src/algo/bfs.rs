@@ -1,0 +1,208 @@
+//! Direction-optimizing breadth-first search (GAPBS `bfs`).
+
+use crate::builder::attribute_thread;
+use crate::edgelist::NodeId;
+use crate::sim::SimCsrGraph;
+use tiersim_mem::{MemBackend, SimVec};
+
+/// Tuning knobs of the direction-optimizing heuristic (GAPBS defaults:
+/// α = 15, β = 18).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BfsParams {
+    /// Switch top-down → bottom-up when the frontier's outgoing edges
+    /// exceed `edges / alpha`. Larger α switches sooner; `alpha == 1`
+    /// effectively disables bottom-up.
+    pub alpha: usize,
+    /// Switch bottom-up → top-down when the awake count drops below
+    /// `nodes / beta`.
+    pub beta: usize,
+}
+
+impl Default for BfsParams {
+    fn default() -> Self {
+        BfsParams { alpha: 15, beta: 18 }
+    }
+}
+
+/// Result of a BFS run.
+#[derive(Debug)]
+pub struct BfsResult {
+    /// Distance from the source per vertex; `-1` = unreachable.
+    pub dist: SimVec<i32>,
+    /// Number of top-down steps executed.
+    pub top_down_steps: usize,
+    /// Number of bottom-up steps executed.
+    pub bottom_up_steps: usize,
+}
+
+/// Runs direction-optimizing BFS from `source`, charging the full access
+/// stream (queue traffic, bitmap conversions, neighbor scans) to `b`.
+///
+/// The irregular top-down scatter and the sequential bottom-up scans are
+/// exactly the access mix that produces the paper's single-touch-dominated
+/// page profile for `bfs_*` workloads.
+pub fn bfs<B: MemBackend>(
+    b: &mut B,
+    g: &SimCsrGraph,
+    source: NodeId,
+    threads: usize,
+    params: BfsParams,
+) -> BfsResult {
+    let n = g.num_nodes();
+    let m = g.num_edges();
+    let mut dist = SimVec::new(b, "bfs.dist", n, -1i32);
+    let mut queue = SimVec::new(b, "bfs.queue", n, 0 as NodeId);
+    let mut next_queue = SimVec::new(b, "bfs.queue_next", n, 0 as NodeId);
+    let mut front_bm = SimVec::new(b, "bfs.bitmap_front", n, 0u8);
+    let mut next_bm = SimVec::new(b, "bfs.bitmap_next", n, 0u8);
+
+    dist.set(b, source as usize, 0);
+    queue.set(b, 0, source);
+    let mut frontier_len = 1usize;
+    let mut depth = 0i32;
+    let mut scout_count = g.degree(b, source);
+    let mut bottom_up = false;
+    let (mut td_steps, mut bu_steps) = (0usize, 0usize);
+
+    while frontier_len > 0 {
+        depth += 1;
+        if !bottom_up && scout_count > m / params.alpha.max(1) {
+            // Convert queue → bitmap and switch to bottom-up.
+            for i in 0..frontier_len {
+                let u = queue.get(b, i);
+                front_bm.set(b, u as usize, 1);
+            }
+            bottom_up = true;
+        }
+        if bottom_up {
+            bu_steps += 1;
+            let mut awake_count = 0usize;
+            for v in 0..n {
+                attribute_thread(b, v, n, threads);
+                if dist.get(b, v) != -1 {
+                    continue;
+                }
+                let (start, end) = g.neighbor_range(b, v as NodeId);
+                for i in start..end {
+                    let u = g.neighbor(b, i);
+                    if front_bm.get(b, u as usize) == 1 {
+                        dist.set(b, v, depth);
+                        next_bm.set(b, v, 1);
+                        awake_count += 1;
+                        break;
+                    }
+                }
+            }
+            // Swap bitmaps; clear the new "next".
+            core::mem::swap(&mut front_bm, &mut next_bm);
+            for v in 0..n {
+                next_bm.set(b, v, 0);
+            }
+            frontier_len = awake_count;
+            if awake_count < n / params.beta.max(1) {
+                // Convert bitmap → queue and return to top-down.
+                let mut len = 0usize;
+                for v in 0..n {
+                    attribute_thread(b, v, n, threads);
+                    if front_bm.get(b, v) == 1 {
+                        queue.set(b, len, v as NodeId);
+                        front_bm.set(b, v, 0);
+                        len += 1;
+                    }
+                }
+                frontier_len = len;
+                bottom_up = false;
+                scout_count = 0;
+            }
+        } else {
+            td_steps += 1;
+            let mut next_len = 0usize;
+            scout_count = 0;
+            for i in 0..frontier_len {
+                attribute_thread(b, i, frontier_len, threads);
+                let u = queue.get(b, i);
+                let (start, end) = g.neighbor_range(b, u);
+                for j in start..end {
+                    let v = g.neighbor(b, j);
+                    if dist.get(b, v as usize) == -1 {
+                        dist.set(b, v as usize, depth);
+                        next_queue.set(b, next_len, v);
+                        next_len += 1;
+                        scout_count += g.degree(b, v);
+                    }
+                }
+            }
+            core::mem::swap(&mut queue, &mut next_queue);
+            frontier_len = next_len;
+        }
+    }
+
+    queue.into_host(b);
+    next_queue.into_host(b);
+    front_bm.into_host(b);
+    next_bm.into_host(b);
+    BfsResult { dist, top_down_steps: td_steps, bottom_up_steps: bu_steps }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::build_sim_csr;
+    use crate::edgelist::EdgeList;
+    use crate::generate::UniformGenerator;
+    use crate::reference::bfs_ref;
+    use tiersim_mem::NullBackend;
+
+    #[test]
+    fn bfs_matches_reference_on_path() {
+        let el = EdgeList::new(5, vec![(0, 1), (1, 2), (2, 3)]);
+        let mut b = NullBackend::new();
+        let g = build_sim_csr(&mut b, &el, true, 2);
+        let r = bfs(&mut b, &g, 0, 2, BfsParams::default());
+        assert_eq!(r.dist.host(), bfs_ref(&g.to_host_csr(), 0).as_slice());
+    }
+
+    #[test]
+    fn bfs_matches_reference_on_random_graph() {
+        let el = UniformGenerator::new(8, 4).seed(11).generate();
+        let mut b = NullBackend::new();
+        let g = build_sim_csr(&mut b, &el, true, 4);
+        let host = g.to_host_csr();
+        for source in [0u32, 17, 200] {
+            let r = bfs(&mut b, &g, source, 4, BfsParams::default());
+            assert_eq!(r.dist.host(), bfs_ref(&host, source).as_slice(), "source {source}");
+        }
+    }
+
+    #[test]
+    fn dense_graph_uses_bottom_up() {
+        // A dense random graph triggers the direction switch.
+        let el = UniformGenerator::new(7, 24).seed(3).generate();
+        let mut b = NullBackend::new();
+        let g = build_sim_csr(&mut b, &el, true, 4);
+        let r = bfs(&mut b, &g, 0, 4, BfsParams::default());
+        assert!(r.bottom_up_steps > 0, "expected bottom-up steps");
+        assert_eq!(r.dist.host(), bfs_ref(&g.to_host_csr(), 0).as_slice());
+    }
+
+    #[test]
+    fn top_down_only_when_alpha_is_one() {
+        // alpha = 1 puts the switch threshold at the full edge count,
+        // which the scout count can never exceed.
+        let el = UniformGenerator::new(7, 24).seed(3).generate();
+        let mut b = NullBackend::new();
+        let g = build_sim_csr(&mut b, &el, true, 4);
+        let r = bfs(&mut b, &g, 0, 4, BfsParams { alpha: 1, beta: 18 });
+        assert_eq!(r.bottom_up_steps, 0);
+        assert_eq!(r.dist.host(), bfs_ref(&g.to_host_csr(), 0).as_slice());
+    }
+
+    #[test]
+    fn isolated_source_terminates() {
+        let el = EdgeList::new(3, vec![(1, 2)]);
+        let mut b = NullBackend::new();
+        let g = build_sim_csr(&mut b, &el, true, 1);
+        let r = bfs(&mut b, &g, 0, 1, BfsParams::default());
+        assert_eq!(r.dist.host(), &[0, -1, -1]);
+    }
+}

@@ -1,0 +1,201 @@
+//! Connected components: Shiloach–Vishkin (GAPBS `cc_sv`) and Afforest
+//! (GAPBS default `cc`).
+
+use crate::builder::attribute_thread;
+use crate::edgelist::NodeId;
+use crate::sim::SimCsrGraph;
+use std::collections::HashMap;
+use tiersim_mem::{MemBackend, SimVec};
+
+/// Shiloach–Vishkin connected components: alternating hook and
+/// pointer-jump (compress) passes over the full edge set until no label
+/// changes — the heavy streaming+scatter mix of the paper's `cc_*`
+/// workloads.
+pub fn cc_sv<B: MemBackend>(b: &mut B, g: &SimCsrGraph, threads: usize) -> SimVec<NodeId> {
+    let n = g.num_nodes();
+    let mut comp = SimVec::new(b, "cc.comp", n, 0 as NodeId);
+    for v in 0..n {
+        comp.set(b, v, v as NodeId);
+    }
+    let mut changed = true;
+    while changed {
+        changed = false;
+        // Hook: for every edge, pull the larger root down to the smaller.
+        for u in 0..n {
+            attribute_thread(b, u, n, threads);
+            let (start, end) = g.neighbor_range(b, u as NodeId);
+            for i in start..end {
+                let v = g.neighbor(b, i) as usize;
+                let cu = comp.get(b, u);
+                let cv = comp.get(b, v);
+                if cu < cv && cv == comp.get(b, cv as usize) as NodeId {
+                    comp.set(b, cv as usize, cu);
+                    changed = true;
+                }
+            }
+        }
+        // Compress: pointer jumping.
+        for v in 0..n {
+            attribute_thread(b, v, n, threads);
+            loop {
+                let cv = comp.get(b, v);
+                let ccv = comp.get(b, cv as usize);
+                if cv == ccv {
+                    break;
+                }
+                comp.set(b, v, ccv);
+            }
+        }
+    }
+    comp
+}
+
+/// Links `u` and `v` by repeatedly hooking the larger root under the
+/// smaller (GAPBS `Link`).
+fn link<B: MemBackend>(b: &mut B, comp: &mut SimVec<NodeId>, u: NodeId, v: NodeId) {
+    let mut p1 = comp.get(b, u as usize);
+    let mut p2 = comp.get(b, v as usize);
+    while p1 != p2 {
+        let (high, low) = if p1 > p2 { (p1, p2) } else { (p2, p1) };
+        let p_high = comp.get(b, high as usize);
+        if p_high == low {
+            break;
+        }
+        if p_high == high {
+            comp.set(b, high as usize, low);
+            break;
+        }
+        p1 = comp.get(b, p_high as usize);
+        p2 = low;
+    }
+}
+
+/// Full pointer-jump compression pass (GAPBS `Compress`).
+fn compress<B: MemBackend>(b: &mut B, comp: &mut SimVec<NodeId>, n: usize, threads: usize) {
+    for v in 0..n {
+        attribute_thread(b, v, n, threads);
+        loop {
+            let cv = comp.get(b, v);
+            let ccv = comp.get(b, cv as usize);
+            if cv == ccv {
+                break;
+            }
+            comp.set(b, v, ccv);
+        }
+    }
+}
+
+/// Afforest connected components: neighbor-sampled subgraph linking, then
+/// skipping the largest intermediate component when finalizing — the
+/// sampling optimization GAPBS uses by default.
+pub fn cc_afforest<B: MemBackend>(
+    b: &mut B,
+    g: &SimCsrGraph,
+    neighbor_rounds: usize,
+    threads: usize,
+) -> SimVec<NodeId> {
+    let n = g.num_nodes();
+    let mut comp = SimVec::new(b, "cc.comp", n, 0 as NodeId);
+    for v in 0..n {
+        comp.set(b, v, v as NodeId);
+    }
+    // Phase 1: link each vertex to its first `neighbor_rounds` neighbors.
+    for r in 0..neighbor_rounds {
+        for u in 0..n {
+            attribute_thread(b, u, n, threads);
+            let (start, end) = g.neighbor_range(b, u as NodeId);
+            if start + r < end {
+                let v = g.neighbor(b, start + r);
+                link(b, &mut comp, u as NodeId, v);
+            }
+        }
+        compress(b, &mut comp, n, threads);
+    }
+    // Phase 2: sample to find the most common intermediate component.
+    let sample_size = 1024.min(n.max(1));
+    let mut counts: HashMap<NodeId, usize> = HashMap::new();
+    for k in 0..sample_size {
+        let v = (k * 29 + 7) % n.max(1);
+        *counts.entry(comp.get(b, v)).or_insert(0) += 1;
+    }
+    let biggest = counts.into_iter().max_by_key(|&(_, c)| c).map(|(c, _)| c).unwrap_or(0);
+    // Phase 3: finish the remaining vertices' full neighbor lists.
+    for u in 0..n {
+        attribute_thread(b, u, n, threads);
+        if comp.get(b, u) == biggest {
+            continue;
+        }
+        let (start, end) = g.neighbor_range(b, u as NodeId);
+        for i in (start + neighbor_rounds.min(end - start))..end {
+            let v = g.neighbor(b, i);
+            link(b, &mut comp, u as NodeId, v);
+        }
+    }
+    compress(b, &mut comp, n, threads);
+    comp
+}
+
+/// Normalizes component labels so every vertex carries the minimum vertex
+/// id of its component (host-side helper for verification).
+pub fn canonicalize(labels: &[NodeId]) -> Vec<NodeId> {
+    let mut min_of: HashMap<NodeId, NodeId> = HashMap::new();
+    for (v, &c) in labels.iter().enumerate() {
+        let e = min_of.entry(c).or_insert(v as NodeId);
+        *e = (*e).min(v as NodeId);
+    }
+    labels.iter().map(|c| min_of[c]).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::build_sim_csr;
+    use crate::edgelist::EdgeList;
+    use crate::generate::{KroneckerGenerator, UniformGenerator};
+    use crate::reference::cc_ref;
+    use tiersim_mem::NullBackend;
+
+    fn check_partition(el: &EdgeList) {
+        let mut b = NullBackend::new();
+        let g = build_sim_csr(&mut b, el, true, 3);
+        let expected = cc_ref(&g.to_host_csr());
+        let sv = cc_sv(&mut b, &g, 3);
+        assert_eq!(canonicalize(sv.host()), expected, "shiloach-vishkin");
+        let aff = cc_afforest(&mut b, &g, 2, 3);
+        assert_eq!(canonicalize(aff.host()), expected, "afforest");
+    }
+
+    #[test]
+    fn components_on_two_islands() {
+        check_partition(&EdgeList::new(7, vec![(0, 1), (1, 2), (4, 5), (5, 6)]));
+    }
+
+    #[test]
+    fn components_on_kron() {
+        check_partition(&KroneckerGenerator::new(7, 4).seed(9).generate());
+    }
+
+    #[test]
+    fn components_on_urand() {
+        check_partition(&UniformGenerator::new(7, 2).seed(9).generate());
+    }
+
+    #[test]
+    fn singleton_graph() {
+        let el = EdgeList::new(3, vec![]);
+        let mut b = NullBackend::new();
+        let g = build_sim_csr(&mut b, &el, true, 1);
+        let sv = cc_sv(&mut b, &g, 1);
+        assert_eq!(sv.host(), &[0, 1, 2]);
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn prop_cc_equals_union_find(
+            edges in proptest::collection::vec((0u32..24, 0u32..24), 0..120)
+        ) {
+            let el = EdgeList::new(24, edges);
+            check_partition(&el);
+        }
+    }
+}

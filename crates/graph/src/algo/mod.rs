@@ -1,0 +1,15 @@
+//! Simulated graph algorithms (the GAPBS kernels).
+
+pub mod bc;
+pub mod bfs;
+pub mod cc;
+pub mod pr;
+pub mod sssp;
+pub mod tc;
+
+pub use bc::bc;
+pub use bfs::{bfs, BfsParams, BfsResult};
+pub use cc::{canonicalize, cc_afforest, cc_sv};
+pub use pr::{pr, PrParams};
+pub use sssp::sssp;
+pub use tc::tc;

@@ -1,0 +1,124 @@
+//! Single-source shortest paths via delta-stepping (GAPBS `sssp`).
+
+use crate::builder::attribute_thread;
+use crate::edgelist::NodeId;
+use crate::sim::SimCsrGraph;
+use tiersim_mem::{MemBackend, SimVec};
+
+/// Runs delta-stepping SSSP from `source` over `weights` (aligned with
+/// the graph's neighbor array). Returns per-vertex distances
+/// (`u64::MAX` = unreachable).
+///
+/// The distance array lives in simulated memory; the bucket structure is
+/// host-side bookkeeping, mirroring GAPBS's thread-local bins whose
+/// traffic is negligible next to the graph arrays.
+///
+/// # Panics
+///
+/// Panics if `weights` does not align with the neighbor array or `delta`
+/// is zero.
+pub fn sssp<B: MemBackend>(
+    b: &mut B,
+    g: &SimCsrGraph,
+    weights: &SimVec<u32>,
+    source: NodeId,
+    delta: u64,
+    threads: usize,
+) -> SimVec<u64> {
+    assert_eq!(weights.len(), g.num_edges(), "weights must align with neighbors");
+    assert!(delta > 0, "delta must be positive");
+    let n = g.num_nodes();
+    let mut dist = SimVec::new(b, "sssp.dist", n, u64::MAX);
+    let mut buckets: Vec<Vec<NodeId>> = Vec::new();
+
+    let push = |buckets: &mut Vec<Vec<NodeId>>, d: u64, v: NodeId| {
+        let idx = (d / delta) as usize;
+        if idx >= buckets.len() {
+            buckets.resize(idx + 1, Vec::new());
+        }
+        buckets[idx].push(v);
+    };
+
+    dist.set(b, source as usize, 0);
+    push(&mut buckets, 0, source);
+
+    let mut bi = 0usize;
+    while bi < buckets.len() {
+        // Settle the current bucket to a fixed point (light edges may
+        // reinsert into it).
+        while let Some(frontier) = {
+            let bucket = &mut buckets[bi];
+            if bucket.is_empty() { None } else { Some(std::mem::take(bucket)) }
+        } {
+            for (k, &u) in frontier.iter().enumerate() {
+                attribute_thread(b, k, frontier.len(), threads);
+                let du = dist.get(b, u as usize);
+                if du / delta < bi as u64 {
+                    continue; // already settled in an earlier bucket
+                }
+                let (start, end) = g.neighbor_range(b, u);
+                for i in start..end {
+                    let v = g.neighbor(b, i);
+                    let w = weights.get(b, i) as u64;
+                    let nd = du + w;
+                    if nd < dist.get(b, v as usize) {
+                        dist.set(b, v as usize, nd);
+                        push(&mut buckets, nd, v);
+                    }
+                }
+            }
+        }
+        bi += 1;
+    }
+    dist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{build_sim_csr, build_sim_weights};
+    use crate::edgelist::EdgeList;
+    use crate::generate::UniformGenerator;
+    use crate::reference::sssp_ref;
+    use tiersim_mem::NullBackend;
+
+    #[test]
+    fn sssp_matches_dijkstra_on_random_graph() {
+        let el = UniformGenerator::new(7, 6).seed(21).generate();
+        let mut b = NullBackend::new();
+        let g = build_sim_csr(&mut b, &el, true, 3);
+        let w = build_sim_weights(&mut b, &g, 3);
+        let host = g.to_host_csr();
+        for source in [0u32, 31, 77] {
+            for delta in [1u64, 8, 64] {
+                let d = sssp(&mut b, &g, &w, source, delta, 3);
+                assert_eq!(
+                    d.host(),
+                    sssp_ref(&host, w.host(), source).as_slice(),
+                    "source {source} delta {delta}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn unreachable_stays_max() {
+        let el = EdgeList::new(3, vec![(0, 1)]);
+        let mut b = NullBackend::new();
+        let g = build_sim_csr(&mut b, &el, true, 1);
+        let w = build_sim_weights(&mut b, &g, 1);
+        let d = sssp(&mut b, &g, &w, 0, 16, 1);
+        assert_eq!(d.host()[2], u64::MAX);
+        assert_eq!(d.host()[0], 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "delta must be positive")]
+    fn zero_delta_rejected() {
+        let el = EdgeList::new(2, vec![(0, 1)]);
+        let mut b = NullBackend::new();
+        let g = build_sim_csr(&mut b, &el, true, 1);
+        let w = build_sim_weights(&mut b, &g, 1);
+        let _ = sssp(&mut b, &g, &w, 0, 0, 1);
+    }
+}

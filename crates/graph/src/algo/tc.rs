@@ -1,0 +1,155 @@
+//! Triangle counting via sorted-adjacency merge intersection (GAPBS `tc`).
+
+use crate::builder::attribute_thread;
+use crate::sim::SimCsrGraph;
+use tiersim_mem::MemBackend;
+
+/// Counts triangles in an undirected graph with **sorted** neighbor
+/// lists, charging the full access stream: each `u < v` edge triggers a
+/// merge intersection of `adj(u)` and `adj(v)` counting common neighbors
+/// `w > v`, so each triangle `u < v < w` is counted exactly once.
+///
+/// GAPBS sorts (and degree-relabels) adjacency lists in a preprocessing
+/// step before timing; use [`CsrGraph::sort_neighbors`] on the host graph
+/// before loading it into simulated memory.
+///
+/// [`CsrGraph::sort_neighbors`]: crate::CsrGraph::sort_neighbors
+///
+/// # Panics
+///
+/// Panics if any neighbor list is not sorted ascending (checked against
+/// the host-side data before the simulated pass begins).
+pub fn tc<B: MemBackend>(b: &mut B, g: &SimCsrGraph, threads: usize) -> u64 {
+    let host = g.host_neighbors();
+    let index = g.host_index();
+    let n = g.num_nodes();
+    for u in 0..n {
+        let lst = &host[index[u] as usize..index[u + 1] as usize];
+        assert!(lst.windows(2).all(|w| w[0] <= w[1]), "neighbors of {u} not sorted");
+    }
+
+    let mut total = 0u64;
+    for u in 0..n {
+        attribute_thread(b, u, n, threads);
+        let (su, eu) = g.neighbor_range(b, u as u32);
+        for i in su..eu {
+            let v = g.neighbor(b, i);
+            if (v as usize) <= u {
+                continue;
+            }
+            // Merge adj(u) and adj(v), counting matches strictly above v.
+            let (sv, ev) = g.neighbor_range(b, v);
+            let (mut a, mut c) = (su, sv);
+            let (mut wa, mut wc) = (None, None);
+            while a < eu && c < ev {
+                let x = *wa.get_or_insert_with(|| g.neighbor(b, a));
+                let y = *wc.get_or_insert_with(|| g.neighbor(b, c));
+                match x.cmp(&y) {
+                    core::cmp::Ordering::Less => {
+                        a += 1;
+                        wa = None;
+                    }
+                    core::cmp::Ordering::Greater => {
+                        c += 1;
+                        wc = None;
+                    }
+                    core::cmp::Ordering::Equal => {
+                        if x > v {
+                            total += 1;
+                        }
+                        a += 1;
+                        c += 1;
+                        wa = None;
+                        wc = None;
+                    }
+                }
+            }
+        }
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::load_sim_csr;
+    use crate::csr::CsrGraph;
+    use crate::edgelist::EdgeList;
+    use crate::generate::KroneckerGenerator;
+    use crate::reference::tc_ref;
+    use tiersim_mem::NullBackend;
+
+    fn sim_of(el: &EdgeList) -> (NullBackend, SimCsrGraph) {
+        let mut host = CsrGraph::from_edges(el, true);
+        host.sort_neighbors();
+        let mut b = NullBackend::new();
+        let g = load_sim_csr(&mut b, &host, 2);
+        (b, g)
+    }
+
+    #[test]
+    fn triangle_graph_has_one_triangle() {
+        let el = EdgeList::new(4, vec![(0, 1), (1, 2), (2, 0), (2, 3)]);
+        let (mut b, g) = sim_of(&el);
+        assert_eq!(tc(&mut b, &g, 2), 1);
+    }
+
+    #[test]
+    fn complete_graph_k5() {
+        let mut edges = Vec::new();
+        for u in 0..5u32 {
+            for v in (u + 1)..5 {
+                edges.push((u, v));
+            }
+        }
+        let (mut b, g) = sim_of(&EdgeList::new(5, edges));
+        // C(5,3) = 10 triangles.
+        assert_eq!(tc(&mut b, &g, 1), 10);
+    }
+
+    #[test]
+    fn triangle_free_graph_counts_zero() {
+        // A star has no triangles.
+        let el = EdgeList::new(5, vec![(0, 1), (0, 2), (0, 3), (0, 4)]);
+        let (mut b, g) = sim_of(&el);
+        assert_eq!(tc(&mut b, &g, 1), 0);
+    }
+
+    #[test]
+    fn matches_reference_on_kron() {
+        let el = KroneckerGenerator::new(7, 4).seed(13).generate();
+        let mut host = CsrGraph::from_edges(&el, true);
+        host.sort_neighbors();
+        host.dedup_neighbors();
+        let expected = tc_ref(&host);
+        let mut b = NullBackend::new();
+        let g = load_sim_csr(&mut b, &host, 4);
+        assert_eq!(tc(&mut b, &g, 4), expected);
+    }
+
+    #[test]
+    #[should_panic(expected = "not sorted")]
+    fn unsorted_lists_are_rejected() {
+        let el = EdgeList::new(3, vec![(0, 2), (0, 1)]);
+        let host = CsrGraph::from_edges(&el, false); // neighbors of 0: [2, 1]
+        let mut b = NullBackend::new();
+        let g = load_sim_csr(&mut b, &host, 1);
+        let _ = tc(&mut b, &g, 1);
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn prop_tc_matches_reference(
+            edges in proptest::collection::vec((0u32..12, 0u32..12), 0..60)
+        ) {
+            let el = EdgeList::new(12, edges);
+            let mut host = CsrGraph::from_edges(&el, true);
+            host.sort_neighbors();
+            host.dedup_neighbors();
+            let expected = tc_ref(&host);
+            let mut b = NullBackend::new();
+            let g = load_sim_csr(&mut b, &host, 3);
+            proptest::prop_assert_eq!(tc(&mut b, &g, 3), expected);
+        }
+    }
+}

@@ -1,0 +1,297 @@
+//! Simulated CSR builder: reproduces GAPBS's build phase as a stream of
+//! simulated memory traffic and allocations.
+//!
+//! The build allocates (and later frees) the temporary objects the paper
+//! observes — the deserialized edge list and per-vertex counters — before
+//! the long-lived `csr.index`/`csr.neighbors` objects. Freeing the edge
+//! list right before the algorithm's own allocations reproduces the
+//! "allocation right after a memory release" pattern of Figure 7.
+
+use crate::edgelist::{EdgeList, NodeId};
+use crate::sim::SimCsrGraph;
+use tiersim_mem::{MemBackend, SimVec, ThreadId};
+
+/// Sets the backend's logical thread from a static partition of `i` over
+/// `total` items, mirroring an OpenMP static schedule.
+#[inline]
+pub(crate) fn attribute_thread<B: MemBackend>(b: &mut B, i: usize, total: usize, threads: usize) {
+    if threads > 1 && total > 0 {
+        b.set_thread(ThreadId((i * threads / total) as u16));
+    }
+}
+
+/// Builds a simulated CSR graph from an edge list, charging the full
+/// build-phase access stream: edge-array writes, degree counting
+/// (scattered increments), prefix sum, and neighbor scattering.
+///
+/// With `symmetrize`, each edge is inserted in both directions (GAPBS
+/// treats kron/urand as undirected). Self-loops are dropped.
+///
+/// # Examples
+///
+/// ```
+/// use tiersim_graph::{build_sim_csr, EdgeList};
+/// use tiersim_mem::NullBackend;
+///
+/// let el = EdgeList::new(3, vec![(0, 1), (1, 2)]);
+/// let mut b = NullBackend::new();
+/// let g = build_sim_csr(&mut b, &el, true, 4);
+/// assert_eq!(g.num_nodes(), 3);
+/// assert_eq!(g.num_edges(), 4);
+/// ```
+pub fn build_sim_csr<B: MemBackend>(
+    b: &mut B,
+    el: &EdgeList,
+    symmetrize: bool,
+    threads: usize,
+) -> SimCsrGraph {
+    let n = el.num_nodes;
+    let m = el.edges.len();
+
+    // 1. Deserialize the file into the in-memory edge array (the large
+    //    transient object the paper sees first).
+    let mut edges = SimVec::new(b, "builder.edge_list", m, (0 as NodeId, 0 as NodeId));
+    for (i, &e) in el.edges.iter().enumerate() {
+        attribute_thread(b, i, m, threads);
+        edges.set(b, i, e);
+    }
+
+    // 2. Count degrees: sequential edge reads, scattered increments.
+    let mut degrees = SimVec::new(b, "builder.degrees", n, 0u64);
+    for i in 0..m {
+        attribute_thread(b, i, m, threads);
+        let (u, v) = edges.get(b, i);
+        if u == v {
+            continue;
+        }
+        degrees.update(b, u as usize, |d| d + 1);
+        if symmetrize {
+            degrees.update(b, v as usize, |d| d + 1);
+        }
+    }
+
+    // 3. Prefix sum into the long-lived index object.
+    let mut index = SimVec::new(b, "csr.index", n + 1, 0u64);
+    let mut running = 0u64;
+    index.set(b, 0, 0);
+    for u in 0..n {
+        attribute_thread(b, u, n, threads);
+        running += degrees.get(b, u);
+        index.set(b, u + 1, running);
+    }
+
+    // 4. Scatter neighbors through a cursor array.
+    let mut cursor = SimVec::new(b, "builder.cursor", n, 0u64);
+    for u in 0..n {
+        attribute_thread(b, u, n, threads);
+        let start = index.get(b, u);
+        cursor.set(b, u, start);
+    }
+    let total_directed = running as usize;
+    let mut neighbors = SimVec::new(b, "csr.neighbors", total_directed, 0 as NodeId);
+    for i in 0..m {
+        attribute_thread(b, i, m, threads);
+        let (u, v) = edges.get(b, i);
+        if u == v {
+            continue;
+        }
+        let pos = cursor.update(b, u as usize, |c| c + 1) - 1;
+        neighbors.set(b, pos as usize, v);
+        if symmetrize {
+            let pos = cursor.update(b, v as usize, |c| c + 1) - 1;
+            neighbors.set(b, pos as usize, u);
+        }
+    }
+
+    // 5. Free the transient builder objects (the release the paper's
+    //    Figure 7 highlights right before the kernel's allocations).
+    cursor.into_host(b);
+    degrees.into_host(b);
+    edges.into_host(b);
+
+    SimCsrGraph::from_parts(index, neighbors)
+}
+
+/// Deserializes a pre-built CSR (a GAPBS `.sg` file that was just read
+/// through the page cache) into simulated memory: the `csr.index` and
+/// `csr.neighbors` objects are allocated and filled with sequential
+/// stores, exactly the copy-out a `read()`-based loader performs.
+///
+/// This is the load path of the paper's artifact, which converts graphs
+/// offline (`converter -g30 -b kron.sg`) and starts every run from the
+/// serialized CSR.
+pub fn load_sim_csr<B: MemBackend>(
+    b: &mut B,
+    host: &crate::csr::CsrGraph,
+    threads: usize,
+) -> SimCsrGraph {
+    let n = host.num_nodes();
+    let m = host.num_edges();
+    let mut index = SimVec::new(b, "csr.index", n + 1, 0u64);
+    for (u, &off) in host.offsets().iter().enumerate() {
+        attribute_thread(b, u, n + 1, threads);
+        index.set(b, u, off);
+    }
+    let mut neighbors = SimVec::new(b, "csr.neighbors", m, 0 as NodeId);
+    for (i, &v) in host.neighbor_array().iter().enumerate() {
+        attribute_thread(b, i, m, threads);
+        neighbors.set(b, i, v);
+    }
+    SimCsrGraph::from_parts(index, neighbors)
+}
+
+/// Size in bytes of the serialized CSR (`.sg`) form: a small header plus
+/// 64-bit offsets and 32-bit neighbor ids, as GAPBS writes it.
+pub fn sg_file_bytes(num_nodes: usize, num_directed_edges: usize) -> u64 {
+    16 + 8 * (num_nodes as u64 + 1) + 4 * num_directed_edges as u64
+}
+
+/// Streamed variant of [`load_sim_csr`]: the loader's `read()` loop
+/// interleaves file input with the copy-out, calling `read_chunk(b,
+/// bytes)` before each `chunk_bytes` of CSR data is written. This is how
+/// real loaders behave and it matters for tiering: page-cache fills and
+/// CSR allocations compete for DRAM *concurrently*, so reclaim can demote
+/// cache pages while the arrays grow (paper Fig. 9's load phase).
+pub fn load_sim_csr_streamed<B: MemBackend>(
+    b: &mut B,
+    host: &crate::csr::CsrGraph,
+    threads: usize,
+    chunk_bytes: u64,
+    mut read_chunk: impl FnMut(&mut B, u64),
+) -> SimCsrGraph {
+    assert!(chunk_bytes >= 8, "chunk must hold at least one element");
+    let n = host.num_nodes();
+    let m = host.num_edges();
+    let mut budget = 0u64;
+    let mut refill = |b: &mut B, budget: &mut u64, need: u64| {
+        if *budget < need {
+            read_chunk(b, chunk_bytes);
+            *budget += chunk_bytes;
+        }
+    };
+    let mut index = SimVec::new(b, "csr.index", n + 1, 0u64);
+    for (u, &off) in host.offsets().iter().enumerate() {
+        refill(b, &mut budget, 8);
+        budget -= 8;
+        attribute_thread(b, u, n + 1, threads);
+        index.set(b, u, off);
+    }
+    let mut neighbors = SimVec::new(b, "csr.neighbors", m, 0 as NodeId);
+    for (i, &v) in host.neighbor_array().iter().enumerate() {
+        refill(b, &mut budget, 4);
+        budget -= 4;
+        attribute_thread(b, i, m, threads);
+        neighbors.set(b, i, v);
+    }
+    SimCsrGraph::from_parts(index, neighbors)
+}
+
+/// Generates deterministic edge weights in `1..=255` aligned with the
+/// neighbor array (GAPBS gives SSSP uniformly random integer weights).
+/// The weight of the edge at neighbor-array position `i` is a hash of
+/// `i`, so it is stable across runs.
+pub fn build_sim_weights<B: MemBackend>(b: &mut B, g: &SimCsrGraph, threads: usize) -> SimVec<u32> {
+    let m = g.num_edges();
+    let mut w = SimVec::new(b, "csr.weights", m, 0u32);
+    for i in 0..m {
+        attribute_thread(b, i, m, threads);
+        // SplitMix-style scramble for a stable pseudo-random weight.
+        let mut x = i as u64 ^ 0x9e37_79b9_7f4a_7c15;
+        x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        w.set(b, i, (x % 255) as u32 + 1);
+    }
+    w
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::csr::CsrGraph;
+    use tiersim_mem::NullBackend;
+
+    #[test]
+    fn sim_build_matches_host_build() {
+        let el = EdgeList::new(6, vec![(0, 1), (0, 2), (3, 4), (4, 0), (5, 5), (1, 0)]);
+        let mut b = NullBackend::new();
+        let sim = build_sim_csr(&mut b, &el, true, 4);
+        let host = CsrGraph::from_edges(&el, true);
+        let from_sim = sim.to_host_csr();
+        // Same degree per vertex and same neighbor multisets.
+        for u in 0..6 {
+            assert_eq!(from_sim.degree(u), host.degree(u), "degree of {u}");
+            let mut a = from_sim.neighbors(u).to_vec();
+            let mut c = host.neighbors(u).to_vec();
+            a.sort_unstable();
+            c.sort_unstable();
+            assert_eq!(a, c, "neighbors of {u}");
+        }
+    }
+
+    #[test]
+    fn directed_build_preserves_edge_count() {
+        let el = EdgeList::new(4, vec![(0, 1), (1, 2), (2, 3)]);
+        let mut b = NullBackend::new();
+        let g = build_sim_csr(&mut b, &el, false, 1);
+        assert_eq!(g.num_edges(), 3);
+    }
+
+    #[test]
+    fn transient_objects_are_freed() {
+        let el = EdgeList::new(4, vec![(0, 1), (1, 2)]);
+        let mut b = NullBackend::new();
+        let _g = build_sim_csr(&mut b, &el, true, 1);
+        // 5 mmaps (edge_list, degrees, index, cursor, neighbors); the three
+        // transients were munmapped. NullBackend only counts mmaps, so we
+        // assert the call count here; residency is asserted in the
+        // machine-level integration tests.
+        assert_eq!(b.mmaps(), 5);
+    }
+
+    #[test]
+    fn weights_are_deterministic_and_in_range() {
+        let el = EdgeList::new(4, vec![(0, 1), (1, 2), (2, 3)]);
+        let mut b = NullBackend::new();
+        let g = build_sim_csr(&mut b, &el, true, 1);
+        let w1 = build_sim_weights(&mut b, &g, 2);
+        let w2 = build_sim_weights(&mut b, &g, 2);
+        assert_eq!(w1.host(), w2.host());
+        assert!(w1.host().iter().all(|&w| (1..=255).contains(&w)));
+    }
+
+    #[test]
+    fn load_sim_csr_round_trips_host_csr() {
+        let el = EdgeList::new(8, vec![(0, 1), (1, 2), (3, 4), (6, 7), (2, 0)]);
+        let host = CsrGraph::from_edges(&el, true);
+        let mut b = NullBackend::new();
+        let loaded = load_sim_csr(&mut b, &host, 3);
+        assert_eq!(loaded.to_host_csr(), host);
+        // Two objects allocated, all elements stored.
+        assert_eq!(b.mmaps(), 2);
+        assert_eq!(b.stores(), (host.num_nodes() + 1 + host.num_edges()) as u64);
+    }
+
+    #[test]
+    fn sg_file_size_formula() {
+        assert_eq!(sg_file_bytes(3, 4), 16 + 8 * 4 + 4 * 4);
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn prop_sim_build_equals_host_build(
+            edges in proptest::collection::vec((0u32..16, 0u32..16), 1..80)
+        ) {
+            let el = EdgeList::new(16, edges);
+            let mut b = NullBackend::new();
+            let sim = build_sim_csr(&mut b, &el, true, 3).to_host_csr();
+            let host = CsrGraph::from_edges(&el, true);
+            for u in 0..16u32 {
+                let mut a = sim.neighbors(u).to_vec();
+                let mut c = host.neighbors(u).to_vec();
+                a.sort_unstable();
+                c.sort_unstable();
+                proptest::prop_assert_eq!(a, c);
+            }
+        }
+    }
+}

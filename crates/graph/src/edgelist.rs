@@ -1,0 +1,81 @@
+//! Edge lists: the on-disk representation GAPBS loads and converts.
+
+/// A vertex identifier.
+pub type NodeId = u32;
+
+/// An unweighted directed edge list over `num_nodes` vertices.
+///
+/// This is the simulated equivalent of a GAPBS `.sg` file: the generator
+/// writes one, the loader streams it through the page cache, and the
+/// builder converts it to CSR.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EdgeList {
+    /// Number of vertices (`2^scale` for generated graphs).
+    pub num_nodes: usize,
+    /// Directed edges `(src, dst)`.
+    pub edges: Vec<(NodeId, NodeId)>,
+}
+
+impl EdgeList {
+    /// Creates an edge list, validating that endpoints are in range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any endpoint is `>= num_nodes`.
+    pub fn new(num_nodes: usize, edges: Vec<(NodeId, NodeId)>) -> Self {
+        for &(u, v) in &edges {
+            assert!(
+                (u as usize) < num_nodes && (v as usize) < num_nodes,
+                "edge ({u}, {v}) out of range for {num_nodes} nodes"
+            );
+        }
+        EdgeList { num_nodes, edges }
+    }
+
+    /// Number of directed edges.
+    pub fn len(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Returns `true` if there are no edges.
+    pub fn is_empty(&self) -> bool {
+        self.edges.is_empty()
+    }
+
+    /// Size in bytes of the serialized form (8 bytes per edge), used to
+    /// model the graph file the loader reads through the page cache.
+    pub fn serialized_bytes(&self) -> u64 {
+        self.edges.len() as u64 * 8
+    }
+
+    /// Removes self-loops in place (GAPBS builder squish step).
+    pub fn remove_self_loops(&mut self) {
+        self.edges.retain(|&(u, v)| u != v);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_validates_endpoints() {
+        let el = EdgeList::new(4, vec![(0, 1), (3, 2)]);
+        assert_eq!(el.len(), 2);
+        assert_eq!(el.serialized_bytes(), 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_edge_panics() {
+        let _ = EdgeList::new(2, vec![(0, 2)]);
+    }
+
+    #[test]
+    fn self_loop_removal() {
+        let mut el = EdgeList::new(3, vec![(0, 0), (0, 1), (2, 2)]);
+        el.remove_self_loops();
+        assert_eq!(el.edges, vec![(0, 1)]);
+        assert!(!el.is_empty());
+    }
+}

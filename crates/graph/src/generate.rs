@@ -1,0 +1,280 @@
+//! Synthetic graph generators: Kronecker (`-g`) and uniform random (`-u`),
+//! matching the GAPBS converter's datasets used by the paper (`kron` and
+//! `urand`).
+
+use crate::edgelist::{EdgeList, NodeId};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Kronecker (RMAT) generator with the Graph500/GAPBS parameters
+/// A=0.57, B=0.19, C=0.19.
+///
+/// `scale` gives `2^scale` vertices; `degree` gives `degree × 2^scale`
+/// edges (GAPBS `-k`, default 16). Vertex labels are permuted so that the
+/// heavy-hitter vertices are not clustered at low ids, as GAPBS does.
+///
+/// # Examples
+///
+/// ```
+/// use tiersim_graph::KroneckerGenerator;
+///
+/// let el = KroneckerGenerator::new(8, 4).seed(1).generate();
+/// assert_eq!(el.num_nodes, 256);
+/// assert_eq!(el.len(), 4 * 256);
+/// ```
+#[derive(Debug, Clone)]
+pub struct KroneckerGenerator {
+    scale: u32,
+    degree: usize,
+    seed: u64,
+    a: f64,
+    b: f64,
+    c: f64,
+}
+
+impl KroneckerGenerator {
+    /// Creates a generator for `2^scale` vertices with average `degree`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scale` is 0 or greater than 31.
+    pub fn new(scale: u32, degree: usize) -> Self {
+        assert!((1..=31).contains(&scale), "scale must be in 1..=31");
+        KroneckerGenerator { scale, degree, seed: 27491095, a: 0.57, b: 0.19, c: 0.19 }
+    }
+
+    /// Sets the RNG seed (consuming builder style).
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Generates the edge list.
+    pub fn generate(&self) -> EdgeList {
+        let n = 1usize << self.scale;
+        let num_edges = self.degree * n;
+        let mut rng = SmallRng::seed_from_u64(self.seed);
+        // Label permutation (Fisher–Yates) applied to generated vertices.
+        let mut perm: Vec<NodeId> = (0..n as NodeId).collect();
+        for i in (1..n).rev() {
+            let j = rng.gen_range(0..=i);
+            perm.swap(i, j);
+        }
+        let mut edges = Vec::with_capacity(num_edges);
+        for _ in 0..num_edges {
+            let (mut u, mut v) = (0usize, 0usize);
+            for _ in 0..self.scale {
+                u <<= 1;
+                v <<= 1;
+                let r: f64 = rng.gen();
+                if r < self.a {
+                    // quadrant A: (0, 0)
+                } else if r < self.a + self.b {
+                    v |= 1; // B: (0, 1)
+                } else if r < self.a + self.b + self.c {
+                    u |= 1; // C: (1, 0)
+                } else {
+                    u |= 1;
+                    v |= 1; // D: (1, 1)
+                }
+            }
+            edges.push((perm[u], perm[v]));
+        }
+        EdgeList::new(n, edges)
+    }
+}
+
+/// Uniform-random (Erdős–Rényi-style) generator: GAPBS `-u`.
+///
+/// # Examples
+///
+/// ```
+/// use tiersim_graph::UniformGenerator;
+///
+/// let el = UniformGenerator::new(8, 4).seed(7).generate();
+/// assert_eq!(el.num_nodes, 256);
+/// assert_eq!(el.len(), 1024);
+/// ```
+#[derive(Debug, Clone)]
+pub struct UniformGenerator {
+    scale: u32,
+    degree: usize,
+    seed: u64,
+}
+
+impl UniformGenerator {
+    /// Creates a generator for `2^scale` vertices with average `degree`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scale` is 0 or greater than 31.
+    pub fn new(scale: u32, degree: usize) -> Self {
+        assert!((1..=31).contains(&scale), "scale must be in 1..=31");
+        UniformGenerator { scale, degree, seed: 27491095 }
+    }
+
+    /// Sets the RNG seed (consuming builder style).
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Generates the edge list.
+    pub fn generate(&self) -> EdgeList {
+        let n = 1u64 << self.scale;
+        let num_edges = self.degree * (n as usize);
+        let mut rng = SmallRng::seed_from_u64(self.seed);
+        let edges = (0..num_edges)
+            .map(|_| (rng.gen_range(0..n) as NodeId, rng.gen_range(0..n) as NodeId))
+            .collect();
+        EdgeList::new(n as usize, edges)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn generators_are_deterministic() {
+        let a = KroneckerGenerator::new(8, 8).seed(3).generate();
+        let b = KroneckerGenerator::new(8, 8).seed(3).generate();
+        assert_eq!(a, b);
+        let c = KroneckerGenerator::new(8, 8).seed(4).generate();
+        assert_ne!(a, c);
+        let u1 = UniformGenerator::new(8, 8).seed(3).generate();
+        let u2 = UniformGenerator::new(8, 8).seed(3).generate();
+        assert_eq!(u1, u2);
+    }
+
+    #[test]
+    fn kron_is_skewed_uniform_is_not() {
+        // Degree concentration: top 1% of vertices should hold far more
+        // edge endpoints in kron than in urand.
+        let top_share = |el: &EdgeList| {
+            let mut deg: HashMap<NodeId, u64> = HashMap::new();
+            for &(u, v) in &el.edges {
+                *deg.entry(u).or_insert(0) += 1;
+                *deg.entry(v).or_insert(0) += 1;
+            }
+            let mut counts: Vec<u64> = deg.values().copied().collect();
+            counts.sort_unstable_by(|a, b| b.cmp(a));
+            let top = el.num_nodes / 100 + 1;
+            let top_sum: u64 = counts.iter().take(top).sum();
+            top_sum as f64 / (2 * el.len()) as f64
+        };
+        let kron = KroneckerGenerator::new(10, 16).seed(1).generate();
+        let urand = UniformGenerator::new(10, 16).seed(1).generate();
+        assert!(
+            top_share(&kron) > 2.0 * top_share(&urand),
+            "kron {:.3} should be much more skewed than urand {:.3}",
+            top_share(&kron),
+            top_share(&urand)
+        );
+    }
+
+    #[test]
+    fn endpoints_in_range() {
+        for el in [
+            KroneckerGenerator::new(6, 4).generate(),
+            UniformGenerator::new(6, 4).generate(),
+        ] {
+            assert!(el.edges.iter().all(|&(u, v)| (u as usize) < 64 && (v as usize) < 64));
+        }
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn prop_edge_counts_match_parameters(scale in 3u32..10, degree in 1usize..8, seed in 0u64..1000) {
+            let el = UniformGenerator::new(scale, degree).seed(seed).generate();
+            proptest::prop_assert_eq!(el.num_nodes, 1 << scale);
+            proptest::prop_assert_eq!(el.len(), degree << scale);
+        }
+    }
+}
+
+/// 2D-grid ("road-like") generator: vertices form a `w × h` lattice with
+/// edges to the right and down neighbors. Unlike kron/urand this graph has
+/// strong spatial locality and a long diameter — the contrast dataset for
+/// studying how much of the paper's findings stem from access
+/// *irregularity* (the paper excludes the real `road` input only because
+/// its footprint was too small for their machine).
+///
+/// # Examples
+///
+/// ```
+/// use tiersim_graph::GridGenerator;
+///
+/// let el = GridGenerator::new(4).generate(); // 2^4 = 16 vertices, 4x4
+/// assert_eq!(el.num_nodes, 16);
+/// assert_eq!(el.len(), 2 * 4 * 3); // 2 · w · (w - 1) lattice edges
+/// ```
+#[derive(Debug, Clone)]
+pub struct GridGenerator {
+    scale: u32,
+}
+
+impl GridGenerator {
+    /// Creates a generator for a lattice of `2^scale` vertices (`scale`
+    /// must be even so the lattice is square).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scale` is odd, zero, or greater than 30.
+    pub fn new(scale: u32) -> Self {
+        assert!(scale >= 2 && scale <= 30, "scale must be in 2..=30");
+        assert!(scale % 2 == 0, "grid scale must be even (square lattice)");
+        GridGenerator { scale }
+    }
+
+    /// Generates the lattice edge list (deterministic; no RNG involved).
+    pub fn generate(&self) -> EdgeList {
+        let w = 1usize << (self.scale / 2);
+        let n = w * w;
+        let mut edges = Vec::with_capacity(2 * w * (w - 1));
+        for y in 0..w {
+            for x in 0..w {
+                let u = (y * w + x) as NodeId;
+                if x + 1 < w {
+                    edges.push((u, u + 1));
+                }
+                if y + 1 < w {
+                    edges.push((u, u + w as NodeId));
+                }
+            }
+        }
+        EdgeList::new(n, edges)
+    }
+}
+
+#[cfg(test)]
+mod grid_tests {
+    use super::*;
+
+    #[test]
+    fn lattice_shape() {
+        let el = GridGenerator::new(6).generate(); // 8x8
+        assert_eq!(el.num_nodes, 64);
+        assert_eq!(el.len(), 2 * 8 * 7);
+        // Corner vertex 0 connects right (1) and down (8) only.
+        let deg0 = el.edges.iter().filter(|&&(u, v)| u == 0 || v == 0).count();
+        assert_eq!(deg0, 2);
+    }
+
+    #[test]
+    fn grid_is_connected() {
+        let el = GridGenerator::new(6).generate();
+        let g = crate::csr::CsrGraph::from_edges(&el, true);
+        let comp = crate::reference::cc_ref(&g);
+        assert!(comp.iter().all(|&c| c == 0), "a lattice is one component");
+    }
+
+    #[test]
+    #[should_panic(expected = "even")]
+    fn odd_scale_rejected() {
+        let _ = GridGenerator::new(7);
+    }
+}

@@ -1,0 +1,229 @@
+//! Host-speed reference implementations used as verification oracles.
+
+use crate::csr::CsrGraph;
+use crate::edgelist::NodeId;
+use std::collections::{BinaryHeap, VecDeque};
+
+/// BFS distances from `source` (`-1` = unreachable).
+pub fn bfs_ref(g: &CsrGraph, source: NodeId) -> Vec<i32> {
+    let mut dist = vec![-1i32; g.num_nodes()];
+    dist[source as usize] = 0;
+    let mut q = VecDeque::from([source]);
+    while let Some(u) = q.pop_front() {
+        for &v in g.neighbors(u) {
+            if dist[v as usize] == -1 {
+                dist[v as usize] = dist[u as usize] + 1;
+                q.push_back(v);
+            }
+        }
+    }
+    dist
+}
+
+/// Brandes betweenness-centrality contributions accumulated over the given
+/// sources (unnormalized, matching the simulated kernel).
+pub fn bc_ref(g: &CsrGraph, sources: &[NodeId]) -> Vec<f64> {
+    let n = g.num_nodes();
+    let mut scores = vec![0.0f64; n];
+    for &s in sources {
+        let mut depth = vec![-1i32; n];
+        let mut sigma = vec![0.0f64; n];
+        let mut delta = vec![0.0f64; n];
+        let mut stack: Vec<NodeId> = Vec::new();
+        depth[s as usize] = 0;
+        sigma[s as usize] = 1.0;
+        let mut q = VecDeque::from([s]);
+        while let Some(u) = q.pop_front() {
+            stack.push(u);
+            for &v in g.neighbors(u) {
+                if depth[v as usize] == -1 {
+                    depth[v as usize] = depth[u as usize] + 1;
+                    q.push_back(v);
+                }
+                if depth[v as usize] == depth[u as usize] + 1 {
+                    sigma[v as usize] += sigma[u as usize];
+                }
+            }
+        }
+        for &w in stack.iter().rev() {
+            for &v in g.neighbors(w) {
+                if depth[v as usize] == depth[w as usize] - 1 {
+                    delta[v as usize] +=
+                        sigma[v as usize] / sigma[w as usize] * (1.0 + delta[w as usize]);
+                }
+            }
+            if w != s {
+                scores[w as usize] += delta[w as usize];
+            }
+        }
+    }
+    scores
+}
+
+/// Connected-component labels via union-find (labels are canonical: the
+/// minimum vertex id in each component).
+pub fn cc_ref(g: &CsrGraph) -> Vec<NodeId> {
+    let n = g.num_nodes();
+    let mut parent: Vec<u32> = (0..n as u32).collect();
+    fn find(parent: &mut [u32], mut x: u32) -> u32 {
+        while parent[x as usize] != x {
+            parent[x as usize] = parent[parent[x as usize] as usize];
+            x = parent[x as usize];
+        }
+        x
+    }
+    for u in 0..n as u32 {
+        for &v in g.neighbors(u) {
+            let (ru, rv) = (find(&mut parent, u), find(&mut parent, v));
+            if ru != rv {
+                let (lo, hi) = if ru < rv { (ru, rv) } else { (rv, ru) };
+                parent[hi as usize] = lo;
+            }
+        }
+    }
+    (0..n as u32).map(|u| find(&mut parent, u)).collect()
+}
+
+/// PageRank scores: pull iteration with damping `d`, run for exactly
+/// `max_iters` iterations or until the L1 error drops below `tol`.
+pub fn pr_ref(g: &CsrGraph, d: f64, tol: f64, max_iters: usize) -> Vec<f64> {
+    let n = g.num_nodes();
+    let base = (1.0 - d) / n as f64;
+    let mut scores = vec![1.0 / n as f64; n];
+    let mut contrib = vec![0.0f64; n];
+    for _ in 0..max_iters {
+        for u in 0..n {
+            let deg = g.degree(u as u32);
+            contrib[u] = if deg > 0 { scores[u] / deg as f64 } else { 0.0 };
+        }
+        let mut err = 0.0;
+        for u in 0..n as u32 {
+            let sum: f64 = g.neighbors(u).iter().map(|&v| contrib[v as usize]).sum();
+            let new = base + d * sum;
+            err += (new - scores[u as usize]).abs();
+            scores[u as usize] = new;
+        }
+        if err < tol {
+            break;
+        }
+    }
+    scores
+}
+
+/// Dijkstra shortest-path distances over `weights` aligned with the
+/// graph's neighbor array (`u64::MAX` = unreachable).
+pub fn sssp_ref(g: &CsrGraph, weights: &[u32], source: NodeId) -> Vec<u64> {
+    assert_eq!(weights.len(), g.num_edges(), "weights must align with neighbors");
+    let n = g.num_nodes();
+    let mut dist = vec![u64::MAX; n];
+    dist[source as usize] = 0;
+    let mut heap: BinaryHeap<std::cmp::Reverse<(u64, NodeId)>> = BinaryHeap::new();
+    heap.push(std::cmp::Reverse((0, source)));
+    while let Some(std::cmp::Reverse((du, u))) = heap.pop() {
+        if du > dist[u as usize] {
+            continue;
+        }
+        let start = g.offsets()[u as usize] as usize;
+        for (i, &v) in g.neighbors(u).iter().enumerate() {
+            let nd = du + weights[start + i] as u64;
+            if nd < dist[v as usize] {
+                dist[v as usize] = nd;
+                heap.push(std::cmp::Reverse((nd, v)));
+            }
+        }
+    }
+    dist
+}
+
+/// Triangle count over a graph with sorted, deduplicated neighbor lists
+/// (host-speed oracle for the simulated `tc`).
+pub fn tc_ref(g: &CsrGraph) -> u64 {
+    let mut total = 0u64;
+    for u in 0..g.num_nodes() as NodeId {
+        for &v in g.neighbors(u) {
+            if v <= u {
+                continue;
+            }
+            let (mut a, mut b) = (g.neighbors(u).iter(), g.neighbors(v).iter());
+            let (mut x, mut y) = (a.next(), b.next());
+            while let (Some(&xv), Some(&yv)) = (x, y) {
+                match xv.cmp(&yv) {
+                    std::cmp::Ordering::Less => x = a.next(),
+                    std::cmp::Ordering::Greater => y = b.next(),
+                    std::cmp::Ordering::Equal => {
+                        if xv > v {
+                            total += 1;
+                        }
+                        x = a.next();
+                        y = b.next();
+                    }
+                }
+            }
+        }
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::edgelist::EdgeList;
+
+    /// Path 0-1-2-3 plus isolated vertex 4.
+    fn path() -> CsrGraph {
+        CsrGraph::from_edges(&EdgeList::new(5, vec![(0, 1), (1, 2), (2, 3)]), true)
+    }
+
+    #[test]
+    fn bfs_distances_on_path() {
+        let d = bfs_ref(&path(), 0);
+        assert_eq!(d, vec![0, 1, 2, 3, -1]);
+    }
+
+    #[test]
+    fn bc_on_path_peaks_in_middle() {
+        let g = path();
+        let sources: Vec<NodeId> = (0..4).collect();
+        let s = bc_ref(&g, &sources);
+        // On a path, interior vertices carry all shortest paths.
+        assert!(s[1] > s[0]);
+        assert!(s[2] > s[3]);
+        assert_eq!(s[4], 0.0);
+        // Symmetric path: ends equal, middles equal.
+        assert!((s[1] - s[2]).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cc_labels_components() {
+        let g = CsrGraph::from_edges(&EdgeList::new(6, vec![(0, 1), (1, 2), (4, 5)]), true);
+        let c = cc_ref(&g);
+        assert_eq!(c[0], c[1]);
+        assert_eq!(c[1], c[2]);
+        assert_eq!(c[4], c[5]);
+        assert_ne!(c[0], c[4]);
+        assert_ne!(c[3], c[0]);
+        assert_eq!(c[0], 0); // canonical min label
+        assert_eq!(c[4], 4);
+    }
+
+    #[test]
+    fn pr_sums_to_one_on_connected_graph() {
+        let g = CsrGraph::from_edges(&EdgeList::new(4, vec![(0, 1), (1, 2), (2, 3), (3, 0)]), true);
+        let s = pr_ref(&g, 0.85, 1e-10, 100);
+        let sum: f64 = s.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-6, "sum {sum}");
+        // Symmetric ring: all equal.
+        assert!(s.windows(2).all(|w| (w[0] - w[1]).abs() < 1e-9));
+    }
+
+    #[test]
+    fn sssp_respects_weights() {
+        // 0→1 (w=10), 0→2 (w=1), 2→1 (w=2): shortest 0→1 is 3 via 2.
+        let el = EdgeList::new(3, vec![(0, 1), (0, 2), (2, 1)]);
+        let g = CsrGraph::from_edges(&el, false);
+        // neighbor array order: offsets by source: 0:[1,2], 2:[1]
+        let weights = vec![10, 1, 2];
+        let d = sssp_ref(&g, &weights, 0);
+        assert_eq!(d, vec![0, 3, 1]);
+    }
+}

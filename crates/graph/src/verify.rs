@@ -1,0 +1,156 @@
+//! One-call verification of simulated kernel results against the host
+//! oracles (GAPBS ships analogous `-v` verifiers for every kernel).
+
+use crate::csr::CsrGraph;
+use crate::edgelist::NodeId;
+use crate::reference;
+
+/// Outcome of a verification, carrying a human-readable mismatch report.
+pub type VerifyResult = Result<(), String>;
+
+/// Verifies BFS distances against the reference oracle.
+///
+/// # Examples
+///
+/// ```
+/// use tiersim_graph::{build_sim_csr, bfs, verify, BfsParams, EdgeList};
+/// use tiersim_mem::NullBackend;
+///
+/// let el = EdgeList::new(3, vec![(0, 1), (1, 2)]);
+/// let mut b = NullBackend::new();
+/// let g = build_sim_csr(&mut b, &el, true, 1);
+/// let r = bfs(&mut b, &g, 0, 1, BfsParams::default());
+/// verify::bfs(&g.to_host_csr(), 0, r.dist.host()).unwrap();
+/// ```
+pub fn bfs(host: &CsrGraph, source: NodeId, dist: &[i32]) -> VerifyResult {
+    let expected = reference::bfs_ref(host, source);
+    if dist == expected.as_slice() {
+        return Ok(());
+    }
+    let first = dist
+        .iter()
+        .zip(&expected)
+        .position(|(a, b)| a != b)
+        .expect("some mismatch exists");
+    Err(format!(
+        "bfs mismatch at vertex {first}: got {}, expected {}",
+        dist[first], expected[first]
+    ))
+}
+
+/// Verifies BC scores (within floating-point tolerance) against Brandes
+/// on the host.
+pub fn bc(host: &CsrGraph, sources: &[NodeId], scores: &[f64]) -> VerifyResult {
+    let expected = reference::bc_ref(host, sources);
+    for (v, (got, want)) in scores.iter().zip(&expected).enumerate() {
+        if (got - want).abs() > 1e-6 * (1.0 + want.abs()) {
+            return Err(format!("bc mismatch at vertex {v}: got {got}, expected {want}"));
+        }
+    }
+    Ok(())
+}
+
+/// Verifies connected-component labels: the partition (not the label
+/// values) must match union-find on the host.
+pub fn cc(host: &CsrGraph, labels: &[NodeId]) -> VerifyResult {
+    let canonical = crate::algo::canonicalize(labels);
+    let expected = reference::cc_ref(host);
+    if canonical == expected {
+        return Ok(());
+    }
+    let first = canonical
+        .iter()
+        .zip(&expected)
+        .position(|(a, b)| a != b)
+        .expect("some mismatch exists");
+    Err(format!(
+        "cc mismatch at vertex {first}: component {} vs expected {}",
+        canonical[first], expected[first]
+    ))
+}
+
+/// Verifies PageRank scores against the host oracle run with the same
+/// parameters.
+pub fn pr(host: &CsrGraph, damping: f64, tol: f64, iters: usize, scores: &[f64]) -> VerifyResult {
+    let expected = reference::pr_ref(host, damping, tol, iters);
+    for (v, (got, want)) in scores.iter().zip(&expected).enumerate() {
+        if (got - want).abs() > 1e-9 {
+            return Err(format!("pr mismatch at vertex {v}: got {got}, expected {want}"));
+        }
+    }
+    Ok(())
+}
+
+/// Verifies SSSP distances against Dijkstra on the host.
+pub fn sssp(host: &CsrGraph, weights: &[u32], source: NodeId, dist: &[u64]) -> VerifyResult {
+    let expected = reference::sssp_ref(host, weights, source);
+    if dist == expected.as_slice() {
+        return Ok(());
+    }
+    let first = dist
+        .iter()
+        .zip(&expected)
+        .position(|(a, b)| a != b)
+        .expect("some mismatch exists");
+    Err(format!(
+        "sssp mismatch at vertex {first}: got {}, expected {}",
+        dist[first], expected[first]
+    ))
+}
+
+/// Verifies a triangle count against the host oracle.
+pub fn tc(host: &CsrGraph, count: u64) -> VerifyResult {
+    let expected = reference::tc_ref(host);
+    if count == expected {
+        Ok(())
+    } else {
+        Err(format!("tc mismatch: got {count}, expected {expected}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algo::{self, BfsParams};
+    use crate::builder::{build_sim_csr, build_sim_weights};
+    use crate::edgelist::EdgeList;
+    use crate::generate::UniformGenerator;
+    use tiersim_mem::NullBackend;
+
+    #[test]
+    fn all_kernels_verify_on_a_random_graph() {
+        let el = UniformGenerator::new(7, 6).seed(3).generate();
+        let mut b = NullBackend::new();
+        let g = build_sim_csr(&mut b, &el, true, 3);
+        let host = g.to_host_csr();
+
+        let r = algo::bfs(&mut b, &g, 5, 3, BfsParams::default());
+        bfs(&host, 5, r.dist.host()).unwrap();
+
+        let scores = algo::bc(&mut b, &g, &[5, 9], 3);
+        bc(&host, &[5, 9], scores.host()).unwrap();
+
+        let labels = algo::cc_sv(&mut b, &g, 3);
+        cc(&host, labels.host()).unwrap();
+
+        let p = algo::pr(&mut b, &g, crate::algo::PrParams::default(), 3);
+        pr(&host, 0.85, 1e-4, 20, p.host()).unwrap();
+
+        let w = build_sim_weights(&mut b, &g, 3);
+        let d = algo::sssp(&mut b, &g, &w, 5, 16, 3);
+        sssp(&host, w.host(), 5, d.host()).unwrap();
+    }
+
+    #[test]
+    fn mismatches_are_reported_with_context() {
+        let el = EdgeList::new(3, vec![(0, 1), (1, 2)]);
+        let host = CsrGraph::from_edges(&el, true);
+        let err = bfs(&host, 0, &[0, 1, 99]).unwrap_err();
+        assert!(err.contains("vertex 2"), "{err}");
+        assert!(err.contains("99"));
+        let err = cc(&host, &[0, 0, 1]).unwrap_err();
+        assert!(err.contains("mismatch"));
+        let err = tc(&host, 7).unwrap_err();
+        assert!(err.contains("expected 0"));
+    }
+}

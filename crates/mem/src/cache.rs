@@ -1,0 +1,300 @@
+//! Generic set-associative cache with true-LRU replacement.
+
+use crate::config::CacheGeometry;
+
+/// Result of a cache lookup-with-fill.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheOutcome {
+    /// The line was present.
+    Hit,
+    /// The line was absent and has been filled. If the victim way held a
+    /// dirty line, its line number is reported so the caller can write it
+    /// back to the next level.
+    Miss {
+        /// Dirty victim evicted by the fill, if any.
+        writeback: Option<u64>,
+    },
+}
+
+impl CacheOutcome {
+    /// Returns `true` on a hit.
+    #[inline]
+    pub fn is_hit(self) -> bool {
+        matches!(self, CacheOutcome::Hit)
+    }
+}
+
+/// Hit/miss counters for one cache.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct CacheStats {
+    /// Number of lookups that hit.
+    pub hits: u64,
+    /// Number of lookups that missed.
+    pub misses: u64,
+    /// Number of dirty victims evicted.
+    pub writebacks: u64,
+}
+
+impl CacheStats {
+    /// Total number of lookups.
+    pub fn lookups(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Hit ratio in `[0, 1]`; `0` if there were no lookups.
+    pub fn hit_ratio(&self) -> f64 {
+        if self.lookups() == 0 { 0.0 } else { self.hits as f64 / self.lookups() as f64 }
+    }
+}
+
+/// A set-associative, write-back, write-allocate cache over 64-byte lines.
+///
+/// Tags are full line numbers, so the cache can be indexed with simulated
+/// virtual line numbers directly (the simulator has a single address space,
+/// so there is no aliasing). Replacement is true LRU per set.
+///
+/// # Examples
+///
+/// ```
+/// use tiersim_mem::{CacheGeometry, SetAssocCache};
+///
+/// let mut c = SetAssocCache::new(CacheGeometry { capacity: 4096, ways: 2, latency: 4 });
+/// assert!(!c.access(7, false).is_hit()); // cold miss
+/// assert!(c.access(7, false).is_hit());  // now cached
+/// ```
+#[derive(Debug, Clone)]
+pub struct SetAssocCache {
+    geometry: CacheGeometry,
+    ways: usize,
+    set_mask: u64,
+    /// Tag per (set, way); `u64::MAX` marks an invalid way.
+    tags: Vec<u64>,
+    /// LRU age per (set, way); 0 is most recently used.
+    ages: Vec<u8>,
+    dirty: Vec<bool>,
+    stats: CacheStats,
+}
+
+const INVALID: u64 = u64::MAX;
+
+impl SetAssocCache {
+    /// Creates a cache with the given geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry is inconsistent (use
+    /// [`CacheGeometry`] values validated by
+    /// [`MemConfig::validate`](crate::MemConfig::validate)) or if
+    /// associativity exceeds 255.
+    pub fn new(geometry: CacheGeometry) -> Self {
+        let sets = geometry.sets();
+        let ways = geometry.ways;
+        assert!(sets.is_power_of_two(), "set count must be a power of two");
+        assert!((1..=255).contains(&ways), "associativity must be in 1..=255");
+        SetAssocCache {
+            geometry,
+            ways,
+            set_mask: sets as u64 - 1,
+            tags: vec![INVALID; sets * ways],
+            ages: vec![0; sets * ways],
+            dirty: vec![false; sets * ways],
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// The geometry this cache was built with.
+    pub fn geometry(&self) -> CacheGeometry {
+        self.geometry
+    }
+
+    /// Hit latency in cycles.
+    #[inline]
+    pub fn latency(&self) -> u64 {
+        self.geometry.latency
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Resets the statistics (contents are kept).
+    pub fn reset_stats(&mut self) {
+        self.stats = CacheStats::default();
+    }
+
+    #[inline]
+    fn set_of(&self, line: u64) -> usize {
+        (line & self.set_mask) as usize
+    }
+
+    /// Looks up `line`; on a miss the line is filled, evicting the LRU way.
+    ///
+    /// `write` marks the line dirty (write-allocate, write-back).
+    pub fn access(&mut self, line: u64, write: bool) -> CacheOutcome {
+        debug_assert_ne!(line, INVALID);
+        let set = self.set_of(line);
+        let base = set * self.ways;
+        let ways = &mut self.tags[base..base + self.ways];
+
+        // Hit path.
+        if let Some(w) = ways.iter().position(|&t| t == line) {
+            self.touch(base, w);
+            if write {
+                self.dirty[base + w] = true;
+            }
+            self.stats.hits += 1;
+            return CacheOutcome::Hit;
+        }
+
+        // Miss: pick victim = invalid way if any, else LRU (max age).
+        self.stats.misses += 1;
+        let victim = (0..self.ways)
+            .find(|&w| self.tags[base + w] == INVALID)
+            .unwrap_or_else(|| {
+                (0..self.ways).max_by_key(|&w| self.ages[base + w]).expect("ways >= 1")
+            });
+        let idx = base + victim;
+        let writeback = if self.tags[idx] != INVALID && self.dirty[idx] {
+            self.stats.writebacks += 1;
+            Some(self.tags[idx])
+        } else {
+            None
+        };
+        self.tags[idx] = line;
+        self.dirty[idx] = write;
+        self.fill_touch(base, victim);
+        CacheOutcome::Miss { writeback }
+    }
+
+    /// Returns `true` if `line` is present, without disturbing LRU state.
+    pub fn probe(&self, line: u64) -> bool {
+        let set = self.set_of(line);
+        let base = set * self.ways;
+        self.tags[base..base + self.ways].contains(&line)
+    }
+
+    /// Marks `line` dirty if present (used to propagate dirtiness from an
+    /// evicted upper-level line). Returns `true` if the line was present.
+    pub fn mark_dirty(&mut self, line: u64) -> bool {
+        let set = self.set_of(line);
+        let base = set * self.ways;
+        if let Some(w) = self.tags[base..base + self.ways].iter().position(|&t| t == line) {
+            self.dirty[base + w] = true;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Moves way `w` of the set at `base` to MRU position after a hit.
+    #[inline]
+    fn touch(&mut self, base: usize, w: usize) {
+        let cur = self.ages[base + w];
+        for age in &mut self.ages[base..base + self.ways] {
+            if *age < cur {
+                *age += 1;
+            }
+        }
+        self.ages[base + w] = 0;
+    }
+
+    /// Moves a freshly filled way to MRU position: unlike [`Self::touch`],
+    /// every other way ages (a new line is younger than all of them).
+    #[inline]
+    fn fill_touch(&mut self, base: usize, w: usize) {
+        for age in &mut self.ages[base..base + self.ways] {
+            *age = age.saturating_add(1);
+        }
+        self.ages[base + w] = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny(ways: usize, sets: usize) -> SetAssocCache {
+        SetAssocCache::new(CacheGeometry {
+            capacity: (ways * sets) as u64 * 64,
+            ways,
+            latency: 1,
+        })
+    }
+
+    #[test]
+    fn cold_miss_then_hit() {
+        let mut c = tiny(2, 2);
+        assert!(!c.access(10, false).is_hit());
+        assert!(c.access(10, false).is_hit());
+        assert_eq!(c.stats().hits, 1);
+        assert_eq!(c.stats().misses, 1);
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let mut c = tiny(2, 1);
+        c.access(0, false);
+        c.access(1, false);
+        c.access(0, false); // 1 is now LRU
+        c.access(2, false); // evicts 1
+        assert!(c.probe(0));
+        assert!(!c.probe(1));
+        assert!(c.probe(2));
+    }
+
+    #[test]
+    fn dirty_eviction_reports_writeback() {
+        let mut c = tiny(1, 1);
+        c.access(5, true);
+        match c.access(6, false) {
+            CacheOutcome::Miss { writeback } => assert_eq!(writeback, Some(5)),
+            CacheOutcome::Hit => panic!("expected miss"),
+        }
+        assert_eq!(c.stats().writebacks, 1);
+    }
+
+    #[test]
+    fn clean_eviction_has_no_writeback() {
+        let mut c = tiny(1, 1);
+        c.access(5, false);
+        match c.access(6, false) {
+            CacheOutcome::Miss { writeback } => assert_eq!(writeback, None),
+            CacheOutcome::Hit => panic!("expected miss"),
+        }
+    }
+
+    #[test]
+    fn lines_map_to_distinct_sets() {
+        let mut c = tiny(1, 4);
+        for line in 0..4 {
+            c.access(line, false);
+        }
+        for line in 0..4 {
+            assert!(c.probe(line));
+        }
+    }
+
+    #[test]
+    fn mark_dirty_propagates() {
+        let mut c = tiny(1, 1);
+        c.access(9, false);
+        assert!(c.mark_dirty(9));
+        match c.access(10, false) {
+            CacheOutcome::Miss { writeback } => assert_eq!(writeback, Some(9)),
+            CacheOutcome::Hit => panic!("expected miss"),
+        }
+        assert!(!c.mark_dirty(42));
+    }
+
+    #[test]
+    fn hit_ratio() {
+        let mut c = tiny(2, 2);
+        c.access(1, false);
+        c.access(1, false);
+        c.access(1, false);
+        c.access(1, false);
+        assert!((c.stats().hit_ratio() - 0.75).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,187 @@
+//! DRAM device model with per-bank open-row buffers.
+
+use crate::config::DramTimings;
+
+/// Per-device traffic counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct DeviceStats {
+    /// Read requests served.
+    pub reads: u64,
+    /// Write requests served (cache write-backs, migrations).
+    pub writes: u64,
+    /// Read requests that hit the device's internal buffer (open row for
+    /// DRAM, XPBuffer block for NVM).
+    pub read_buffer_hits: u64,
+    /// Write requests that hit the internal buffer.
+    pub write_buffer_hits: u64,
+    /// Total cycles spent in read latency.
+    pub read_cycles: u64,
+    /// Total cycles of write latency (posted; not on the critical path).
+    pub write_cycles: u64,
+}
+
+impl DeviceStats {
+    /// Bytes read (64 B per request).
+    pub fn bytes_read(&self) -> u64 {
+        self.reads * crate::addr::LINE_SIZE
+    }
+
+    /// Bytes written (64 B per request).
+    pub fn bytes_written(&self) -> u64 {
+        self.writes * crate::addr::LINE_SIZE
+    }
+}
+
+/// DRAM latency model: open-row policy with one row buffer per bank.
+///
+/// Consecutive accesses to the same DRAM row hit the open row and are
+/// served at `read_hit`; switching rows costs `read_miss` (precharge +
+/// activate). This yields the sequential-vs-random latency spread measured
+/// for DRAM in the paper's background (§2.1).
+///
+/// # Examples
+///
+/// ```
+/// use tiersim_mem::{DramModel, DramTimings};
+///
+/// let t = DramTimings {
+///     banks: 2, row_bytes: 4096,
+///     read_hit: 160, read_miss: 245, write_hit: 160, write_miss: 245,
+/// };
+/// let mut d = DramModel::new(t);
+/// let first = d.read(0);       // row miss
+/// let second = d.read(64);     // same row: hit
+/// assert!(first > second);
+/// ```
+#[derive(Debug, Clone)]
+pub struct DramModel {
+    timings: DramTimings,
+    row_shift: u32,
+    /// Open row per bank; `u64::MAX` = closed.
+    open_rows: Vec<u64>,
+    stats: DeviceStats,
+}
+
+impl DramModel {
+    /// Creates a DRAM model with the given timings.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row_bytes` is not a power of two or `banks == 0`
+    /// (validated configurations never do).
+    pub fn new(timings: DramTimings) -> Self {
+        assert!(timings.row_bytes.is_power_of_two());
+        assert!(timings.banks > 0);
+        DramModel {
+            timings,
+            row_shift: timings.row_bytes.trailing_zeros(),
+            open_rows: vec![u64::MAX; timings.banks],
+            stats: DeviceStats::default(),
+        }
+    }
+
+    #[inline]
+    fn bank_and_row(&self, addr: u64) -> (usize, u64) {
+        let row = addr >> self.row_shift;
+        // Interleave rows across banks so sequential streams engage all banks.
+        ((row % self.open_rows.len() as u64) as usize, row)
+    }
+
+    /// Serves a 64-byte read at byte address `addr`; returns the latency in
+    /// cycles.
+    pub fn read(&mut self, addr: u64) -> u64 {
+        let (bank, row) = self.bank_and_row(addr);
+        let hit = self.open_rows[bank] == row;
+        self.open_rows[bank] = row;
+        self.stats.reads += 1;
+        let cycles = if hit {
+            self.stats.read_buffer_hits += 1;
+            self.timings.read_hit
+        } else {
+            self.timings.read_miss
+        };
+        self.stats.read_cycles += cycles;
+        cycles
+    }
+
+    /// Serves a 64-byte write at byte address `addr`; returns the (posted)
+    /// latency in cycles.
+    pub fn write(&mut self, addr: u64) -> u64 {
+        let (bank, row) = self.bank_and_row(addr);
+        let hit = self.open_rows[bank] == row;
+        self.open_rows[bank] = row;
+        self.stats.writes += 1;
+        let cycles = if hit {
+            self.stats.write_buffer_hits += 1;
+            self.timings.write_hit
+        } else {
+            self.timings.write_miss
+        };
+        self.stats.write_cycles += cycles;
+        cycles
+    }
+
+    /// Accumulated traffic statistics.
+    pub fn stats(&self) -> DeviceStats {
+        self.stats
+    }
+
+    /// Resets statistics (row-buffer state kept).
+    pub fn reset_stats(&mut self) {
+        self.stats = DeviceStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> DramModel {
+        DramModel::new(DramTimings {
+            banks: 4,
+            row_bytes: 4096,
+            read_hit: 100,
+            read_miss: 200,
+            write_hit: 110,
+            write_miss: 210,
+        })
+    }
+
+    #[test]
+    fn sequential_reads_hit_open_row() {
+        let mut d = model();
+        assert_eq!(d.read(0), 200); // cold
+        assert_eq!(d.read(64), 100);
+        assert_eq!(d.read(128), 100);
+        assert_eq!(d.stats().read_buffer_hits, 2);
+    }
+
+    #[test]
+    fn row_conflict_in_same_bank_misses() {
+        let mut d = model();
+        d.read(0); // bank 0, row 0
+        // Row 4 maps to bank 0 (4 % 4 banks) — conflicts with row 0.
+        assert_eq!(d.read(4 * 4096), 200);
+    }
+
+    #[test]
+    fn different_banks_keep_rows_open() {
+        let mut d = model();
+        d.read(0); // bank 0
+        d.read(4096); // bank 1
+        assert_eq!(d.read(64), 100); // bank 0 row still open
+    }
+
+    #[test]
+    fn writes_are_counted_separately() {
+        let mut d = model();
+        d.write(0);
+        d.write(64);
+        let s = d.stats();
+        assert_eq!(s.writes, 2);
+        assert_eq!(s.reads, 0);
+        assert_eq!(s.bytes_written(), 128);
+        assert_eq!(s.write_cycles, 210 + 110);
+    }
+}

@@ -1,0 +1,116 @@
+//! Error types for the memory-system simulator.
+
+use crate::addr::{PageNum, VirtAddr};
+use crate::tier::Tier;
+use core::fmt;
+
+/// Errors produced by the memory-system simulator.
+///
+/// All public fallible operations in this crate return
+/// `Result<_, MemError>`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MemError {
+    /// An access touched an address with no mapped VMA.
+    Segfault {
+        /// The faulting address.
+        addr: VirtAddr,
+    },
+    /// A frame allocation was requested on a tier with no free capacity.
+    TierFull {
+        /// The exhausted tier.
+        tier: Tier,
+    },
+    /// Both tiers are exhausted; the simulated machine is out of memory.
+    OutOfMemory,
+    /// An operation referenced a page that is not resident.
+    PageNotResident {
+        /// The page in question.
+        page: PageNum,
+    },
+    /// An operation referenced a page that is already resident.
+    PageAlreadyResident {
+        /// The page in question.
+        page: PageNum,
+    },
+    /// `mmap` was asked for a zero-length or overflowing region.
+    InvalidLength {
+        /// The requested length in bytes.
+        len: u64,
+    },
+    /// `munmap`/`set_policy_range` referenced an address that is not the
+    /// base of (or inside) a mapped region.
+    NoSuchMapping {
+        /// The address given.
+        addr: VirtAddr,
+    },
+    /// A configuration value was rejected.
+    InvalidConfig {
+        /// Human-readable description of the offending parameter.
+        what: &'static str,
+    },
+}
+
+impl fmt::Display for MemError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MemError::Segfault { addr } => write!(f, "segmentation fault at {addr}"),
+            MemError::TierFull { tier } => write!(f, "no free frames on tier {tier}"),
+            MemError::OutOfMemory => f.write_str("simulated machine is out of memory"),
+            MemError::PageNotResident { page } => write!(f, "page {page} is not resident"),
+            MemError::PageAlreadyResident { page } => {
+                write!(f, "page {page} is already resident")
+            }
+            MemError::InvalidLength { len } => write!(f, "invalid mapping length {len}"),
+            MemError::NoSuchMapping { addr } => write!(f, "no mapping at {addr}"),
+            MemError::InvalidConfig { what } => write!(f, "invalid configuration: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for MemError {}
+
+/// Information about a page fault raised on the access path.
+///
+/// The memory system is *mechanism only*: when an access touches a
+/// non-resident page it does not place the page itself, it raises a
+/// `PageFault` so the OS model (policy) can decide the target tier —
+/// mirroring how Linux's fault handler consults the task mempolicy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PageFault {
+    /// The non-resident page that was touched.
+    pub page: PageNum,
+    /// The faulting address.
+    pub addr: VirtAddr,
+    /// The memory policy of the VMA containing the address.
+    pub policy: crate::vma::MemPolicy,
+    /// Identifier of the VMA containing the address.
+    pub vma: crate::vma::VmaId,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase_start() {
+        let errs = [
+            MemError::Segfault { addr: VirtAddr::new(0x1000) },
+            MemError::TierFull { tier: Tier::Dram },
+            MemError::OutOfMemory,
+            MemError::PageNotResident { page: PageNum::new(1) },
+            MemError::InvalidLength { len: 0 },
+        ];
+        for e in errs {
+            let s = e.to_string();
+            assert!(!s.is_empty());
+            assert!(s.chars().next().unwrap().is_lowercase());
+            assert!(!s.ends_with('.'));
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<MemError>();
+    }
+}

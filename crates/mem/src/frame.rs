@@ -1,0 +1,147 @@
+//! Physical-frame accounting per tier.
+
+use crate::addr::PAGE_SIZE;
+use crate::error::MemError;
+use crate::tier::Tier;
+
+/// Tracks frame usage for one tier.
+///
+/// The simulator does not model physical frame identity (page contents live
+/// host-side); what matters for tiering decisions is *how many* frames each
+/// tier has left, which is exactly what this allocator accounts.
+///
+/// # Examples
+///
+/// ```
+/// use tiersim_mem::{FrameAllocator, Tier};
+///
+/// let mut f = FrameAllocator::new(Tier::Dram, 2 * 4096);
+/// assert_eq!(f.free_pages(), 2);
+/// f.alloc()?;
+/// f.alloc()?;
+/// assert!(f.alloc().is_err());
+/// f.free();
+/// assert_eq!(f.free_pages(), 1);
+/// # Ok::<(), tiersim_mem::MemError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FrameAllocator {
+    tier: Tier,
+    capacity_pages: u64,
+    used_pages: u64,
+    /// High-water mark of used pages.
+    peak_pages: u64,
+}
+
+impl FrameAllocator {
+    /// Creates an allocator for `tier` with `capacity_bytes` of memory.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity_bytes` is not page aligned (validated configs
+    /// never are).
+    pub fn new(tier: Tier, capacity_bytes: u64) -> Self {
+        assert_eq!(capacity_bytes % PAGE_SIZE, 0, "capacity must be page aligned");
+        FrameAllocator {
+            tier,
+            capacity_pages: capacity_bytes / PAGE_SIZE,
+            used_pages: 0,
+            peak_pages: 0,
+        }
+    }
+
+    /// The tier this allocator manages.
+    pub fn tier(&self) -> Tier {
+        self.tier
+    }
+
+    /// Total capacity in pages.
+    pub fn capacity_pages(&self) -> u64 {
+        self.capacity_pages
+    }
+
+    /// Currently used pages.
+    pub fn used_pages(&self) -> u64 {
+        self.used_pages
+    }
+
+    /// Currently free pages.
+    pub fn free_pages(&self) -> u64 {
+        self.capacity_pages - self.used_pages
+    }
+
+    /// Highest number of pages ever in use.
+    pub fn peak_pages(&self) -> u64 {
+        self.peak_pages
+    }
+
+    /// Currently used bytes.
+    pub fn used_bytes(&self) -> u64 {
+        self.used_pages * PAGE_SIZE
+    }
+
+    /// Claims one frame.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::TierFull`] when the tier is exhausted.
+    pub fn alloc(&mut self) -> Result<(), MemError> {
+        if self.used_pages == self.capacity_pages {
+            return Err(MemError::TierFull { tier: self.tier });
+        }
+        self.used_pages += 1;
+        self.peak_pages = self.peak_pages.max(self.used_pages);
+        Ok(())
+    }
+
+    /// Releases one frame.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no frames are in use (a simulator accounting bug).
+    pub fn free(&mut self) {
+        assert!(self.used_pages > 0, "freeing a frame on an empty tier");
+        self.used_pages -= 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_until_full() {
+        let mut f = FrameAllocator::new(Tier::Nvm, 3 * PAGE_SIZE);
+        for _ in 0..3 {
+            f.alloc().unwrap();
+        }
+        assert_eq!(f.free_pages(), 0);
+        assert_eq!(f.alloc(), Err(MemError::TierFull { tier: Tier::Nvm }));
+    }
+
+    #[test]
+    fn free_returns_capacity() {
+        let mut f = FrameAllocator::new(Tier::Dram, 2 * PAGE_SIZE);
+        f.alloc().unwrap();
+        f.free();
+        assert_eq!(f.used_pages(), 0);
+        assert_eq!(f.free_pages(), 2);
+    }
+
+    #[test]
+    fn peak_tracks_high_water_mark() {
+        let mut f = FrameAllocator::new(Tier::Dram, 4 * PAGE_SIZE);
+        f.alloc().unwrap();
+        f.alloc().unwrap();
+        f.free();
+        f.alloc().unwrap();
+        assert_eq!(f.peak_pages(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "freeing a frame")]
+    fn double_free_panics() {
+        let mut f = FrameAllocator::new(Tier::Dram, PAGE_SIZE);
+        f.free();
+    }
+}

@@ -1,0 +1,157 @@
+//! Per-page metadata.
+
+use crate::tier::Tier;
+use core::fmt;
+use core::ops::{BitOr, BitOrAssign};
+
+/// Flag bits attached to a resident page.
+///
+/// A hand-rolled bitflag newtype (the crate deliberately avoids external
+/// dependencies beyond the approved set).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct PageFlags(u8);
+
+impl PageFlags {
+    /// No flags set.
+    pub const NONE: PageFlags = PageFlags(0);
+    /// The page is marked for NUMA-hinting: the next access raises a hint
+    /// fault (the simulated equivalent of `PROT_NONE` scanning).
+    pub const HINT: PageFlags = PageFlags(1 << 0);
+    /// The page belongs to the OS page cache (file-backed, clean): reclaim
+    /// may drop or demote it cheaply.
+    pub const PAGE_CACHE: PageFlags = PageFlags(1 << 1);
+    /// The page is on the OS active LRU list.
+    pub const ACTIVE: PageFlags = PageFlags(1 << 2);
+    /// The page has been promoted NVM→DRAM at least once (used for the
+    /// `pgpromote_demoted` counter).
+    pub const WAS_PROMOTED: PageFlags = PageFlags(1 << 3);
+
+    /// Returns `true` if all bits of `other` are set in `self`.
+    #[inline]
+    pub const fn contains(self, other: PageFlags) -> bool {
+        self.0 & other.0 == other.0
+    }
+
+    /// Sets the bits of `other`.
+    #[inline]
+    pub fn insert(&mut self, other: PageFlags) {
+        self.0 |= other.0;
+    }
+
+    /// Clears the bits of `other`.
+    #[inline]
+    pub fn remove(&mut self, other: PageFlags) {
+        self.0 &= !other.0;
+    }
+
+    /// Returns `true` if no flag is set.
+    #[inline]
+    pub const fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl BitOr for PageFlags {
+    type Output = PageFlags;
+    fn bitor(self, rhs: PageFlags) -> PageFlags {
+        PageFlags(self.0 | rhs.0)
+    }
+}
+
+impl BitOrAssign for PageFlags {
+    fn bitor_assign(&mut self, rhs: PageFlags) {
+        self.0 |= rhs.0;
+    }
+}
+
+impl fmt::Display for PageFlags {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        let mut put = |f: &mut fmt::Formatter<'_>, s: &str| -> fmt::Result {
+            if !first {
+                f.write_str("|")?;
+            }
+            first = false;
+            f.write_str(s)
+        };
+        if self.contains(PageFlags::HINT) {
+            put(f, "HINT")?;
+        }
+        if self.contains(PageFlags::PAGE_CACHE) {
+            put(f, "PAGE_CACHE")?;
+        }
+        if self.contains(PageFlags::ACTIVE) {
+            put(f, "ACTIVE")?;
+        }
+        if self.contains(PageFlags::WAS_PROMOTED) {
+            put(f, "WAS_PROMOTED")?;
+        }
+        if first {
+            f.write_str("-")?;
+        }
+        Ok(())
+    }
+}
+
+/// Metadata for one resident page.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct PageInfo {
+    /// The tier whose frame currently backs this page.
+    pub tier: Tier,
+    /// Flag bits.
+    pub flags: PageFlags,
+    /// Cycle timestamp of the last NUMA-balancing scan that marked this
+    /// page (meaningful while [`PageFlags::HINT`] is set or right after a
+    /// hint fault).
+    pub scan_time: u64,
+    /// Cycle timestamp of the most recent access.
+    pub last_access: u64,
+}
+
+impl PageInfo {
+    /// Creates metadata for a page freshly mapped on `tier` at time `now`.
+    pub fn new(tier: Tier, now: u64) -> Self {
+        PageInfo { tier, flags: PageFlags::NONE, scan_time: 0, last_access: now }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flags_insert_remove_contains() {
+        let mut f = PageFlags::NONE;
+        assert!(f.is_empty());
+        f.insert(PageFlags::HINT);
+        f |= PageFlags::ACTIVE;
+        assert!(f.contains(PageFlags::HINT));
+        assert!(f.contains(PageFlags::ACTIVE));
+        assert!(!f.contains(PageFlags::PAGE_CACHE));
+        f.remove(PageFlags::HINT);
+        assert!(!f.contains(PageFlags::HINT));
+    }
+
+    #[test]
+    fn contains_requires_all_bits() {
+        let f = PageFlags::HINT | PageFlags::ACTIVE;
+        assert!(f.contains(PageFlags::HINT | PageFlags::ACTIVE));
+        assert!(!f.contains(PageFlags::HINT | PageFlags::PAGE_CACHE));
+    }
+
+    #[test]
+    fn display_is_never_empty() {
+        assert_eq!(PageFlags::NONE.to_string(), "-");
+        assert_eq!((PageFlags::HINT | PageFlags::ACTIVE).to_string(), "HINT|ACTIVE");
+    }
+
+    #[test]
+    fn new_page_is_flagless() {
+        let p = PageInfo::new(Tier::Nvm, 42);
+        assert_eq!(p.tier, Tier::Nvm);
+        assert!(p.flags.is_empty());
+        assert_eq!(p.last_access, 42);
+    }
+}

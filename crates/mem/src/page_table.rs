@@ -1,0 +1,178 @@
+//! Flat page table over the dense `mmap` arena.
+
+use crate::addr::{PageNum, PAGE_SHIFT};
+use crate::page::PageInfo;
+use crate::tier::Tier;
+use crate::vma::MMAP_BASE;
+
+/// Resident-page table.
+///
+/// Because the VMA bump allocator hands out dense addresses starting at
+/// [`MMAP_BASE`], the table is a flat `Vec<Option<PageInfo>>` indexed by
+/// `page - MMAP_BASE/4096`, giving O(1) lookups on the access fast path
+/// (the single hottest operation in the whole simulator).
+#[derive(Debug, Clone, Default)]
+pub struct PageTable {
+    entries: Vec<Option<PageInfo>>,
+    resident: [u64; 2],
+}
+
+impl PageTable {
+    /// Creates an empty page table.
+    pub fn new() -> Self {
+        PageTable::default()
+    }
+
+    #[inline]
+    fn slot(pn: PageNum) -> Option<usize> {
+        pn.index().checked_sub(MMAP_BASE >> PAGE_SHIFT).map(|i| i as usize)
+    }
+
+    /// Returns the metadata of a resident page.
+    #[inline]
+    pub fn get(&self, pn: PageNum) -> Option<&PageInfo> {
+        let slot = Self::slot(pn)?;
+        self.entries.get(slot)?.as_ref()
+    }
+
+    /// Returns mutable metadata of a resident page.
+    #[inline]
+    pub fn get_mut(&mut self, pn: PageNum) -> Option<&mut PageInfo> {
+        let slot = Self::slot(pn)?;
+        self.entries.get_mut(slot)?.as_mut()
+    }
+
+    /// Returns `true` if the page is resident.
+    #[inline]
+    pub fn is_resident(&self, pn: PageNum) -> bool {
+        self.get(pn).is_some()
+    }
+
+    /// Inserts metadata for `pn`. Returns the previous entry if the page
+    /// was already resident (callers treat that as a bug; see
+    /// [`MemorySystem::map_page`](crate::MemorySystem::map_page)).
+    pub fn insert(&mut self, pn: PageNum, info: PageInfo) -> Option<PageInfo> {
+        let slot = Self::slot(pn).expect("page below MMAP_BASE");
+        if slot >= self.entries.len() {
+            self.entries.resize(slot + 1, None);
+        }
+        let old = self.entries[slot].replace(info);
+        match old {
+            Some(prev) => {
+                self.resident[prev.tier.index()] -= 1;
+                self.resident[info.tier.index()] += 1;
+                Some(prev)
+            }
+            None => {
+                self.resident[info.tier.index()] += 1;
+                None
+            }
+        }
+    }
+
+    /// Removes the entry for `pn`, returning it if it was resident.
+    pub fn remove(&mut self, pn: PageNum) -> Option<PageInfo> {
+        let slot = Self::slot(pn)?;
+        let old = self.entries.get_mut(slot)?.take();
+        if let Some(prev) = &old {
+            self.resident[prev.tier.index()] -= 1;
+        }
+        old
+    }
+
+    /// Changes the tier recorded for a resident page, returning the old
+    /// tier. Returns `None` if the page is not resident.
+    pub fn retier(&mut self, pn: PageNum, to: Tier) -> Option<Tier> {
+        let slot = Self::slot(pn)?;
+        let info = self.entries.get_mut(slot)?.as_mut()?;
+        let from = info.tier;
+        info.tier = to;
+        self.resident[from.index()] -= 1;
+        self.resident[to.index()] += 1;
+        Some(from)
+    }
+
+    /// Number of resident pages on `tier`.
+    pub fn resident_pages(&self, tier: Tier) -> u64 {
+        self.resident[tier.index()]
+    }
+
+    /// Total resident pages.
+    pub fn total_resident(&self) -> u64 {
+        self.resident.iter().sum()
+    }
+
+    /// Iterates `(page, info)` for all resident pages in address order.
+    pub fn iter(&self) -> impl Iterator<Item = (PageNum, &PageInfo)> {
+        let base = MMAP_BASE >> PAGE_SHIFT;
+        self.entries
+            .iter()
+            .enumerate()
+            .filter_map(move |(i, e)| e.as_ref().map(|info| (PageNum::new(base + i as u64), info)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::PAGE_SIZE;
+    use crate::addr::VirtAddr;
+
+    fn pn(i: u64) -> PageNum {
+        VirtAddr::new(MMAP_BASE + i * PAGE_SIZE).page()
+    }
+
+    #[test]
+    fn insert_get_remove_roundtrip() {
+        let mut pt = PageTable::new();
+        assert!(pt.get(pn(3)).is_none());
+        pt.insert(pn(3), PageInfo::new(Tier::Dram, 1));
+        assert_eq!(pt.get(pn(3)).unwrap().tier, Tier::Dram);
+        assert_eq!(pt.resident_pages(Tier::Dram), 1);
+        let removed = pt.remove(pn(3)).unwrap();
+        assert_eq!(removed.tier, Tier::Dram);
+        assert_eq!(pt.total_resident(), 0);
+    }
+
+    #[test]
+    fn retier_moves_residency_counts() {
+        let mut pt = PageTable::new();
+        pt.insert(pn(0), PageInfo::new(Tier::Dram, 0));
+        assert_eq!(pt.retier(pn(0), Tier::Nvm), Some(Tier::Dram));
+        assert_eq!(pt.resident_pages(Tier::Dram), 0);
+        assert_eq!(pt.resident_pages(Tier::Nvm), 1);
+        assert_eq!(pt.get(pn(0)).unwrap().tier, Tier::Nvm);
+    }
+
+    #[test]
+    fn retier_missing_page_is_none() {
+        let mut pt = PageTable::new();
+        assert_eq!(pt.retier(pn(9), Tier::Dram), None);
+    }
+
+    #[test]
+    fn pages_below_base_are_never_resident() {
+        let pt = PageTable::new();
+        assert!(pt.get(PageNum::new(0)).is_none());
+        assert!(!pt.is_resident(PageNum::new(1)));
+    }
+
+    #[test]
+    fn iter_yields_address_order() {
+        let mut pt = PageTable::new();
+        pt.insert(pn(5), PageInfo::new(Tier::Nvm, 0));
+        pt.insert(pn(2), PageInfo::new(Tier::Dram, 0));
+        let pages: Vec<_> = pt.iter().map(|(p, _)| p).collect();
+        assert_eq!(pages, vec![pn(2), pn(5)]);
+    }
+
+    #[test]
+    fn reinsert_replaces_and_fixes_counts() {
+        let mut pt = PageTable::new();
+        pt.insert(pn(1), PageInfo::new(Tier::Dram, 0));
+        let prev = pt.insert(pn(1), PageInfo::new(Tier::Nvm, 1));
+        assert_eq!(prev.unwrap().tier, Tier::Dram);
+        assert_eq!(pt.resident_pages(Tier::Dram), 0);
+        assert_eq!(pt.resident_pages(Tier::Nvm), 1);
+    }
+}

@@ -1,0 +1,131 @@
+//! Aggregate access statistics for the memory system.
+
+use crate::access::AccessOutcome;
+use crate::tier::{MemLevel, Tier};
+
+/// Counters accumulated on the access path.
+///
+/// These are ground-truth totals (every access, not samples); the profiler
+/// crate computes the paper's tables from *samples*, and integration tests
+/// use these totals to check that sampling is unbiased.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct AccessStats {
+    /// Number of load accesses.
+    pub loads: u64,
+    /// Number of store accesses.
+    pub stores: u64,
+    /// Accesses satisfied per level (indexed by [`MemLevel::index`]).
+    pub level_counts: [u64; 6],
+    /// Latency cycles accumulated per level.
+    pub level_cycles: [u64; 6],
+    /// External accesses split by (tier, tlb-miss): counts.
+    /// Indexed `[tier][tlb_miss as usize]`.
+    pub external_counts: [[u64; 2]; 2],
+    /// External accesses split by (tier, tlb-miss): cycles.
+    pub external_cycles: [[u64; 2]; 2],
+    /// Number of accesses that raised a hint fault.
+    pub hint_faults: u64,
+    /// Number of accesses that required a page walk.
+    pub tlb_misses: u64,
+}
+
+impl AccessStats {
+    /// Records one completed access.
+    #[inline]
+    pub fn record(&mut self, kind: crate::access::AccessKind, outcome: &AccessOutcome) {
+        if kind.is_store() {
+            self.stores += 1;
+        } else {
+            self.loads += 1;
+        }
+        let li = outcome.level.index();
+        self.level_counts[li] += 1;
+        self.level_cycles[li] += outcome.cycles;
+        if outcome.tlb_miss {
+            self.tlb_misses += 1;
+        }
+        if outcome.hint_fault {
+            self.hint_faults += 1;
+        }
+        if let Some(tier) = outcome.level.tier() {
+            let ti = tier.index();
+            let mi = outcome.tlb_miss as usize;
+            self.external_counts[ti][mi] += 1;
+            self.external_cycles[ti][mi] += outcome.cycles;
+        }
+    }
+
+    /// Total accesses.
+    pub fn total(&self) -> u64 {
+        self.loads + self.stores
+    }
+
+    /// Accesses satisfied outside the caches (DRAM + NVM).
+    pub fn external(&self) -> u64 {
+        self.level_counts[MemLevel::Dram.index()] + self.level_counts[MemLevel::Nvm.index()]
+    }
+
+    /// Fraction of accesses satisfied outside the caches.
+    pub fn external_fraction(&self) -> f64 {
+        if self.total() == 0 { 0.0 } else { self.external() as f64 / self.total() as f64 }
+    }
+
+    /// External accesses that hit the given tier.
+    pub fn external_on(&self, tier: Tier) -> u64 {
+        self.level_counts[MemLevel::from(tier).index()]
+    }
+
+    /// Mean external latency in cycles for `(tier, tlb_miss)`; `None` if
+    /// no such access occurred.
+    pub fn mean_external_cycles(&self, tier: Tier, tlb_miss: bool) -> Option<f64> {
+        let c = self.external_counts[tier.index()][tlb_miss as usize];
+        if c == 0 {
+            return None;
+        }
+        Some(self.external_cycles[tier.index()][tlb_miss as usize] as f64 / c as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::access::AccessKind;
+    use crate::addr::PageNum;
+
+    fn outcome(level: MemLevel, cycles: u64, tlb_miss: bool) -> AccessOutcome {
+        AccessOutcome {
+            page: PageNum::new(0),
+            level,
+            tier: level.tier().unwrap_or(Tier::Dram),
+            cycles,
+            tlb_miss,
+            hint_fault: false,
+            hint_scan_time: 0,
+        }
+    }
+
+    #[test]
+    fn record_accumulates_levels() {
+        let mut s = AccessStats::default();
+        s.record(AccessKind::Load, &outcome(MemLevel::L1, 4, false));
+        s.record(AccessKind::Load, &outcome(MemLevel::Nvm, 900, true));
+        s.record(AccessKind::Store, &outcome(MemLevel::Dram, 200, false));
+        assert_eq!(s.total(), 3);
+        assert_eq!(s.loads, 2);
+        assert_eq!(s.external(), 2);
+        assert!((s.external_fraction() - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(s.external_on(Tier::Nvm), 1);
+        assert_eq!(s.tlb_misses, 1);
+    }
+
+    #[test]
+    fn mean_external_cycles_by_bucket() {
+        let mut s = AccessStats::default();
+        s.record(AccessKind::Load, &outcome(MemLevel::Nvm, 1000, true));
+        s.record(AccessKind::Load, &outcome(MemLevel::Nvm, 2000, true));
+        assert_eq!(s.mean_external_cycles(Tier::Nvm, true), Some(1500.0));
+        assert_eq!(s.mean_external_cycles(Tier::Nvm, false), None);
+        assert_eq!(s.mean_external_cycles(Tier::Dram, true), None);
+    }
+}

@@ -1,0 +1,700 @@
+//! The assembled memory system: VMAs, page table, TLB, caches, devices.
+
+use crate::access::{AccessError, AccessKind, AccessOutcome};
+use crate::addr::{PageNum, VirtAddr, LINE_SHIFT, PAGE_SHIFT, PAGE_SIZE};
+use crate::cache::{CacheOutcome, SetAssocCache};
+use crate::config::MemConfig;
+use crate::dram::DramModel;
+use crate::error::{MemError, PageFault};
+use crate::frame::FrameAllocator;
+use crate::memory_mode::MemoryModeCache;
+use crate::nvm::NvmModel;
+use crate::page::{PageFlags, PageInfo};
+use crate::page_table::PageTable;
+use crate::stats::AccessStats;
+use crate::tier::{MemLevel, Tier};
+use crate::tlb::{Tlb, TlbOutcome};
+use crate::vma::{MemPolicy, Vma, VmaTable};
+use std::sync::Arc;
+
+/// Base virtual address of the simulated page-table (PTE) region.
+///
+/// Leaf PTEs are fetched through the cache hierarchy during page walks, so
+/// they compete for cache capacity like real PTEs; the region itself always
+/// resides in DRAM (as kernel page tables do on tiered systems).
+const PTE_BASE: u64 = 1 << 46;
+/// Lines per page (4096 / 64).
+const LINES_PER_PAGE: u64 = PAGE_SIZE >> LINE_SHIFT;
+
+/// Summary of an `munmap` call.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct UnmapReport {
+    /// Pages freed per tier (indexed by [`Tier::index`]).
+    pub freed_pages: [u64; 2],
+    /// The removed VMAs (fragments included).
+    pub vmas: Vec<Vma>,
+}
+
+/// The simulated memory system of one socket: mechanism only (address
+/// translation, caches, devices, residency); *policy* (where to place or
+/// migrate pages) lives in the OS model crate.
+///
+/// # Examples
+///
+/// Mapping a region, servicing the first-touch fault manually, and
+/// observing a DRAM access:
+///
+/// ```
+/// use tiersim_mem::{AccessError, AccessKind, MemConfig, MemPolicy, MemorySystem, Tier};
+///
+/// let mut sys = MemorySystem::new(MemConfig::default())?;
+/// let addr = sys.mmap(4096, MemPolicy::Default, "buf")?;
+/// // First touch faults; an OS would now choose a tier.
+/// let fault = sys.access(addr, AccessKind::Load, 0).unwrap_err();
+/// let AccessError::Fault(pf) = fault else { panic!() };
+/// sys.map_page(pf.page, Tier::Dram, 0)?;
+/// let out = sys.access(addr, AccessKind::Load, 0).unwrap();
+/// assert_eq!(out.tier, Tier::Dram);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct MemorySystem {
+    cfg: MemConfig,
+    vmas: VmaTable,
+    pages: PageTable,
+    frames: [FrameAllocator; 2],
+    tlb: Tlb,
+    l1: SetAssocCache,
+    l2: SetAssocCache,
+    l3: SetAssocCache,
+    dram: DramModel,
+    nvm: NvmModel,
+    /// Present only in Memory Mode (paper §2.1): DRAM as a direct-mapped
+    /// line cache over NVM.
+    mm_cache: Option<MemoryModeCache>,
+    stats: AccessStats,
+}
+
+impl MemorySystem {
+    /// Creates a memory system from a configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::InvalidConfig`] if the configuration fails
+    /// validation.
+    pub fn new(cfg: MemConfig) -> Result<Self, MemError> {
+        cfg.validate()?;
+        Ok(MemorySystem {
+            vmas: VmaTable::new(),
+            pages: PageTable::new(),
+            frames: [
+                FrameAllocator::new(Tier::Dram, cfg.dram_capacity),
+                FrameAllocator::new(Tier::Nvm, cfg.nvm_capacity),
+            ],
+            tlb: Tlb::new(cfg.dtlb, cfg.stlb),
+            mm_cache: cfg.memory_mode.then(|| MemoryModeCache::new(cfg.dram_capacity)),
+            l1: SetAssocCache::new(cfg.l1),
+            l2: SetAssocCache::new(cfg.l2),
+            l3: SetAssocCache::new(cfg.l3),
+            dram: DramModel::new(cfg.dram),
+            nvm: NvmModel::new(cfg.nvm),
+            stats: AccessStats::default(),
+            cfg,
+        })
+    }
+
+    /// The configuration this system was built with.
+    pub fn config(&self) -> &MemConfig {
+        &self.cfg
+    }
+
+    // ----- mapping ------------------------------------------------------
+
+    /// Maps a fresh region (see [`VmaTable::map`]); no frames are
+    /// allocated until pages are touched.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::InvalidLength`] for zero-length requests.
+    pub fn mmap(
+        &mut self,
+        len: u64,
+        policy: MemPolicy,
+        label: impl Into<Arc<str>>,
+    ) -> Result<VirtAddr, MemError> {
+        self.vmas.map(len, policy, label)
+    }
+
+    /// Unmaps the region based at `addr`, freeing all resident pages.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::NoSuchMapping`] if `addr` is not a region base.
+    pub fn munmap(&mut self, addr: VirtAddr) -> Result<UnmapReport, MemError> {
+        let vmas = self.vmas.unmap(addr)?;
+        let mut report = UnmapReport { freed_pages: [0; 2], vmas };
+        for vma in report.vmas.clone() {
+            let mut pn = vma.base.page();
+            let end = vma.end().page();
+            while pn < end {
+                if let Some(info) = self.pages.remove(pn) {
+                    self.frames[info.tier.index()].free();
+                    report.freed_pages[info.tier.index()] += 1;
+                    self.tlb.invalidate(pn);
+                }
+                pn = pn.next();
+            }
+        }
+        Ok(report)
+    }
+
+    /// Applies `policy` to an address range (the simulated `mbind`).
+    ///
+    /// # Errors
+    ///
+    /// See [`VmaTable::set_policy_range`].
+    pub fn set_policy_range(
+        &mut self,
+        addr: VirtAddr,
+        len: u64,
+        policy: MemPolicy,
+    ) -> Result<(), MemError> {
+        self.vmas.set_policy_range(addr, len, policy)
+    }
+
+    /// Finds the VMA containing `addr`.
+    pub fn find_vma(&self, addr: VirtAddr) -> Option<&Vma> {
+        self.vmas.find(addr)
+    }
+
+    /// Iterates all VMAs in address order.
+    pub fn vmas(&self) -> impl Iterator<Item = &Vma> {
+        self.vmas.iter()
+    }
+
+    // ----- residency ----------------------------------------------------
+
+    /// Makes `pn` resident on `tier` (servicing a page fault).
+    ///
+    /// # Errors
+    ///
+    /// - [`MemError::TierFull`] if the tier has no free frames.
+    /// - [`MemError::PageAlreadyResident`] if the page is already mapped.
+    pub fn map_page(&mut self, pn: PageNum, tier: Tier, now: u64) -> Result<(), MemError> {
+        if self.pages.is_resident(pn) {
+            return Err(MemError::PageAlreadyResident { page: pn });
+        }
+        self.frames[tier.index()].alloc()?;
+        self.pages.insert(pn, PageInfo::new(tier, now));
+        Ok(())
+    }
+
+    /// Removes `pn` from residency, freeing its frame. Returns the tier it
+    /// was on.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::PageNotResident`] if the page is not resident.
+    pub fn unmap_page(&mut self, pn: PageNum) -> Result<Tier, MemError> {
+        let info = self.pages.remove(pn).ok_or(MemError::PageNotResident { page: pn })?;
+        self.frames[info.tier.index()].free();
+        self.tlb.invalidate(pn);
+        Ok(info.tier)
+    }
+
+    /// Migrates a resident page to `to`, charging the 4 KiB copy to both
+    /// devices. Returns the copy latency in cycles.
+    ///
+    /// # Errors
+    ///
+    /// - [`MemError::PageNotResident`] if the page is not resident.
+    /// - [`MemError::TierFull`] if the destination has no free frames.
+    /// - [`MemError::PageAlreadyResident`] if the page is already on `to`.
+    pub fn migrate_page(&mut self, pn: PageNum, to: Tier) -> Result<u64, MemError> {
+        let from = self
+            .pages
+            .get(pn)
+            .ok_or(MemError::PageNotResident { page: pn })?
+            .tier;
+        if from == to {
+            return Err(MemError::PageAlreadyResident { page: pn });
+        }
+        self.frames[to.index()].alloc()?;
+        self.frames[from.index()].free();
+        self.pages.retier(pn, to);
+        self.tlb.invalidate(pn);
+        // Copy the page line by line: reads from the source device, writes
+        // to the destination. Latency is the slower of the two streams.
+        let base = pn.base().raw();
+        let mut read_cycles = 0;
+        let mut write_cycles = 0;
+        for i in 0..LINES_PER_PAGE {
+            let a = base + i * crate::addr::LINE_SIZE;
+            read_cycles += self.device_read(from, a);
+            write_cycles += self.device_write(to, a);
+        }
+        Ok(read_cycles.max(write_cycles))
+    }
+
+    /// Returns the metadata of a resident page.
+    pub fn page(&self, pn: PageNum) -> Option<&PageInfo> {
+        self.pages.get(pn)
+    }
+
+    /// Returns mutable metadata of a resident page (for OS flag updates).
+    pub fn page_mut(&mut self, pn: PageNum) -> Option<&mut PageInfo> {
+        self.pages.get_mut(pn)
+    }
+
+    /// Marks a resident page for NUMA hinting; its next access raises a
+    /// hint fault. Returns `false` if the page is not resident.
+    pub fn mark_hint(&mut self, pn: PageNum, now: u64) -> bool {
+        match self.pages.get_mut(pn) {
+            Some(info) => {
+                info.flags.insert(PageFlags::HINT);
+                info.scan_time = now;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Iterates `(page, info)` over resident pages in address order.
+    pub fn resident_pages(&self) -> impl Iterator<Item = (PageNum, &PageInfo)> {
+        self.pages.iter()
+    }
+
+    /// Free pages on a tier.
+    pub fn free_pages(&self, tier: Tier) -> u64 {
+        self.frames[tier.index()].free_pages()
+    }
+
+    /// Used pages on a tier.
+    pub fn used_pages(&self, tier: Tier) -> u64 {
+        self.frames[tier.index()].used_pages()
+    }
+
+    /// Capacity of a tier in pages.
+    pub fn capacity_pages(&self, tier: Tier) -> u64 {
+        self.frames[tier.index()].capacity_pages()
+    }
+
+    // ----- devices ------------------------------------------------------
+
+    fn device_read(&mut self, tier: Tier, addr: u64) -> u64 {
+        match tier {
+            Tier::Dram => self.dram.read(addr),
+            Tier::Nvm => self.nvm.read(addr),
+        }
+    }
+
+    fn device_write(&mut self, tier: Tier, addr: u64) -> u64 {
+        match tier {
+            Tier::Dram => self.dram.write(addr),
+            Tier::Nvm => self.nvm.write(addr),
+        }
+    }
+
+    /// The tier that would serve device traffic for `line` right now:
+    /// resident data pages report their tier; anything else (PTE region,
+    /// stale lines of freed pages) is DRAM.
+    fn tier_of_line(&self, line: u64) -> Tier {
+        let pn = PageNum::new(line >> (PAGE_SHIFT - LINE_SHIFT));
+        self.pages.get(pn).map_or(Tier::Dram, |p| p.tier)
+    }
+
+    /// Writes back a dirty victim line evicted from the last cache level
+    /// it lived in.
+    fn writeback(&mut self, line: u64) {
+        let tier = self.tier_of_line(line);
+        self.device_write(tier, line << LINE_SHIFT);
+    }
+
+    /// Runs `line` through the cache hierarchy; on a full miss the data is
+    /// fetched from `tier`'s device. Returns the satisfying level and the
+    /// cycles spent.
+    fn cache_path(&mut self, line: u64, is_store: bool, tier: Tier) -> (MemLevel, u64) {
+        match self.l1.access(line, is_store) {
+            CacheOutcome::Hit => return (MemLevel::L1, self.l1.latency()),
+            CacheOutcome::Miss { writeback } => {
+                if let Some(victim) = writeback {
+                    // Propagate dirtiness to L2; if L2 no longer has the
+                    // line, it goes straight to the device.
+                    if !self.l2.mark_dirty(victim) {
+                        self.writeback(victim);
+                    }
+                }
+            }
+        }
+        match self.l2.access(line, false) {
+            CacheOutcome::Hit => return (MemLevel::L2, self.l2.latency()),
+            CacheOutcome::Miss { writeback } => {
+                if let Some(victim) = writeback {
+                    if !self.l3.mark_dirty(victim) {
+                        self.writeback(victim);
+                    }
+                }
+            }
+        }
+        match self.l3.access(line, false) {
+            CacheOutcome::Hit => return (MemLevel::L3, self.l3.latency()),
+            CacheOutcome::Miss { writeback } => {
+                if let Some(victim) = writeback {
+                    self.writeback(victim);
+                }
+            }
+        }
+        // In Memory Mode the page's nominal tier is ignored: DRAM serves
+        // as a direct-mapped line cache over the NVM that backs all data.
+        // PTE-region lines (above the mmap arena) stay DRAM-backed kernel
+        // metadata either way.
+        if let Some(mm) = self.mm_cache.as_mut() {
+            if line < (PTE_BASE >> LINE_SHIFT) {
+                let out = mm.access(line, is_store);
+                let cycles = if out.hit {
+                    self.dram.read(line << LINE_SHIFT)
+                } else {
+                    let fetch = self.nvm.read(line << LINE_SHIFT);
+                    self.dram.write(line << LINE_SHIFT); // fill (posted)
+                    fetch
+                };
+                if let Some(victim) = out.writeback {
+                    self.nvm.write(victim << LINE_SHIFT);
+                }
+                let level = if out.hit { MemLevel::Dram } else { MemLevel::Nvm };
+                return (level, self.l3.latency() + cycles);
+            }
+        }
+        let dev = self.device_read(tier, line << LINE_SHIFT);
+        (MemLevel::from(tier), self.l3.latency() + dev)
+    }
+
+    // ----- the access path ----------------------------------------------
+
+    /// Performs one memory access of up to a cache line at `addr`.
+    ///
+    /// `now` is the current cycle time, recorded as the page's last-access
+    /// timestamp (the OS reclaim model uses it for LRU decisions).
+    ///
+    /// # Errors
+    ///
+    /// - [`AccessError::Fault`] if the page is mapped but not resident
+    ///   (the caller services it via [`MemorySystem::map_page`] and
+    ///   retries).
+    /// - [`AccessError::Segfault`] if no VMA covers `addr`.
+    pub fn access(
+        &mut self,
+        addr: VirtAddr,
+        kind: AccessKind,
+        now: u64,
+    ) -> Result<AccessOutcome, AccessError> {
+        let pn = addr.page();
+        let (tier, hint_fault, hint_scan_time) = match self.pages.get_mut(pn) {
+            Some(info) => {
+                info.last_access = now;
+                let hint = info.flags.contains(PageFlags::HINT);
+                if hint {
+                    info.flags.remove(PageFlags::HINT);
+                }
+                (info.tier, hint, info.scan_time)
+            }
+            None => {
+                let vma = self
+                    .vmas
+                    .find(addr)
+                    .ok_or(AccessError::Segfault { addr })?;
+                return Err(AccessError::Fault(PageFault {
+                    page: pn,
+                    addr,
+                    policy: vma.policy,
+                    vma: vma.id,
+                }));
+            }
+        };
+
+        let mut cycles = 0;
+        let mut tlb_miss = false;
+        match self.tlb.lookup(pn) {
+            TlbOutcome::L1Hit => {}
+            TlbOutcome::L2Hit => cycles += self.cfg.stlb_hit_penalty,
+            TlbOutcome::Miss => {
+                tlb_miss = true;
+                cycles += self.cfg.walk_base_penalty;
+                // Fetch the leaf PTE through the cache hierarchy: 8 PTEs
+                // share a 64 B line, so walks over scattered pages miss
+                // while walks over nearby pages hit.
+                let pte_line = (PTE_BASE + pn.index() * 8) >> LINE_SHIFT;
+                let (_, pte_cycles) = self.cache_path(pte_line, false, Tier::Dram);
+                cycles += pte_cycles;
+                self.tlb.insert(pn);
+            }
+        }
+
+        let (level, data_cycles) = self.cache_path(addr.line(), kind.is_store(), tier);
+        cycles += data_cycles;
+
+        let outcome = AccessOutcome {
+            page: pn,
+            level,
+            tier,
+            cycles,
+            tlb_miss,
+            hint_fault,
+            hint_scan_time,
+        };
+        self.stats.record(kind, &outcome);
+        Ok(outcome)
+    }
+
+    // ----- statistics ----------------------------------------------------
+
+    /// Aggregate access statistics.
+    pub fn stats(&self) -> &AccessStats {
+        &self.stats
+    }
+
+    /// TLB statistics.
+    pub fn tlb_stats(&self) -> crate::tlb::TlbStats {
+        self.tlb.stats()
+    }
+
+    /// Per-cache statistics `(l1, l2, l3)`.
+    pub fn cache_stats(&self) -> (crate::cache::CacheStats, crate::cache::CacheStats, crate::cache::CacheStats) {
+        (self.l1.stats(), self.l2.stats(), self.l3.stats())
+    }
+
+    /// DRAM device statistics.
+    pub fn dram_stats(&self) -> crate::dram::DeviceStats {
+        self.dram.stats()
+    }
+
+    /// NVM device statistics.
+    pub fn nvm_stats(&self) -> crate::dram::DeviceStats {
+        self.nvm.stats()
+    }
+
+    /// Memory-Mode DRAM-cache statistics, if Memory Mode is enabled.
+    pub fn memory_mode_stats(&self) -> Option<crate::cache::CacheStats> {
+        self.mm_cache.as_ref().map(|c| c.stats())
+    }
+
+    /// NVM write amplification factor so far.
+    pub fn nvm_write_amplification(&self) -> f64 {
+        self.nvm.write_amplification()
+    }
+
+    /// Resets all statistics (state — caches, TLB, placements — is kept).
+    pub fn reset_stats(&mut self) {
+        self.stats = AccessStats::default();
+        self.tlb.reset_stats();
+        self.l1.reset_stats();
+        self.l2.reset_stats();
+        self.l3.reset_stats();
+        self.dram.reset_stats();
+        self.nvm.reset_stats();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sys() -> MemorySystem {
+        MemorySystem::new(
+            MemConfig::builder()
+                .dram_capacity(16 * PAGE_SIZE)
+                .nvm_capacity(64 * PAGE_SIZE)
+                .build()
+                .unwrap(),
+        )
+        .unwrap()
+    }
+
+    /// Maps one page worth of VMA and makes it resident on `tier`.
+    fn mapped(sys: &mut MemorySystem, tier: Tier) -> VirtAddr {
+        let a = sys.mmap(PAGE_SIZE, MemPolicy::Default, "t").unwrap();
+        sys.map_page(a.page(), tier, 0).unwrap();
+        a
+    }
+
+    #[test]
+    fn unmapped_access_segfaults() {
+        let mut s = sys();
+        let err = s.access(VirtAddr::new(0x42), AccessKind::Load, 0).unwrap_err();
+        assert!(matches!(err, AccessError::Segfault { .. }));
+    }
+
+    #[test]
+    fn first_touch_raises_fault_with_policy() {
+        let mut s = sys();
+        let a = s.mmap(PAGE_SIZE, MemPolicy::Bind(Tier::Nvm), "t").unwrap();
+        let err = s.access(a, AccessKind::Load, 0).unwrap_err();
+        match err {
+            AccessError::Fault(pf) => {
+                assert_eq!(pf.page, a.page());
+                assert_eq!(pf.policy, MemPolicy::Bind(Tier::Nvm));
+            }
+            AccessError::Segfault { .. } => panic!("expected fault"),
+        }
+    }
+
+    #[test]
+    fn cold_access_reaches_device_then_caches() {
+        let mut s = sys();
+        let a = mapped(&mut s, Tier::Nvm);
+        let first = s.access(a, AccessKind::Load, 0).unwrap();
+        assert_eq!(first.level, MemLevel::Nvm);
+        assert!(first.tlb_miss);
+        let second = s.access(a, AccessKind::Load, 1).unwrap();
+        assert_eq!(second.level, MemLevel::L1);
+        assert!(!second.tlb_miss);
+        assert!(second.cycles < first.cycles);
+    }
+
+    #[test]
+    fn nvm_access_costs_more_than_dram() {
+        let mut s = sys();
+        let d = mapped(&mut s, Tier::Dram);
+        let n = mapped(&mut s, Tier::Nvm);
+        let cd = s.access(d, AccessKind::Load, 0).unwrap().cycles;
+        let cn = s.access(n, AccessKind::Load, 0).unwrap().cycles;
+        assert!(cn > cd, "NVM ({cn}) should cost more than DRAM ({cd})");
+    }
+
+    #[test]
+    fn map_page_respects_capacity() {
+        let mut s = sys();
+        let a = s.mmap(32 * PAGE_SIZE, MemPolicy::Default, "big").unwrap();
+        for i in 0..16 {
+            s.map_page((a + i * PAGE_SIZE).page(), Tier::Dram, 0).unwrap();
+        }
+        let err = s.map_page((a + 16 * PAGE_SIZE).page(), Tier::Dram, 0).unwrap_err();
+        assert_eq!(err, MemError::TierFull { tier: Tier::Dram });
+    }
+
+    #[test]
+    fn double_map_is_rejected_without_leaking_frames() {
+        let mut s = sys();
+        let a = mapped(&mut s, Tier::Dram);
+        let used = s.used_pages(Tier::Dram);
+        let err = s.map_page(a.page(), Tier::Nvm, 0).unwrap_err();
+        assert_eq!(err, MemError::PageAlreadyResident { page: a.page() });
+        assert_eq!(s.used_pages(Tier::Dram), used);
+        assert_eq!(s.used_pages(Tier::Nvm), 0);
+    }
+
+    #[test]
+    fn migrate_moves_residency_and_charges_devices() {
+        let mut s = sys();
+        let a = mapped(&mut s, Tier::Nvm);
+        let nvm_reads_before = s.nvm_stats().reads;
+        let cycles = s.migrate_page(a.page(), Tier::Dram).unwrap();
+        assert!(cycles > 0);
+        assert_eq!(s.page(a.page()).unwrap().tier, Tier::Dram);
+        assert_eq!(s.used_pages(Tier::Nvm), 0);
+        assert_eq!(s.used_pages(Tier::Dram), 1);
+        assert_eq!(s.nvm_stats().reads - nvm_reads_before, LINES_PER_PAGE);
+        assert_eq!(s.dram_stats().writes, LINES_PER_PAGE);
+    }
+
+    #[test]
+    fn migrate_to_same_tier_is_rejected() {
+        let mut s = sys();
+        let a = mapped(&mut s, Tier::Dram);
+        assert!(matches!(
+            s.migrate_page(a.page(), Tier::Dram),
+            Err(MemError::PageAlreadyResident { .. })
+        ));
+    }
+
+    #[test]
+    fn hint_fault_fires_once() {
+        let mut s = sys();
+        let a = mapped(&mut s, Tier::Nvm);
+        assert!(s.mark_hint(a.page(), 77));
+        let out = s.access(a, AccessKind::Load, 100).unwrap();
+        assert!(out.hint_fault);
+        assert_eq!(out.hint_scan_time, 77);
+        let again = s.access(a, AccessKind::Load, 101).unwrap();
+        assert!(!again.hint_fault);
+    }
+
+    #[test]
+    fn munmap_frees_resident_pages() {
+        let mut s = sys();
+        let a = s.mmap(4 * PAGE_SIZE, MemPolicy::Default, "r").unwrap();
+        for i in 0..4 {
+            s.map_page((a + i * PAGE_SIZE).page(), Tier::Dram, 0).unwrap();
+        }
+        let report = s.munmap(a).unwrap();
+        assert_eq!(report.freed_pages[Tier::Dram.index()], 4);
+        assert_eq!(s.used_pages(Tier::Dram), 0);
+        assert!(matches!(
+            s.access(a, AccessKind::Load, 0),
+            Err(AccessError::Segfault { .. })
+        ));
+    }
+
+    #[test]
+    fn stats_count_levels() {
+        let mut s = sys();
+        let a = mapped(&mut s, Tier::Dram);
+        s.access(a, AccessKind::Load, 0).unwrap();
+        s.access(a, AccessKind::Load, 1).unwrap();
+        let st = s.stats();
+        assert_eq!(st.total(), 2);
+        assert_eq!(st.level_counts[MemLevel::Dram.index()], 1);
+        assert_eq!(st.level_counts[MemLevel::L1.index()], 1);
+    }
+
+    #[test]
+    fn last_access_is_updated() {
+        let mut s = sys();
+        let a = mapped(&mut s, Tier::Dram);
+        s.access(a, AccessKind::Load, 123).unwrap();
+        assert_eq!(s.page(a.page()).unwrap().last_access, 123);
+    }
+
+    /// Runs one cold pass over a fresh NVM-resident region, touching lines
+    /// in the order produced by `index`, and returns the mean cycles of
+    /// the external (NVM) accesses.
+    fn nvm_pass(len: u64, index: impl Fn(u64) -> u64) -> f64 {
+        let mut s = MemorySystem::new(
+            MemConfig::builder()
+                .dram_capacity(16 * PAGE_SIZE)
+                .nvm_capacity(4 << 20)
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        let a = s.mmap(len, MemPolicy::Default, "region").unwrap();
+        for i in 0..(len / PAGE_SIZE) {
+            s.map_page((a + i * PAGE_SIZE).page(), Tier::Nvm, 0).unwrap();
+        }
+        let lines = len / 64;
+        let (mut cycles, mut ext) = (0u64, 0u64);
+        for i in 0..lines {
+            let off = index(i) % lines * 64;
+            let o = s.access(a + off, AccessKind::Load, 0).unwrap();
+            if o.level == MemLevel::Nvm {
+                cycles += o.cycles;
+                ext += 1;
+            }
+        }
+        assert!(ext > lines / 2, "cold pass should be mostly external");
+        cycles as f64 / ext as f64
+    }
+
+    #[test]
+    fn sequential_nvm_faster_than_random_nvm() {
+        let len = 2 << 20; // 2 MiB
+        let seq_avg = nvm_pass(len, |i| i);
+        // Odd multiplier modulo a power-of-two line count visits every
+        // line once in a scattered order.
+        let rnd_avg = nvm_pass(len, |i| i.wrapping_mul(40503));
+        assert!(
+            rnd_avg > seq_avg * 1.3,
+            "random NVM ({rnd_avg:.0}) should be clearly slower than sequential ({seq_avg:.0})"
+        );
+    }
+}

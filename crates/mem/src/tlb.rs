@@ -1,0 +1,282 @@
+//! Two-level data TLB model (DTLB + shared STLB).
+
+use crate::addr::PageNum;
+use crate::config::TlbGeometry;
+
+/// Where a TLB lookup was satisfied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TlbOutcome {
+    /// First-level DTLB hit (free).
+    L1Hit,
+    /// Second-level STLB hit (small penalty).
+    L2Hit,
+    /// Miss in both levels; a page walk is required.
+    Miss,
+}
+
+impl TlbOutcome {
+    /// Returns `true` if a page walk is required. The paper's Table 3
+    /// groups external access costs by this bit.
+    #[inline]
+    pub fn is_miss(self) -> bool {
+        matches!(self, TlbOutcome::Miss)
+    }
+}
+
+/// Hit/miss counters for the TLB.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct TlbStats {
+    /// DTLB hits.
+    pub l1_hits: u64,
+    /// STLB hits (DTLB misses).
+    pub l2_hits: u64,
+    /// Full misses (page walks).
+    pub misses: u64,
+}
+
+impl TlbStats {
+    /// Total lookups.
+    pub fn lookups(&self) -> u64 {
+        self.l1_hits + self.l2_hits + self.misses
+    }
+
+    /// Fraction of lookups that required a page walk.
+    pub fn miss_ratio(&self) -> f64 {
+        if self.lookups() == 0 { 0.0 } else { self.misses as f64 / self.lookups() as f64 }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct TlbLevel {
+    ways: usize,
+    set_mask: u64,
+    tags: Vec<u64>,
+    ages: Vec<u8>,
+}
+
+const INVALID: u64 = u64::MAX;
+
+impl TlbLevel {
+    fn new(geometry: TlbGeometry) -> Self {
+        let sets = geometry.sets();
+        assert!(sets.is_power_of_two(), "TLB set count must be a power of two");
+        assert!(geometry.ways >= 1 && geometry.ways <= 255);
+        TlbLevel {
+            ways: geometry.ways,
+            set_mask: sets as u64 - 1,
+            tags: vec![INVALID; sets * geometry.ways],
+            ages: vec![0; sets * geometry.ways],
+        }
+    }
+
+    #[inline]
+    fn base(&self, pn: u64) -> usize {
+        (pn & self.set_mask) as usize * self.ways
+    }
+
+    fn lookup(&mut self, pn: u64) -> bool {
+        let base = self.base(pn);
+        if let Some(w) = self.tags[base..base + self.ways].iter().position(|&t| t == pn) {
+            self.touch(base, w);
+            true
+        } else {
+            false
+        }
+    }
+
+    fn insert(&mut self, pn: u64) {
+        let base = self.base(pn);
+        if let Some(w) = self.tags[base..base + self.ways].iter().position(|&t| t == pn) {
+            self.touch(base, w);
+            return;
+        }
+        let victim = (0..self.ways)
+            .find(|&w| self.tags[base + w] == INVALID)
+            .unwrap_or_else(|| {
+                (0..self.ways).max_by_key(|&w| self.ages[base + w]).expect("ways >= 1")
+            });
+        self.tags[base + victim] = pn;
+        self.fill_touch(base, victim);
+    }
+
+    fn invalidate(&mut self, pn: u64) {
+        let base = self.base(pn);
+        for w in 0..self.ways {
+            if self.tags[base + w] == pn {
+                self.tags[base + w] = INVALID;
+            }
+        }
+    }
+
+    fn flush(&mut self) {
+        self.tags.fill(INVALID);
+        self.ages.fill(0);
+    }
+
+    #[inline]
+    fn touch(&mut self, base: usize, w: usize) {
+        let cur = self.ages[base + w];
+        for age in &mut self.ages[base..base + self.ways] {
+            if *age < cur {
+                *age += 1;
+            }
+        }
+        self.ages[base + w] = 0;
+    }
+
+    /// MRU update for a freshly filled way: every other way ages.
+    #[inline]
+    fn fill_touch(&mut self, base: usize, w: usize) {
+        for age in &mut self.ages[base..base + self.ways] {
+            *age = age.saturating_add(1);
+        }
+        self.ages[base + w] = 0;
+    }
+}
+
+/// Two-level data TLB (per-core DTLB plus shared STLB), LRU replacement.
+///
+/// The simulator runs threads logically, so a single shared TLB stands in
+/// for the per-core TLBs; the geometry defaults approximate one Skylake-SP
+/// core (64-entry DTLB, 1536-entry STLB).
+///
+/// # Examples
+///
+/// ```
+/// use tiersim_mem::{Tlb, TlbGeometry, TlbOutcome, PageNum};
+///
+/// let mut tlb = Tlb::new(
+///     TlbGeometry { entries: 64, ways: 4 },
+///     TlbGeometry { entries: 1536, ways: 12 },
+/// );
+/// assert_eq!(tlb.lookup(PageNum::new(1)), TlbOutcome::Miss);
+/// tlb.insert(PageNum::new(1));
+/// assert_eq!(tlb.lookup(PageNum::new(1)), TlbOutcome::L1Hit);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Tlb {
+    l1: TlbLevel,
+    l2: TlbLevel,
+    stats: TlbStats,
+}
+
+impl Tlb {
+    /// Creates a TLB with the given DTLB and STLB geometries.
+    ///
+    /// # Panics
+    ///
+    /// Panics on inconsistent geometry (non-power-of-two set counts).
+    pub fn new(dtlb: TlbGeometry, stlb: TlbGeometry) -> Self {
+        Tlb { l1: TlbLevel::new(dtlb), l2: TlbLevel::new(stlb), stats: TlbStats::default() }
+    }
+
+    /// Looks up a translation. On an STLB hit the entry is promoted into
+    /// the DTLB. On a miss the caller must perform a page walk and then
+    /// call [`Tlb::insert`].
+    pub fn lookup(&mut self, pn: PageNum) -> TlbOutcome {
+        let pn = pn.index();
+        if self.l1.lookup(pn) {
+            self.stats.l1_hits += 1;
+            TlbOutcome::L1Hit
+        } else if self.l2.lookup(pn) {
+            self.stats.l2_hits += 1;
+            self.l1.insert(pn);
+            TlbOutcome::L2Hit
+        } else {
+            self.stats.misses += 1;
+            TlbOutcome::Miss
+        }
+    }
+
+    /// Installs a translation in both levels (after a page walk).
+    pub fn insert(&mut self, pn: PageNum) {
+        self.l1.insert(pn.index());
+        self.l2.insert(pn.index());
+    }
+
+    /// Invalidates a single page (e.g. on unmap or migration).
+    pub fn invalidate(&mut self, pn: PageNum) {
+        self.l1.invalidate(pn.index());
+        self.l2.invalidate(pn.index());
+    }
+
+    /// Flushes all entries.
+    pub fn flush(&mut self) {
+        self.l1.flush();
+        self.l2.flush();
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> TlbStats {
+        self.stats
+    }
+
+    /// Resets statistics (contents kept).
+    pub fn reset_stats(&mut self) {
+        self.stats = TlbStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Tlb {
+        Tlb::new(TlbGeometry { entries: 4, ways: 2 }, TlbGeometry { entries: 16, ways: 4 })
+    }
+
+    #[test]
+    fn miss_insert_hit() {
+        let mut t = tiny();
+        assert!(t.lookup(PageNum::new(3)).is_miss());
+        t.insert(PageNum::new(3));
+        assert_eq!(t.lookup(PageNum::new(3)), TlbOutcome::L1Hit);
+    }
+
+    #[test]
+    fn stlb_hit_promotes_to_dtlb() {
+        let mut t = tiny();
+        // Fill DTLB set 0 (2 ways) with pages 0 and 2 (set = pn % 2).
+        for pn in [0u64, 2, 4] {
+            t.insert(PageNum::new(pn));
+        }
+        // Page 0 was evicted from DTLB set 0 but remains in STLB.
+        assert_eq!(t.lookup(PageNum::new(0)), TlbOutcome::L2Hit);
+        // Promoted: next lookup hits DTLB.
+        assert_eq!(t.lookup(PageNum::new(0)), TlbOutcome::L1Hit);
+    }
+
+    #[test]
+    fn invalidate_removes_from_both_levels() {
+        let mut t = tiny();
+        t.insert(PageNum::new(7));
+        t.invalidate(PageNum::new(7));
+        assert!(t.lookup(PageNum::new(7)).is_miss());
+    }
+
+    #[test]
+    fn flush_removes_everything() {
+        let mut t = tiny();
+        for pn in 0..8 {
+            t.insert(PageNum::new(pn));
+        }
+        t.flush();
+        for pn in 0..8 {
+            assert!(t.lookup(PageNum::new(pn)).is_miss());
+        }
+    }
+
+    #[test]
+    fn stats_track_outcomes() {
+        let mut t = tiny();
+        t.lookup(PageNum::new(1)); // miss
+        t.insert(PageNum::new(1));
+        t.lookup(PageNum::new(1)); // l1 hit
+        let s = t.stats();
+        assert_eq!(s.misses, 1);
+        assert_eq!(s.l1_hits, 1);
+        assert_eq!(s.lookups(), 2);
+        assert!((s.miss_ratio() - 0.5).abs() < 1e-12);
+    }
+}

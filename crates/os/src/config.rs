@@ -1,0 +1,303 @@
+//! Configuration of the OS memory-management model.
+
+use crate::error::OsError;
+
+/// Configuration of the simulated Linux memory manager (AutoNUMA tiering
+/// v0.8 semantics).
+///
+/// Defaults correspond to the kernel defaults of the paper's testbed
+/// (Linux 5.15 + tiering-0.8, 2.6 GHz), expressed in cycles. Because the
+/// simulated workloads are thousands of times smaller than the paper's
+/// 16-hour runs, use [`OsConfig::with_time_dilation`] to shrink all OS time
+/// constants proportionally so a run still spans many scan/reclaim cycles.
+///
+/// # Examples
+///
+/// ```
+/// use tiersim_os::OsConfig;
+///
+/// let cfg = OsConfig::builder()
+///     .autonuma_enabled(true)
+///     .build()?
+///     .with_time_dilation(100.0);
+/// assert!(cfg.scan_period_cycles < OsConfig::default().scan_period_cycles);
+/// # Ok::<(), tiersim_os::OsError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct OsConfig {
+    /// Master switch for AutoNUMA tiering (scanner, promotion, demotion).
+    /// When off, pages stay wherever first touch put them and all
+    /// migration counters remain zero — the paper's §6.6 sanity check.
+    pub autonuma_enabled: bool,
+
+    // ----- NUMA-balancing scanner ------------------------------------
+    /// Cycles between scanner wakeups (kernel:
+    /// `numa_balancing_scan_period_min`, default 1 s).
+    pub scan_period_cycles: u64,
+    /// Pages hint-marked per wakeup (kernel: `numa_balancing_scan_size`,
+    /// default 256 MB = 65536 pages).
+    pub scan_size_pages: u64,
+    /// Adaptive scan period (kernel behavior): when a scan period ends
+    /// with no hint faults the period backs off toward
+    /// `scan_period_max_cycles`; fault activity pulls it back toward
+    /// `scan_period_cycles`. Off by default to keep experiment
+    /// calibration at the kernel's minimum period.
+    pub scan_period_adaptive: bool,
+    /// Upper bound for the adaptive scan period (kernel:
+    /// `numa_balancing_scan_period_max`, default 60 s).
+    pub scan_period_max_cycles: u64,
+
+    // ----- promotion ---------------------------------------------------
+    /// Initial hint-fault-latency threshold below which an NVM page is a
+    /// promotion candidate (kernel: `numa_balancing_hot_threshold_ms`,
+    /// default 1 s).
+    pub hot_threshold_cycles: u64,
+    /// Lower clamp for the dynamic threshold.
+    pub hot_threshold_min_cycles: u64,
+    /// Upper clamp for the dynamic threshold.
+    pub hot_threshold_max_cycles: u64,
+    /// Cycles between dynamic-threshold adjustments.
+    pub threshold_adjust_period_cycles: u64,
+    /// Promotion rate limit in bytes per second of simulated time (kernel:
+    /// `numa_balancing_rate_limit_mbps`).
+    pub promo_rate_limit_bytes_per_sec: u64,
+
+    // ----- reclaim / demotion -------------------------------------------
+    /// `min` watermark as a fraction of DRAM capacity: below this,
+    /// allocations fall back to NVM and direct reclaim may run.
+    pub wmark_min_frac: f64,
+    /// `low` watermark: kswapd wakes below this.
+    pub wmark_low_frac: f64,
+    /// `high` watermark: kswapd demotes until free DRAM exceeds this.
+    pub wmark_high_frac: f64,
+    /// Maximum pages demoted per kswapd wakeup. Real kswapd migration
+    /// bandwidth is finite; keeping this small lets allocation bursts
+    /// overflow to NVM as on the paper's testbed (Finding 3).
+    pub kswapd_batch_pages: u64,
+    /// Recency quantum for reclaim victim selection: the kernel only
+    /// learns about references at page-table scan granularity, so reclaim
+    /// cannot distinguish recency finer than this (a coarse, epoch-based
+    /// LRU rather than an exact one).
+    pub lru_quantum_cycles: u64,
+    /// Cycles between kswapd opportunities (checked at every OS tick).
+    pub kswapd_period_cycles: u64,
+
+    // ----- page cache ----------------------------------------------------
+    /// Whether file reads populate the page cache (paper Finding 5).
+    pub page_cache_enabled: bool,
+    /// Disk read cost per 4 KiB page, in cycles (≈ 2 GB/s NVMe).
+    pub disk_read_cycles_per_page: u64,
+
+    // ----- fault costs ----------------------------------------------------
+    /// Kernel overhead of servicing a hint page fault, charged to the
+    /// faulting thread.
+    pub hint_fault_cost_cycles: u64,
+    /// Kernel overhead of a first-touch (minor) fault.
+    pub minor_fault_cost_cycles: u64,
+    /// Kernel overhead per page migration, on top of the device copy.
+    pub migration_overhead_cycles: u64,
+
+    /// CPU frequency used to convert the rate limit, must match the memory
+    /// system's frequency.
+    pub freq_hz: u64,
+}
+
+impl Default for OsConfig {
+    fn default() -> Self {
+        let hz: u64 = 2_600_000_000;
+        OsConfig {
+            autonuma_enabled: true,
+            scan_period_cycles: hz,                 // 1 s
+            scan_size_pages: 65_536,                // 256 MB
+            scan_period_adaptive: false,
+            scan_period_max_cycles: hz * 60,        // 60 s
+            hot_threshold_cycles: hz,               // 1 s
+            hot_threshold_min_cycles: hz / 1000,    // 1 ms
+            hot_threshold_max_cycles: hz * 10,      // 10 s
+            threshold_adjust_period_cycles: hz,     // 1 s
+            promo_rate_limit_bytes_per_sec: 65_536 << 20, // 65536 MB/s
+            wmark_min_frac: 0.02,
+            wmark_low_frac: 0.04,
+            wmark_high_frac: 0.08,
+            kswapd_batch_pages: 4096,
+            lru_quantum_cycles: hz,                 // 1 s (scan period)
+            kswapd_period_cycles: hz / 100,         // 10 ms
+            page_cache_enabled: true,
+            disk_read_cycles_per_page: 52_000,      // ≈ 20 µs / page (parse-bound load)
+            hint_fault_cost_cycles: 2_000,
+            minor_fault_cost_cycles: 1_200,
+            migration_overhead_cycles: 5_000,
+            freq_hz: hz,
+        }
+    }
+}
+
+impl OsConfig {
+    /// Starts building a configuration from the defaults.
+    pub fn builder() -> OsConfigBuilder {
+        OsConfigBuilder { cfg: OsConfig::default() }
+    }
+
+    /// Returns a copy with every OS *time constant* divided by `factor`,
+    /// so scaled-down workloads experience the same number of scan,
+    /// threshold-adjust and kswapd cycles per run as the paper's full-size
+    /// runs. Costs (fault overheads, disk latency) are left untouched.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is not finite and positive.
+    #[must_use]
+    pub fn with_time_dilation(mut self, factor: f64) -> Self {
+        assert!(factor.is_finite() && factor > 0.0, "dilation must be positive");
+        let scale = |v: u64| ((v as f64 / factor) as u64).max(1);
+        self.scan_period_cycles = scale(self.scan_period_cycles);
+        self.scan_period_max_cycles = scale(self.scan_period_max_cycles);
+        self.hot_threshold_cycles = scale(self.hot_threshold_cycles);
+        self.hot_threshold_min_cycles = scale(self.hot_threshold_min_cycles);
+        self.hot_threshold_max_cycles = scale(self.hot_threshold_max_cycles);
+        self.threshold_adjust_period_cycles = scale(self.threshold_adjust_period_cycles);
+        self.kswapd_period_cycles = scale(self.kswapd_period_cycles);
+        self.lru_quantum_cycles = scale(self.lru_quantum_cycles);
+        // The rate limit is bytes per *second*; dilating time means more
+        // bytes may flow per simulated second.
+        self.promo_rate_limit_bytes_per_sec =
+            (self.promo_rate_limit_bytes_per_sec as f64 * factor) as u64;
+        self
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OsError::InvalidConfig`] naming the offending parameter.
+    pub fn validate(&self) -> Result<(), OsError> {
+        if !(0.0..=1.0).contains(&self.wmark_min_frac)
+            || !(0.0..=1.0).contains(&self.wmark_low_frac)
+            || !(0.0..=1.0).contains(&self.wmark_high_frac)
+            || self.wmark_min_frac > self.wmark_low_frac
+            || self.wmark_low_frac > self.wmark_high_frac
+        {
+            return Err(OsError::InvalidConfig { what: "watermarks" });
+        }
+        if self.scan_period_cycles == 0 || self.scan_size_pages == 0 {
+            return Err(OsError::InvalidConfig { what: "scanner" });
+        }
+        if self.scan_period_max_cycles < self.scan_period_cycles {
+            return Err(OsError::InvalidConfig { what: "scan period max" });
+        }
+        if self.hot_threshold_min_cycles > self.hot_threshold_max_cycles {
+            return Err(OsError::InvalidConfig { what: "threshold clamps" });
+        }
+        if self.freq_hz == 0 {
+            return Err(OsError::InvalidConfig { what: "frequency" });
+        }
+        Ok(())
+    }
+}
+
+/// Builder for [`OsConfig`].
+#[derive(Debug, Clone)]
+pub struct OsConfigBuilder {
+    cfg: OsConfig,
+}
+
+impl OsConfigBuilder {
+    /// Enables or disables AutoNUMA tiering.
+    pub fn autonuma_enabled(mut self, enabled: bool) -> Self {
+        self.cfg.autonuma_enabled = enabled;
+        self
+    }
+
+    /// Sets the scanner period in cycles.
+    pub fn scan_period_cycles(mut self, cycles: u64) -> Self {
+        self.cfg.scan_period_cycles = cycles;
+        self
+    }
+
+    /// Sets the pages marked per scanner wakeup.
+    pub fn scan_size_pages(mut self, pages: u64) -> Self {
+        self.cfg.scan_size_pages = pages;
+        self
+    }
+
+    /// Sets the initial hot threshold in cycles.
+    pub fn hot_threshold_cycles(mut self, cycles: u64) -> Self {
+        self.cfg.hot_threshold_cycles = cycles;
+        self
+    }
+
+    /// Sets the promotion rate limit in bytes per simulated second.
+    pub fn promo_rate_limit_bytes_per_sec(mut self, bytes: u64) -> Self {
+        self.cfg.promo_rate_limit_bytes_per_sec = bytes;
+        self
+    }
+
+    /// Sets the DRAM watermark fractions `(min, low, high)`.
+    pub fn watermarks(mut self, min: f64, low: f64, high: f64) -> Self {
+        self.cfg.wmark_min_frac = min;
+        self.cfg.wmark_low_frac = low;
+        self.cfg.wmark_high_frac = high;
+        self
+    }
+
+    /// Enables or disables the page cache.
+    pub fn page_cache_enabled(mut self, enabled: bool) -> Self {
+        self.cfg.page_cache_enabled = enabled;
+        self
+    }
+
+    /// Sets the kswapd demotion batch size in pages.
+    pub fn kswapd_batch_pages(mut self, pages: u64) -> Self {
+        self.cfg.kswapd_batch_pages = pages;
+        self
+    }
+
+    /// Finishes the builder, validating the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OsError::InvalidConfig`] on inconsistent parameters.
+    pub fn build(self) -> Result<OsConfig, OsError> {
+        self.cfg.validate()?;
+        Ok(self.cfg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_valid() {
+        OsConfig::default().validate().unwrap();
+    }
+
+    #[test]
+    fn dilation_shrinks_periods_and_raises_rate() {
+        let base = OsConfig::default();
+        let d = base.clone().with_time_dilation(100.0);
+        assert_eq!(d.scan_period_cycles, base.scan_period_cycles / 100);
+        assert_eq!(d.promo_rate_limit_bytes_per_sec, base.promo_rate_limit_bytes_per_sec * 100);
+        // Costs untouched.
+        assert_eq!(d.hint_fault_cost_cycles, base.hint_fault_cost_cycles);
+    }
+
+    #[test]
+    fn dilation_never_reaches_zero() {
+        let d = OsConfig::default().with_time_dilation(1e18);
+        assert!(d.scan_period_cycles >= 1);
+    }
+
+    #[test]
+    fn builder_rejects_inverted_watermarks() {
+        let err = OsConfig::builder().watermarks(0.5, 0.1, 0.9).build().unwrap_err();
+        assert!(matches!(err, OsError::InvalidConfig { what: "watermarks" }));
+    }
+
+    #[test]
+    #[should_panic(expected = "dilation must be positive")]
+    fn dilation_rejects_nonpositive() {
+        let _ = OsConfig::default().with_time_dilation(0.0);
+    }
+}

@@ -1,0 +1,677 @@
+//! The AutoNUMA tiering engine: fault placement, hint-fault promotion,
+//! periodic scanning and reclaim.
+
+use crate::config::OsConfig;
+use crate::counters::VmCounters;
+use crate::rate_limit::TokenBucket;
+use crate::reclaim::{self, ReclaimOutcome};
+use crate::scanner::Scanner;
+use crate::threshold::ThresholdController;
+use crate::OsError;
+use tiersim_mem::{
+    AccessOutcome, MemError, MemPolicy, MemorySystem, PageFault, PageFlags, Tier, VirtAddr,
+    PAGE_SIZE,
+};
+
+/// How a page fault was resolved.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultResolution {
+    /// The tier the page was placed on.
+    pub tier: Tier,
+    /// Kernel cycles charged to the faulting thread.
+    pub cost_cycles: u64,
+}
+
+/// The OS memory manager: Linux-like first-touch placement plus the
+/// AutoNUMA tiering v0.8 promotion/demotion machinery the paper
+/// characterizes (§2.2).
+///
+/// Drive it with three hooks:
+/// - [`AutoNuma::handle_fault`] when the memory system raises a page fault,
+/// - [`AutoNuma::on_access`] after every completed access (promotions run
+///   off hint faults),
+/// - [`AutoNuma::tick`] whenever simulated time passes
+///   [`AutoNuma::next_event`] (scanner, kswapd, threshold adjustment).
+///
+/// # Examples
+///
+/// ```
+/// use tiersim_mem::{AccessError, AccessKind, MemConfig, MemPolicy, MemorySystem, Tier};
+/// use tiersim_os::{AutoNuma, OsConfig};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut mem = MemorySystem::new(MemConfig::default())?;
+/// let mut os = AutoNuma::new(OsConfig::default())?;
+/// let buf = mem.mmap(4096, MemPolicy::Default, "data")?;
+///
+/// let Err(AccessError::Fault(pf)) = mem.access(buf, AccessKind::Load, 0) else {
+///     panic!("expected fault");
+/// };
+/// let res = os.handle_fault(&mut mem, pf, 0)?;
+/// assert_eq!(res.tier, Tier::Dram); // DRAM-first while free (Finding 3)
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct AutoNuma {
+    cfg: OsConfig,
+    scanner: Scanner,
+    threshold: ThresholdController,
+    rate: TokenBucket,
+    counters: VmCounters,
+    next_scan: u64,
+    next_adjust: u64,
+    next_kswapd: u64,
+    candidate_bytes_interval: u64,
+    /// Current (possibly backed-off) scan period under adaptive scanning.
+    cur_scan_period: u64,
+    /// Hint faults observed at the previous scan tick.
+    hint_faults_at_last_scan: u64,
+    kswapd_pending: bool,
+    /// Background (kernel-thread) cycles spent so far; not charged to app
+    /// threads but visible in CPU-utilization accounting.
+    background_cycles: u64,
+}
+
+impl AutoNuma {
+    /// Creates an engine from a configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OsError::InvalidConfig`] if the configuration fails
+    /// validation.
+    pub fn new(cfg: OsConfig) -> Result<Self, OsError> {
+        cfg.validate()?;
+        Ok(AutoNuma {
+            scanner: Scanner::new(),
+            threshold: ThresholdController::new(
+                cfg.hot_threshold_cycles,
+                cfg.hot_threshold_min_cycles,
+                cfg.hot_threshold_max_cycles,
+            ),
+            rate: TokenBucket::new(cfg.promo_rate_limit_bytes_per_sec, cfg.freq_hz),
+            counters: VmCounters::default(),
+            next_scan: cfg.scan_period_cycles,
+            next_adjust: cfg.threshold_adjust_period_cycles,
+            next_kswapd: cfg.kswapd_period_cycles,
+            candidate_bytes_interval: 0,
+            cur_scan_period: cfg.scan_period_cycles,
+            hint_faults_at_last_scan: 0,
+            kswapd_pending: false,
+            background_cycles: 0,
+            cfg,
+        })
+    }
+
+    /// The configuration this engine runs with.
+    pub fn config(&self) -> &OsConfig {
+        &self.cfg
+    }
+
+    /// Cumulative vmstat-style counters.
+    pub fn counters(&self) -> VmCounters {
+        self.counters
+    }
+
+    /// Current dynamic hot threshold in cycles.
+    pub fn threshold_cycles(&self) -> u64 {
+        self.threshold.threshold_cycles()
+    }
+
+    /// Current scan period in cycles (equals the configured period unless
+    /// adaptive scanning has backed off).
+    pub fn scan_period_cycles(&self) -> u64 {
+        self.cur_scan_period
+    }
+
+    /// Total background (kernel-thread) cycles spent so far.
+    pub fn background_cycles(&self) -> u64 {
+        self.background_cycles
+    }
+
+    /// The earliest cycle time at which [`AutoNuma::tick`] has work to do.
+    pub fn next_event(&self) -> u64 {
+        if self.cfg.autonuma_enabled {
+            self.next_scan.min(self.next_adjust).min(self.next_kswapd)
+        } else {
+            self.next_kswapd
+        }
+    }
+
+    fn dram_watermark_pages(&self, mem: &MemorySystem, frac: f64) -> u64 {
+        (mem.capacity_pages(Tier::Dram) as f64 * frac) as u64
+    }
+
+    // ----- fault placement ------------------------------------------------
+
+    /// Services a page fault: places the page according to the VMA policy
+    /// and the kernel's DRAM-first default (paper Finding 3).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OsError::OutOfMemory`] if no tier can hold the page even
+    /// after reclaim.
+    pub fn handle_fault(
+        &mut self,
+        mem: &mut MemorySystem,
+        fault: PageFault,
+        now: u64,
+    ) -> Result<FaultResolution, OsError> {
+        let mut cost = self.cfg.minor_fault_cost_cycles;
+        let tier = self.place(mem, fault, now, &mut cost)?;
+        match tier {
+            Tier::Dram => self.counters.pgalloc_dram += 1,
+            Tier::Nvm => self.counters.pgalloc_nvm += 1,
+        }
+        Ok(FaultResolution { tier, cost_cycles: cost })
+    }
+
+    fn place(
+        &mut self,
+        mem: &mut MemorySystem,
+        fault: PageFault,
+        now: u64,
+        cost: &mut u64,
+    ) -> Result<Tier, OsError> {
+        let pn = fault.page;
+        match fault.policy {
+            MemPolicy::Default => {
+                // DRAM first while above the min watermark; wake kswapd
+                // below low (the kernel allocator's node fallback).
+                let free = mem.free_pages(Tier::Dram);
+                if free <= self.dram_watermark_pages(mem, self.cfg.wmark_low_frac) {
+                    self.kswapd_pending = true;
+                }
+                if free > self.dram_watermark_pages(mem, self.cfg.wmark_min_frac) {
+                    mem.map_page(pn, Tier::Dram, now)?;
+                    Ok(Tier::Dram)
+                } else {
+                    match mem.map_page(pn, Tier::Nvm, now) {
+                        Ok(()) => Ok(Tier::Nvm),
+                        Err(MemError::TierFull { .. }) => {
+                            // NVM exhausted: last resort is any free DRAM.
+                            mem.map_page(pn, Tier::Dram, now)
+                                .map_err(|_| OsError::OutOfMemory)?;
+                            Ok(Tier::Dram)
+                        }
+                        Err(e) => Err(e.into()),
+                    }
+                }
+            }
+            MemPolicy::Interleave => {
+                // Alternate by page number, falling back when a tier is
+                // full — the kernel's round-robin with node fallback.
+                let t = if pn.index() % 2 == 0 { Tier::Dram } else { Tier::Nvm };
+                match mem.map_page(pn, t, now) {
+                    Ok(()) => Ok(t),
+                    Err(MemError::TierFull { .. }) => {
+                        mem.map_page(pn, t.other(), now).map_err(|_| OsError::OutOfMemory)?;
+                        Ok(t.other())
+                    }
+                    Err(e) => Err(e.into()),
+                }
+            }
+            MemPolicy::Preferred(t) => match mem.map_page(pn, t, now) {
+                Ok(()) => Ok(t),
+                Err(MemError::TierFull { .. }) => {
+                    mem.map_page(pn, t.other(), now).map_err(|_| OsError::OutOfMemory)?;
+                    Ok(t.other())
+                }
+                Err(e) => Err(e.into()),
+            },
+            MemPolicy::Bind(t) => {
+                loop {
+                    match mem.map_page(pn, t, now) {
+                        Ok(()) => return Ok(t),
+                        Err(MemError::TierFull { .. }) if t == Tier::Dram => {
+                            // mbind to DRAM under pressure: synchronous
+                            // reclaim makes room. With tiering enabled the
+                            // victim is demoted; a vanilla kernel (tiering
+                            // off, as in the paper's §7 static runs, which
+                            // perform no migrations) drops clean page
+                            // cache instead.
+                            let reclaimed = if self.cfg.autonuma_enabled {
+                                reclaim::direct_reclaim_one(mem, &mut self.counters, &self.cfg)
+                            } else {
+                                let out =
+                                    reclaim::drop_page_cache(mem, &mut self.counters, 1);
+                                (out.dropped > 0).then_some(out.cost_cycles)
+                            };
+                            match reclaimed {
+                                Some(cycles) => *cost += cycles,
+                                None => return Err(OsError::OutOfMemory),
+                            }
+                        }
+                        Err(MemError::TierFull { .. }) => return Err(OsError::OutOfMemory),
+                        Err(e) => return Err(e.into()),
+                    }
+                }
+            }
+        }
+    }
+
+    // ----- hint faults and promotion ---------------------------------------
+
+    /// Processes the OS-visible side of a completed access. Returns extra
+    /// kernel cycles to charge to the accessing thread (hint-fault
+    /// servicing and any synchronous promotion it performed).
+    pub fn on_access(&mut self, mem: &mut MemorySystem, outcome: &AccessOutcome, now: u64) -> u64 {
+        if !outcome.hint_fault || !self.cfg.autonuma_enabled {
+            return 0;
+        }
+        self.counters.numa_hint_faults += 1;
+        let mut cost = self.cfg.hint_fault_cost_cycles;
+        if outcome.tier != Tier::Nvm {
+            return cost;
+        }
+
+        let free = mem.free_pages(Tier::Dram);
+        let high = self.dram_watermark_pages(mem, self.cfg.wmark_high_frac);
+        if free > high {
+            // Plenty of fast memory: promote unconditionally (paper §2.2).
+            self.promote(mem, outcome.page, &mut cost);
+            return cost;
+        }
+
+        let latency = now.saturating_sub(outcome.hint_scan_time);
+        if !self.threshold.is_hot(latency) {
+            self.counters.promo_threshold_rejected += 1;
+            return cost;
+        }
+        self.counters.pgpromote_candidate += 1;
+        self.candidate_bytes_interval += PAGE_SIZE;
+        if !self.rate.try_consume(PAGE_SIZE, now) {
+            self.counters.promo_rate_limited += 1;
+            return cost;
+        }
+        if free == 0 {
+            self.counters.promo_no_space += 1;
+            self.kswapd_pending = true;
+            return cost;
+        }
+        self.promote(mem, outcome.page, &mut cost);
+        cost
+    }
+
+    fn promote(&mut self, mem: &mut MemorySystem, page: tiersim_mem::PageNum, cost: &mut u64) {
+        match mem.migrate_page(page, Tier::Dram) {
+            Ok(copy_cycles) => {
+                *cost += copy_cycles + self.cfg.migration_overhead_cycles;
+                self.counters.pgpromote_success += 1;
+                self.counters.pgmigrate_success += 1;
+                if let Some(p) = mem.page_mut(page) {
+                    p.flags.insert(PageFlags::WAS_PROMOTED);
+                }
+            }
+            Err(_) => {
+                self.counters.promo_no_space += 1;
+                self.kswapd_pending = true;
+            }
+        }
+    }
+
+    // ----- periodic work -----------------------------------------------------
+
+    /// Runs any periodic work due at `now`: the NUMA scanner, the
+    /// threshold adjustment, and kswapd reclaim. Returns the background
+    /// cycles spent (kernel threads, not charged to the app).
+    pub fn tick(&mut self, mem: &mut MemorySystem, now: u64) -> u64 {
+        let mut bg = 0;
+        if self.cfg.autonuma_enabled {
+            if now >= self.next_scan {
+                let report = self.scanner.scan(mem, self.cfg.scan_size_pages, now);
+                bg += 100 + report.visited * 20 + report.marked * 40;
+                if self.cfg.scan_period_adaptive {
+                    // Kernel heuristic: quiet periods back the scanner off
+                    // toward the maximum; fault activity speeds it back up.
+                    let faults_now = self.counters.numa_hint_faults;
+                    if faults_now == self.hint_faults_at_last_scan {
+                        self.cur_scan_period = (self.cur_scan_period * 3 / 2)
+                            .min(self.cfg.scan_period_max_cycles);
+                    } else {
+                        self.cur_scan_period = (self.cur_scan_period * 2 / 3)
+                            .max(self.cfg.scan_period_cycles);
+                    }
+                    self.hint_faults_at_last_scan = faults_now;
+                }
+                self.next_scan = now + self.cur_scan_period;
+            }
+            if now >= self.next_adjust {
+                let interval_secs = self.cfg.threshold_adjust_period_cycles as f64
+                    / self.cfg.freq_hz as f64;
+                let limit_bytes =
+                    (self.cfg.promo_rate_limit_bytes_per_sec as f64 * interval_secs) as u64;
+                self.threshold.adjust(self.candidate_bytes_interval, limit_bytes);
+                self.candidate_bytes_interval = 0;
+                self.next_adjust = now + self.cfg.threshold_adjust_period_cycles;
+                bg += 200;
+            }
+            if now >= self.next_kswapd {
+                self.next_kswapd = now + self.cfg.kswapd_period_cycles;
+                let low = self.dram_watermark_pages(mem, self.cfg.wmark_low_frac);
+                if self.kswapd_pending || mem.free_pages(Tier::Dram) < low {
+                    let out = reclaim::kswapd_reclaim(mem, &mut self.counters, &self.cfg);
+                    if out.demoted > 0 || out.dropped > 0 {
+                        self.counters.kswapd_runs += 1;
+                    }
+                    bg += out.cost_cycles;
+                    self.kswapd_pending = false;
+                }
+            }
+        } else if now >= self.next_kswapd {
+            // Vanilla kernel: reclaim clean page cache under pressure, no
+            // migrations.
+            self.next_kswapd = now + self.cfg.kswapd_period_cycles;
+            let low = self.dram_watermark_pages(mem, self.cfg.wmark_low_frac);
+            if mem.free_pages(Tier::Dram) < low {
+                let out: ReclaimOutcome =
+                    reclaim::drop_page_cache(mem, &mut self.counters, self.cfg.kswapd_batch_pages);
+                bg += out.cost_cycles;
+            }
+        }
+        self.background_cycles += bg;
+        bg
+    }
+
+    // ----- page cache ---------------------------------------------------------
+
+    /// Simulates reading `bytes` from a file through the page cache:
+    /// allocates file-backed pages (DRAM-first like any allocation —
+    /// Finding 5's page-cache growth) and returns the I/O wait cycles the
+    /// reading thread experiences. Returns `(region, wait_cycles)`; the
+    /// region is `None` when the page cache is disabled or `bytes == 0`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OsError::OutOfMemory`] only if placement fails with both
+    /// tiers full and nothing reclaimable (practically unreachable because
+    /// page-cache fills stop at pressure).
+    pub fn file_read(
+        &mut self,
+        mem: &mut MemorySystem,
+        bytes: u64,
+        now: u64,
+    ) -> Result<(Option<VirtAddr>, u64), OsError> {
+        let pages = tiersim_mem::pages_for(bytes);
+        if pages == 0 {
+            return Ok((None, 0));
+        }
+        let wait = pages * self.cfg.disk_read_cycles_per_page;
+        if !self.cfg.page_cache_enabled {
+            return Ok((None, wait));
+        }
+        let base = mem.mmap(pages * PAGE_SIZE, MemPolicy::Default, "[page_cache]")?;
+        for i in 0..pages {
+            let pn = (base + i * PAGE_SIZE).page();
+            let fault = PageFault {
+                page: pn,
+                addr: pn.base(),
+                policy: MemPolicy::Default,
+                vma: mem.find_vma(base).expect("just mapped").id,
+            };
+            let mut cost = 0;
+            if self.place(mem, fault, now, &mut cost).is_err() {
+                // Both tiers full: stop caching; the read itself still
+                // succeeds from disk.
+                break;
+            }
+            if let Some(p) = mem.page_mut(pn) {
+                p.flags.insert(PageFlags::PAGE_CACHE);
+            }
+            self.counters.page_cache_filled += 1;
+        }
+        Ok((Some(base), wait))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tiersim_mem::{AccessError, AccessKind, MemConfig};
+
+    fn mem(dram_pages: u64, nvm_pages: u64) -> MemorySystem {
+        MemorySystem::new(
+            MemConfig::builder()
+                .dram_capacity(dram_pages * PAGE_SIZE)
+                .nvm_capacity(nvm_pages * PAGE_SIZE)
+                .build()
+                .unwrap(),
+        )
+        .unwrap()
+    }
+
+    fn os() -> AutoNuma {
+        AutoNuma::new(
+            OsConfig::builder()
+                .watermarks(0.05, 0.1, 0.2)
+                .build()
+                .unwrap(),
+        )
+        .unwrap()
+    }
+
+    /// Touches `addr`, servicing the first-touch fault through the engine.
+    fn touch(
+        mem: &mut MemorySystem,
+        eng: &mut AutoNuma,
+        addr: VirtAddr,
+        now: u64,
+    ) -> AccessOutcome {
+        loop {
+            match mem.access(addr, AccessKind::Load, now) {
+                Ok(out) => {
+                    eng.on_access(mem, &out, now);
+                    return out;
+                }
+                Err(AccessError::Fault(pf)) => {
+                    eng.handle_fault(mem, pf, now).unwrap();
+                }
+                Err(e) => panic!("unexpected {e}"),
+            }
+        }
+    }
+
+    #[test]
+    fn default_policy_fills_dram_first_then_nvm() {
+        let mut m = mem(100, 100);
+        let mut e = os();
+        let a = m.mmap(120 * PAGE_SIZE, MemPolicy::Default, "big").unwrap();
+        for i in 0..120 {
+            touch(&mut m, &mut e, a + i * PAGE_SIZE, i);
+        }
+        let c = e.counters();
+        // min watermark = 5 pages: 95 land on DRAM, the rest spill to NVM.
+        assert_eq!(c.pgalloc_dram, 95);
+        assert_eq!(c.pgalloc_nvm, 25);
+        assert_eq!(m.used_pages(Tier::Nvm), 25);
+    }
+
+    #[test]
+    fn bind_policies_are_respected() {
+        let mut m = mem(10, 10);
+        let mut e = os();
+        let a = m.mmap(PAGE_SIZE, MemPolicy::Bind(Tier::Nvm), "b").unwrap();
+        let out = touch(&mut m, &mut e, a, 0);
+        assert_eq!(out.tier, Tier::Nvm);
+        let p = m.mmap(PAGE_SIZE, MemPolicy::Preferred(Tier::Nvm), "p").unwrap();
+        assert_eq!(touch(&mut m, &mut e, p, 1).tier, Tier::Nvm);
+    }
+
+    #[test]
+    fn interleave_alternates_tiers() {
+        let mut m = mem(100, 100);
+        let mut e = os();
+        let a = m.mmap(6 * PAGE_SIZE, MemPolicy::Interleave, "i").unwrap();
+        let mut tiers = Vec::new();
+        for i in 0..6 {
+            tiers.push(touch(&mut m, &mut e, a + i * PAGE_SIZE, i).tier);
+        }
+        assert!(tiers.contains(&Tier::Dram));
+        assert!(tiers.contains(&Tier::Nvm));
+        // Consecutive pages alternate.
+        assert!(tiers.windows(2).all(|w| w[0] != w[1]), "{tiers:?}");
+    }
+
+    #[test]
+    fn bind_dram_under_pressure_direct_reclaims() {
+        let mut m = mem(4, 10);
+        let mut e = os();
+        // Fill DRAM with default pages.
+        let filler = m.mmap(4 * PAGE_SIZE, MemPolicy::Default, "fill").unwrap();
+        for i in 0..4 {
+            m.map_page((filler + i * PAGE_SIZE).page(), Tier::Dram, i).unwrap();
+        }
+        let b = m.mmap(PAGE_SIZE, MemPolicy::Bind(Tier::Dram), "bind").unwrap();
+        let out = touch(&mut m, &mut e, b, 10);
+        assert_eq!(out.tier, Tier::Dram);
+        assert_eq!(e.counters().pgdemote_direct, 1);
+    }
+
+    #[test]
+    fn hint_fault_promotes_when_dram_free() {
+        let mut m = mem(100, 100);
+        let mut e = os();
+        let a = m.mmap(PAGE_SIZE, MemPolicy::Bind(Tier::Nvm), "x").unwrap();
+        touch(&mut m, &mut e, a, 0);
+        assert!(m.mark_hint(a.page(), 5));
+        let out = touch(&mut m, &mut e, a, 10);
+        assert!(out.hint_fault);
+        assert_eq!(e.counters().pgpromote_success, 1);
+        assert_eq!(m.page(a.page()).unwrap().tier, Tier::Dram);
+        assert!(m.page(a.page()).unwrap().flags.contains(PageFlags::WAS_PROMOTED));
+    }
+
+    #[test]
+    fn cold_page_is_threshold_rejected_under_pressure() {
+        let mut m = mem(10, 100);
+        let mut cfg = OsConfig::builder()
+            .watermarks(0.05, 0.1, 0.9) // high watermark ≈ whole DRAM
+            .hot_threshold_cycles(100)
+            .build()
+            .unwrap();
+        cfg.hot_threshold_min_cycles = 1;
+        let mut e = AutoNuma::new(cfg).unwrap();
+        // Put the DRAM free count at/below the high watermark so the
+        // gated (threshold) path runs instead of unconditional promotion.
+        let filler = m.mmap(2 * PAGE_SIZE, MemPolicy::Bind(Tier::Dram), "fill").unwrap();
+        touch(&mut m, &mut e, filler, 0);
+        touch(&mut m, &mut e, filler + PAGE_SIZE, 0);
+        let a = m.mmap(PAGE_SIZE, MemPolicy::Bind(Tier::Nvm), "x").unwrap();
+        touch(&mut m, &mut e, a, 0);
+        m.mark_hint(a.page(), 0);
+        // Access far later than the 100-cycle threshold.
+        let out = touch(&mut m, &mut e, a, 1_000_000);
+        assert!(out.hint_fault);
+        assert_eq!(e.counters().promo_threshold_rejected, 1);
+        assert_eq!(e.counters().pgpromote_success, 0);
+        assert_eq!(m.page(a.page()).unwrap().tier, Tier::Nvm);
+    }
+
+    #[test]
+    fn disabled_autonuma_never_migrates() {
+        let mut m = mem(8, 100);
+        let mut e = AutoNuma::new(
+            OsConfig::builder().autonuma_enabled(false).build().unwrap(),
+        )
+        .unwrap();
+        let a = m.mmap(20 * PAGE_SIZE, MemPolicy::Default, "big").unwrap();
+        for i in 0..20 {
+            touch(&mut m, &mut e, a + i * PAGE_SIZE, i);
+        }
+        // Hint marks should never happen, but even a manual one must not
+        // trigger promotion.
+        m.mark_hint((a + 19 * PAGE_SIZE).page(), 0);
+        touch(&mut m, &mut e, a + 19 * PAGE_SIZE, 100);
+        e.tick(&mut m, 10_000_000);
+        assert!(e.counters().no_migrations());
+    }
+
+    #[test]
+    fn tick_runs_scanner_and_marks_pages() {
+        let mut m = mem(100, 100);
+        let mut e = AutoNuma::new(
+            OsConfig::builder().scan_period_cycles(1000).build().unwrap(),
+        )
+        .unwrap();
+        let a = m.mmap(4 * PAGE_SIZE, MemPolicy::Default, "x").unwrap();
+        for i in 0..4 {
+            touch(&mut m, &mut e, a + i * PAGE_SIZE, i);
+        }
+        let bg = e.tick(&mut m, e.next_event());
+        assert!(bg > 0);
+        assert!(m.page(a.page()).unwrap().flags.contains(PageFlags::HINT));
+    }
+
+    #[test]
+    fn kswapd_fires_after_pressure() {
+        let mut m = mem(10, 100);
+        let mut e = os();
+        let a = m.mmap(10 * PAGE_SIZE, MemPolicy::Default, "x").unwrap();
+        for i in 0..10 {
+            touch(&mut m, &mut e, a + i * PAGE_SIZE, i);
+        }
+        // Allocation dipped below low watermark → kswapd pending.
+        e.tick(&mut m, e.next_event());
+        assert!(e.counters().pgdemote_kswapd > 0);
+        assert!(m.free_pages(Tier::Dram) >= 2); // high watermark = 20% of 10
+    }
+
+    #[test]
+    fn file_read_fills_page_cache_dram_first() {
+        let mut m = mem(100, 100);
+        let mut e = os();
+        let (region, wait) = e.file_read(&mut m, 10 * PAGE_SIZE, 0).unwrap();
+        assert!(region.is_some());
+        assert!(wait > 0);
+        assert_eq!(e.counters().page_cache_filled, 10);
+        let stat = crate::counters::NumaStat::collect(&m);
+        assert_eq!(stat.file_pages[Tier::Dram.index()], 10);
+    }
+
+    #[test]
+    fn file_read_with_cache_disabled_only_waits() {
+        let mut m = mem(100, 100);
+        let mut e = AutoNuma::new(
+            OsConfig::builder().page_cache_enabled(false).build().unwrap(),
+        )
+        .unwrap();
+        let (region, wait) = e.file_read(&mut m, 10 * PAGE_SIZE, 0).unwrap();
+        assert!(region.is_none());
+        assert!(wait > 0);
+        assert_eq!(m.used_pages(Tier::Dram), 0);
+    }
+
+    #[test]
+    fn adaptive_scanner_backs_off_when_quiet_and_recovers_on_faults() {
+        let mut m = mem(100, 100);
+        let mut cfg = OsConfig::builder().scan_period_cycles(1_000).build().unwrap();
+        cfg.scan_period_adaptive = true;
+        cfg.scan_period_max_cycles = 100_000;
+        let mut e = AutoNuma::new(cfg).unwrap();
+        let a = m.mmap(4 * PAGE_SIZE, MemPolicy::Default, "x").unwrap();
+        for i in 0..4 {
+            touch(&mut m, &mut e, a + i * PAGE_SIZE, i);
+        }
+        // Quiet scans: period grows.
+        let mut now = e.next_event();
+        for _ in 0..8 {
+            e.tick(&mut m, now);
+            now = e.next_event();
+        }
+        let backed_off = e.scan_period_cycles();
+        assert!(backed_off > 1_000, "period should back off, got {backed_off}");
+        // A hint fault pulls it back down.
+        touch(&mut m, &mut e, a, now); // marked by the scans above
+        e.tick(&mut m, e.next_event());
+        assert!(e.scan_period_cycles() < backed_off);
+    }
+
+    #[test]
+    fn next_event_advances_with_ticks() {
+        let mut m = mem(10, 10);
+        let mut e = os();
+        let first = e.next_event();
+        e.tick(&mut m, first);
+        assert!(e.next_event() > first);
+    }
+}

@@ -1,0 +1,56 @@
+//! Error types for the OS model.
+
+use core::fmt;
+
+/// Errors produced by the OS memory-management model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OsError {
+    /// A configuration value was rejected.
+    InvalidConfig {
+        /// Human-readable description of the offending parameter.
+        what: &'static str,
+    },
+    /// Both tiers are exhausted and nothing reclaimable remains.
+    OutOfMemory,
+    /// An underlying memory-system operation failed unexpectedly.
+    Mem(tiersim_mem::MemError),
+}
+
+impl fmt::Display for OsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OsError::InvalidConfig { what } => write!(f, "invalid configuration: {what}"),
+            OsError::OutOfMemory => f.write_str("out of memory: both tiers exhausted"),
+            OsError::Mem(e) => write!(f, "memory system error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for OsError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            OsError::Mem(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<tiersim_mem::MemError> for OsError {
+    fn from(e: tiersim_mem::MemError) -> Self {
+        OsError::Mem(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        use std::error::Error;
+        let e = OsError::Mem(tiersim_mem::MemError::OutOfMemory);
+        assert!(e.to_string().contains("memory system"));
+        assert!(e.source().is_some());
+        assert!(OsError::OutOfMemory.source().is_none());
+    }
+}

@@ -1,0 +1,283 @@
+//! Reclaim: kswapd demotion, direct reclaim, and page-cache dropping.
+
+use crate::config::OsConfig;
+use crate::counters::VmCounters;
+use tiersim_mem::{MemError, MemorySystem, PageFlags, PageNum, Tier};
+
+/// Result of one reclaim pass.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReclaimOutcome {
+    /// Pages demoted DRAM→NVM.
+    pub demoted: u64,
+    /// Clean page-cache pages dropped outright.
+    pub dropped: u64,
+    /// Kernel + device cycles spent.
+    pub cost_cycles: u64,
+}
+
+/// Returns up to `k` DRAM-resident pages, coldest first under an
+/// *epoch-quantized* recency order: last-access times are truncated to
+/// `quantum_cycles` before comparison (ties broken by address), because
+/// the kernel only observes references at page-table-scan granularity —
+/// its LRU is coarse, not exact. With `quantum_cycles == 1` this degrades
+/// to exact LRU (useful in tests).
+pub fn coldest_dram_pages(mem: &MemorySystem, k: usize, quantum_cycles: u64) -> Vec<PageNum> {
+    let q = quantum_cycles.max(1);
+    let mut candidates: Vec<(u64, PageNum)> = mem
+        .resident_pages()
+        .filter(|(_, info)| info.tier == Tier::Dram)
+        .map(|(pn, info)| (info.last_access / q, pn))
+        .collect();
+    candidates.sort_unstable();
+    candidates.truncate(k);
+    candidates.into_iter().map(|(_, pn)| pn).collect()
+}
+
+/// Demotes one page DRAM→NVM, falling back to dropping it if it is clean
+/// page cache and NVM is full. Returns the cycles spent, or `None` if the
+/// page could not be reclaimed.
+fn reclaim_one(
+    mem: &mut MemorySystem,
+    counters: &mut VmCounters,
+    cfg: &OsConfig,
+    pn: PageNum,
+    kswapd: bool,
+) -> Option<u64> {
+    let info = *mem.page(pn)?;
+    match mem.migrate_page(pn, Tier::Nvm) {
+        Ok(copy_cycles) => {
+            if kswapd {
+                counters.pgdemote_kswapd += 1;
+            } else {
+                counters.pgdemote_direct += 1;
+            }
+            counters.pgmigrate_success += 1;
+            if info.flags.contains(PageFlags::WAS_PROMOTED) {
+                counters.pgpromote_demoted += 1;
+                if let Some(p) = mem.page_mut(pn) {
+                    p.flags.remove(PageFlags::WAS_PROMOTED);
+                }
+            }
+            Some(copy_cycles + cfg.migration_overhead_cycles)
+        }
+        Err(MemError::TierFull { .. }) => {
+            // NVM is full: clean file pages can simply be dropped.
+            if info.flags.contains(PageFlags::PAGE_CACHE) {
+                mem.unmap_page(pn).ok()?;
+                counters.page_cache_dropped += 1;
+                Some(cfg.migration_overhead_cycles / 2)
+            } else {
+                None
+            }
+        }
+        Err(_) => None,
+    }
+}
+
+/// Periodic (kswapd) reclaim: demotes cold DRAM pages until free DRAM
+/// rises above the `high` watermark, bounded by the batch size.
+pub fn kswapd_reclaim(
+    mem: &mut MemorySystem,
+    counters: &mut VmCounters,
+    cfg: &OsConfig,
+) -> ReclaimOutcome {
+    let mut out = ReclaimOutcome::default();
+    let capacity = mem.capacity_pages(Tier::Dram);
+    let high = (capacity as f64 * cfg.wmark_high_frac) as u64;
+    if mem.free_pages(Tier::Dram) >= high {
+        return out;
+    }
+    let need = (high - mem.free_pages(Tier::Dram)).min(cfg.kswapd_batch_pages);
+    let victims = coldest_dram_pages(mem, need as usize, cfg.lru_quantum_cycles);
+    for pn in victims {
+        if mem.free_pages(Tier::Dram) >= high {
+            break;
+        }
+        let was_cache = mem
+            .page(pn)
+            .map(|p| p.flags.contains(PageFlags::PAGE_CACHE))
+            .unwrap_or(false);
+        let before_dropped = counters.page_cache_dropped;
+        if let Some(cycles) = reclaim_one(mem, counters, cfg, pn, true) {
+            out.cost_cycles += cycles;
+            if was_cache && counters.page_cache_dropped > before_dropped {
+                out.dropped += 1;
+            } else {
+                out.demoted += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Synchronous direct reclaim on the allocation path: demotes the single
+/// coldest DRAM page to make room. Returns the cycles spent, or `None` if
+/// nothing could be reclaimed.
+pub fn direct_reclaim_one(
+    mem: &mut MemorySystem,
+    counters: &mut VmCounters,
+    cfg: &OsConfig,
+) -> Option<u64> {
+    for pn in coldest_dram_pages(mem, 8, cfg.lru_quantum_cycles) {
+        if let Some(cycles) = reclaim_one(mem, counters, cfg, pn, false) {
+            return Some(cycles);
+        }
+    }
+    None
+}
+
+/// Vanilla-kernel reclaim used when AutoNUMA tiering is disabled: drops up
+/// to `max_pages` of the coldest *clean page-cache* pages on DRAM (no
+/// migrations, so all tiering counters stay zero — the paper's §6.6
+/// sanity check).
+pub fn drop_page_cache(
+    mem: &mut MemorySystem,
+    counters: &mut VmCounters,
+    max_pages: u64,
+) -> ReclaimOutcome {
+    let mut out = ReclaimOutcome::default();
+    let mut candidates: Vec<(u64, PageNum)> = mem
+        .resident_pages()
+        .filter(|(_, info)| {
+            info.tier == Tier::Dram && info.flags.contains(PageFlags::PAGE_CACHE)
+        })
+        .map(|(pn, info)| (info.last_access, pn))
+        .collect();
+    candidates.sort_unstable();
+    for (_, pn) in candidates.into_iter().take(max_pages as usize) {
+        if mem.unmap_page(pn).is_ok() {
+            counters.page_cache_dropped += 1;
+            out.dropped += 1;
+            out.cost_cycles += 1_000;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tiersim_mem::{MemConfig, MemPolicy, PAGE_SIZE};
+
+    fn setup(dram_pages: u64, nvm_pages: u64) -> MemorySystem {
+        MemorySystem::new(
+            MemConfig::builder()
+                .dram_capacity(dram_pages * PAGE_SIZE)
+                .nvm_capacity(nvm_pages * PAGE_SIZE)
+                .build()
+                .unwrap(),
+        )
+        .unwrap()
+    }
+
+    fn cfg() -> OsConfig {
+        OsConfig::builder().watermarks(0.1, 0.2, 0.4).build().unwrap()
+    }
+
+    /// Maps `n` pages on DRAM with ascending last-access times.
+    fn fill_dram(mem: &mut MemorySystem, n: u64) -> tiersim_mem::VirtAddr {
+        let a = mem.mmap(n * PAGE_SIZE, MemPolicy::Default, "data").unwrap();
+        for i in 0..n {
+            let pn = (a + i * PAGE_SIZE).page();
+            mem.map_page(pn, Tier::Dram, i).unwrap();
+        }
+        a
+    }
+
+    #[test]
+    fn coldest_orders_by_last_access() {
+        let mut m = setup(10, 10);
+        let a = fill_dram(&mut m, 5);
+        // Touch page 0 late so it becomes hottest.
+        m.page_mut(a.page()).unwrap().last_access = 100;
+        let cold = coldest_dram_pages(&m, 2, 1);
+        assert_eq!(cold, vec![(a + PAGE_SIZE).page(), (a + 2 * PAGE_SIZE).page()]);
+    }
+
+    #[test]
+    fn kswapd_demotes_to_high_watermark() {
+        let mut m = setup(10, 20);
+        fill_dram(&mut m, 10); // 0 free, high = 4
+        let mut c = VmCounters::default();
+        let out = kswapd_reclaim(&mut m, &mut c, &cfg());
+        assert_eq!(out.demoted, 4);
+        assert_eq!(m.free_pages(Tier::Dram), 4);
+        assert_eq!(c.pgdemote_kswapd, 4);
+        assert_eq!(c.pgmigrate_success, 4);
+        assert!(out.cost_cycles > 0);
+    }
+
+    #[test]
+    fn kswapd_noop_above_watermark() {
+        let mut m = setup(10, 10);
+        fill_dram(&mut m, 2); // 8 free > high of 4
+        let mut c = VmCounters::default();
+        let out = kswapd_reclaim(&mut m, &mut c, &cfg());
+        assert_eq!(out, ReclaimOutcome::default());
+        assert_eq!(c.pgdemote_kswapd, 0);
+    }
+
+    #[test]
+    fn demoting_promoted_page_counts_thrash() {
+        let mut m = setup(4, 10);
+        let a = fill_dram(&mut m, 4);
+        m.page_mut(a.page()).unwrap().flags.insert(PageFlags::WAS_PROMOTED);
+        let mut c = VmCounters::default();
+        kswapd_reclaim(&mut m, &mut c, &cfg());
+        assert_eq!(c.pgpromote_demoted, 1);
+    }
+
+    #[test]
+    fn clean_page_cache_is_dropped_when_nvm_full() {
+        let mut m = setup(4, 1);
+        // Fill NVM so demotion fails.
+        let n = m.mmap(PAGE_SIZE, MemPolicy::Default, "nvmfill").unwrap();
+        m.map_page(n.page(), Tier::Nvm, 0).unwrap();
+        let a = fill_dram(&mut m, 4);
+        for i in 0..4 {
+            m.page_mut((a + i * PAGE_SIZE).page())
+                .unwrap()
+                .flags
+                .insert(PageFlags::PAGE_CACHE);
+        }
+        let mut c = VmCounters::default();
+        let out = kswapd_reclaim(&mut m, &mut c, &cfg());
+        assert!(out.dropped > 0);
+        assert_eq!(out.demoted, 0);
+        assert_eq!(c.page_cache_dropped, out.dropped);
+    }
+
+    #[test]
+    fn anon_pages_cannot_be_reclaimed_when_nvm_full() {
+        let mut m = setup(2, 1);
+        let n = m.mmap(PAGE_SIZE, MemPolicy::Default, "nvmfill").unwrap();
+        m.map_page(n.page(), Tier::Nvm, 0).unwrap();
+        fill_dram(&mut m, 2);
+        let mut c = VmCounters::default();
+        assert!(direct_reclaim_one(&mut m, &mut c, &cfg()).is_none());
+    }
+
+    #[test]
+    fn direct_reclaim_demotes_one() {
+        let mut m = setup(4, 10);
+        fill_dram(&mut m, 4);
+        let mut c = VmCounters::default();
+        let cycles = direct_reclaim_one(&mut m, &mut c, &cfg()).unwrap();
+        assert!(cycles > 0);
+        assert_eq!(c.pgdemote_direct, 1);
+        assert_eq!(m.free_pages(Tier::Dram), 1);
+    }
+
+    #[test]
+    fn drop_page_cache_only_touches_file_pages() {
+        let mut m = setup(6, 6);
+        let a = fill_dram(&mut m, 4);
+        m.page_mut(a.page()).unwrap().flags.insert(PageFlags::PAGE_CACHE);
+        m.page_mut((a + PAGE_SIZE).page()).unwrap().flags.insert(PageFlags::PAGE_CACHE);
+        let mut c = VmCounters::default();
+        let out = drop_page_cache(&mut m, &mut c, 10);
+        assert_eq!(out.dropped, 2);
+        assert_eq!(m.used_pages(Tier::Dram), 2);
+        assert!(c.no_migrations());
+    }
+}

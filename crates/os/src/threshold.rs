@@ -1,0 +1,107 @@
+//! Dynamic hot-threshold controller for promotion candidates.
+
+/// Adjusts the hint-fault-latency threshold that classifies NVM pages as
+/// hot, following the tiering-0.8 algorithm the paper describes in §2.2:
+/// if the bytes of candidate promotions seen in an interval exceed the
+/// promotion rate limit, the threshold is lowered (be pickier); otherwise
+/// it is raised (be more permissive).
+///
+/// # Examples
+///
+/// ```
+/// use tiersim_os::ThresholdController;
+///
+/// let mut tc = ThresholdController::new(1000, 10, 100_000);
+/// let before = tc.threshold_cycles();
+/// // Candidates far above the limit: threshold must drop.
+/// tc.adjust(1 << 30, 1 << 20);
+/// assert!(tc.threshold_cycles() < before);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ThresholdController {
+    threshold: u64,
+    min: u64,
+    max: u64,
+}
+
+impl ThresholdController {
+    /// Creates a controller with an initial threshold and clamps.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `min > max`.
+    pub fn new(initial_cycles: u64, min_cycles: u64, max_cycles: u64) -> Self {
+        assert!(min_cycles <= max_cycles, "threshold clamps inverted");
+        ThresholdController {
+            threshold: initial_cycles.clamp(min_cycles, max_cycles),
+            min: min_cycles,
+            max: max_cycles,
+        }
+    }
+
+    /// Current threshold in cycles. A hint fault whose latency is below
+    /// this makes its page a promotion candidate.
+    pub fn threshold_cycles(&self) -> u64 {
+        self.threshold
+    }
+
+    /// Returns `true` if a hint-fault `latency_cycles` classifies the page
+    /// as hot.
+    pub fn is_hot(&self, latency_cycles: u64) -> bool {
+        latency_cycles < self.threshold
+    }
+
+    /// Adjusts the threshold given the candidate bytes observed in the
+    /// last interval against the interval's rate-limit budget.
+    pub fn adjust(&mut self, candidate_bytes: u64, limit_bytes: u64) {
+        // Kernel heuristic: steer candidate volume toward the limit.
+        // Overshoot → ×0.8 (pickier); undershoot → ×1.2 (more permissive).
+        if candidate_bytes > limit_bytes {
+            self.threshold = (self.threshold as f64 * 0.8) as u64;
+        } else {
+            self.threshold = (self.threshold as f64 * 1.2) as u64;
+        }
+        self.threshold = self.threshold.clamp(self.min, self.max);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hot_is_strictly_below_threshold() {
+        let tc = ThresholdController::new(100, 1, 1000);
+        assert!(tc.is_hot(99));
+        assert!(!tc.is_hot(100));
+        assert!(!tc.is_hot(500));
+    }
+
+    #[test]
+    fn overshoot_lowers_undershoot_raises() {
+        let mut tc = ThresholdController::new(100, 1, 1000);
+        tc.adjust(2000, 1000);
+        assert_eq!(tc.threshold_cycles(), 80);
+        tc.adjust(10, 1000);
+        assert_eq!(tc.threshold_cycles(), 96);
+    }
+
+    #[test]
+    fn clamps_hold() {
+        let mut tc = ThresholdController::new(100, 90, 110);
+        for _ in 0..10 {
+            tc.adjust(u64::MAX, 0);
+        }
+        assert_eq!(tc.threshold_cycles(), 90);
+        for _ in 0..10 {
+            tc.adjust(0, u64::MAX);
+        }
+        assert_eq!(tc.threshold_cycles(), 110);
+    }
+
+    #[test]
+    fn initial_is_clamped() {
+        let tc = ThresholdController::new(5, 10, 20);
+        assert_eq!(tc.threshold_cycles(), 10);
+    }
+}

@@ -1,0 +1,33 @@
+//! # tiersim-policy — object-level memory tiering (the paper's proposal)
+//!
+//! Implements §7 of the paper: instead of AutoNUMA's reactive page-level
+//! migration, place whole *objects* using an offline profile:
+//!
+//! 1. [`aggregate_by_label`] folds a profiling run's per-object samples
+//!    into per-label statistics and ranks them by access density
+//!    (samples ÷ size).
+//! 2. [`plan_static`] packs objects into DRAM greedily until the budget is
+//!    exhausted; everything else is bound to NVM. The *spill* variant
+//!    splits the first non-fitting object across the tiers (the paper's
+//!    `cc_kron*`/`cc_urand*` runs).
+//! 3. The runtime applies the resulting [`ObjectPlacement`] at every
+//!    `mmap` interception via `mbind`-style policies; no promotions or
+//!    demotions happen afterwards.
+//!
+//! [`TieringMode`] enumerates the policies compared in Figure 11 plus
+//! idealized all-DRAM/all-NVM baselines.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod dynamic;
+mod mode;
+mod placement;
+mod planner;
+mod ranking;
+
+pub use dynamic::DynamicObjectConfig;
+pub use mode::TieringMode;
+pub use placement::{ObjectPlacement, Placement};
+pub use planner::{plan_static, StaticPlan};
+pub use ranking::{aggregate_by_label, LabelStats};

@@ -1,0 +1,131 @@
+//! Per-label aggregation and density ranking of profiled objects.
+
+use tiersim_profile::MappedProfile;
+
+/// Aggregated statistics for one allocation-site label.
+///
+/// Workloads re-allocate per-trial arrays under the same label (e.g.
+/// `bfs.dist` once per trial); placement is decided per *logical* object,
+/// so profiles are folded by label: samples sum, and the DRAM budget
+/// consumed is the largest single instance (instances of one label are
+/// never live concurrently in the GAPBS-style run loop).
+#[derive(Debug, Clone, PartialEq)]
+pub struct LabelStats {
+    /// The allocation-site label.
+    pub label: String,
+    /// Largest single-instance size in bytes.
+    pub bytes: u64,
+    /// Total load samples over all instances (cache + external).
+    pub samples: u64,
+    /// Total NVM load samples.
+    pub nvm_samples: u64,
+}
+
+impl LabelStats {
+    /// The paper's ranking key: total accesses divided by allocation size.
+    pub fn density(&self) -> f64 {
+        if self.bytes == 0 { 0.0 } else { self.samples as f64 / self.bytes as f64 }
+    }
+}
+
+/// Folds per-object profiles into per-label statistics, ordered by
+/// density descending (the paper's ranking, §7).
+///
+/// # Examples
+///
+/// ```
+/// use tiersim_policy::aggregate_by_label;
+/// use tiersim_profile::MappedProfile;
+///
+/// assert!(aggregate_by_label(&MappedProfile::default()).is_empty());
+/// ```
+pub fn aggregate_by_label(mapped: &MappedProfile) -> Vec<LabelStats> {
+    let mut by_label: std::collections::HashMap<&str, LabelStats> = std::collections::HashMap::new();
+    for o in &mapped.objects {
+        let e = by_label.entry(&o.site).or_insert_with(|| LabelStats {
+            label: o.site.to_string(),
+            bytes: 0,
+            samples: 0,
+            nvm_samples: 0,
+        });
+        e.bytes = e.bytes.max(o.len);
+        e.samples += o.total_samples();
+        e.nvm_samples += o.nvm_samples;
+    }
+    let mut v: Vec<LabelStats> = by_label.into_values().collect();
+    v.sort_by(|a, b| {
+        b.density()
+            .partial_cmp(&a.density())
+            .expect("densities are finite")
+            .then_with(|| a.label.cmp(&b.label))
+    });
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use tiersim_profile::{MappedProfile, ObjectId, ObjectProfile};
+
+    fn profile(id: u32, site: &str, len: u64, cache: u64, nvm: u64) -> ObjectProfile {
+        ObjectProfile {
+            id: ObjectId(id),
+            site: Arc::from(site),
+            len,
+            alloc_time: 0,
+            free_time: None,
+            cache_samples: cache,
+            dram_samples: 0,
+            nvm_samples: nvm,
+            dram_cost_cycles: 0,
+            nvm_cost_cycles: nvm * 1000,
+            external_pages: 0,
+        }
+    }
+
+    #[test]
+    fn labels_fold_instances() {
+        let mapped = MappedProfile {
+            objects: vec![
+                profile(0, "bfs.dist", 1000, 5, 2),
+                profile(1, "bfs.dist", 1200, 3, 1),
+                profile(2, "csr.neighbors", 100_000, 10, 50),
+            ],
+            unmapped_samples: 0,
+            store_samples: 0,
+        };
+        let stats = aggregate_by_label(&mapped);
+        assert_eq!(stats.len(), 2);
+        let dist = stats.iter().find(|s| s.label == "bfs.dist").unwrap();
+        assert_eq!(dist.bytes, 1200); // max instance, not sum
+        assert_eq!(dist.samples, 11); // summed over instances
+        assert_eq!(dist.nvm_samples, 3);
+    }
+
+    #[test]
+    fn ordering_is_by_density_desc() {
+        let mapped = MappedProfile {
+            objects: vec![
+                profile(0, "dense", 100, 100, 0),  // density 1.0
+                profile(1, "sparse", 10_000, 100, 0), // density 0.01
+            ],
+            unmapped_samples: 0,
+            store_samples: 0,
+        };
+        let stats = aggregate_by_label(&mapped);
+        assert_eq!(stats[0].label, "dense");
+        assert!(stats[0].density() > stats[1].density());
+    }
+
+    #[test]
+    fn tie_breaks_are_deterministic() {
+        let mapped = MappedProfile {
+            objects: vec![profile(0, "b", 100, 10, 0), profile(1, "a", 100, 10, 0)],
+            unmapped_samples: 0,
+            store_samples: 0,
+        };
+        let stats = aggregate_by_label(&mapped);
+        assert_eq!(stats[0].label, "a");
+    }
+}

@@ -1,0 +1,15 @@
+//! Analyses over sample traces: one module per paper figure/table family.
+
+pub mod levels;
+pub mod pattern;
+pub mod reuse;
+pub mod timeline;
+pub mod top_objects;
+pub mod touches;
+
+pub use levels::LevelDistribution;
+pub use pattern::AccessPattern;
+pub use reuse::{two_touch_reuse, ReuseAnalysis};
+pub use timeline::{binned_counts, AllocTimeline};
+pub use top_objects::{top_objects, TopObjectRow};
+pub use touches::TouchHistogram;

@@ -1,0 +1,139 @@
+//! Per-object access-pattern extraction (paper Fig. 8).
+
+use crate::alloc::AllocRecord;
+use crate::sample::MemSample;
+use tiersim_mem::PAGE_SHIFT;
+
+/// The scatter of sampled accesses to one object: page offset within the
+/// object versus time, with the issuing thread — exactly what the paper
+/// plots in Figure 8 to show that the hot object's accesses are random at
+/// fine granularity while looking structured at coarse granularity.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct AccessPattern {
+    /// `(seconds, page_offset_within_object, thread)` per external sample.
+    pub points: Vec<(f64, u64, u16)>,
+}
+
+impl AccessPattern {
+    /// Extracts the external-sample pattern of `object` from a trace.
+    pub fn of(samples: &[MemSample], object: &AllocRecord, freq_hz: u64) -> AccessPattern {
+        let base_page = object.addr.page().index();
+        let points = samples
+            .iter()
+            .filter(|s| !s.is_store && s.is_external() && object.contains(s.addr))
+            .map(|s| {
+                (
+                    s.time_cycles as f64 / freq_hz as f64,
+                    (s.addr.raw() >> PAGE_SHIFT) - base_page,
+                    s.thread.0,
+                )
+            })
+            .collect();
+        AccessPattern { points }
+    }
+
+    /// Restricts the pattern to `[t0, t1)` seconds — the paper's one-second
+    /// zoom (Fig. 8b).
+    pub fn zoom(&self, t0: f64, t1: f64) -> AccessPattern {
+        AccessPattern {
+            points: self.points.iter().copied().filter(|&(t, _, _)| t >= t0 && t < t1).collect(),
+        }
+    }
+
+    /// Mean absolute page distance between consecutive samples of the
+    /// *same thread*, normalized by the object's page span. Near 0 for a
+    /// sequential walk; approaches ~1/3 for uniform random access within a
+    /// partition. Returns `None` with fewer than two points.
+    pub fn randomness(&self) -> Option<f64> {
+        let span = self.points.iter().map(|&(_, p, _)| p).max()?.max(1);
+        let mut jumps = 0.0;
+        let mut n = 0u64;
+        let mut last: std::collections::HashMap<u16, u64> = std::collections::HashMap::new();
+        for &(_, page, tid) in &self.points {
+            if let Some(prev) = last.insert(tid, page) {
+                jumps += page.abs_diff(prev) as f64;
+                n += 1;
+            }
+        }
+        (n > 0).then(|| jumps / n as f64 / span as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use tiersim_mem::{MemLevel, ThreadId, VirtAddr, PAGE_SIZE};
+
+    fn object(base: u64, pages: u64) -> AllocRecord {
+        AllocRecord {
+            id: crate::alloc::ObjectId(0),
+            addr: VirtAddr::new(base),
+            len: pages * PAGE_SIZE,
+            alloc_time: 0,
+            free_time: None,
+            site: Arc::from("obj"),
+        }
+    }
+
+    fn s(addr: u64, time: u64, tid: u16) -> MemSample {
+        MemSample {
+            time_cycles: time,
+            addr: VirtAddr::new(addr),
+            level: MemLevel::Nvm,
+            latency_cycles: 1,
+            tlb_miss: false,
+            thread: ThreadId(tid),
+            is_store: false,
+        }
+    }
+
+    #[test]
+    fn extracts_relative_pages() {
+        let o = object(0x100000, 16);
+        let samples = [
+            s(0x100000, 0, 0),
+            s(0x100000 + 3 * PAGE_SIZE, 1000, 1),
+            s(0x500000, 0, 0), // outside the object
+        ];
+        let p = AccessPattern::of(&samples, &o, 1000);
+        assert_eq!(p.points.len(), 2);
+        assert_eq!(p.points[0], (0.0, 0, 0));
+        assert_eq!(p.points[1], (1.0, 3, 1));
+    }
+
+    #[test]
+    fn zoom_filters_time_window() {
+        let o = object(0x100000, 16);
+        let samples: Vec<_> = (0..10u64).map(|i| s(0x100000, i * 1000, 0)).collect();
+        let p = AccessPattern::of(&samples, &o, 1000);
+        let z = p.zoom(2.0, 5.0);
+        assert_eq!(z.points.len(), 3);
+    }
+
+    #[test]
+    fn sequential_walk_has_low_randomness() {
+        let o = object(0x100000, 64);
+        let seq: Vec<_> =
+            (0..64u64).map(|i| s(0x100000 + i * PAGE_SIZE, i, 0)).collect();
+        let p = AccessPattern::of(&seq, &o, 1000);
+        assert!(p.randomness().unwrap() < 0.05);
+    }
+
+    #[test]
+    fn scattered_walk_has_high_randomness() {
+        let o = object(0x100000, 64);
+        let scattered: Vec<_> = (0..64u64)
+            .map(|i| s(0x100000 + (i.wrapping_mul(37) % 64) * PAGE_SIZE, i, 0))
+            .collect();
+        let p = AccessPattern::of(&scattered, &o, 1000);
+        assert!(p.randomness().unwrap() > 0.2);
+    }
+
+    #[test]
+    fn randomness_needs_two_points() {
+        let o = object(0x100000, 4);
+        let p = AccessPattern::of(&[s(0x100000, 0, 0)], &o, 1000);
+        assert!(p.randomness().is_none());
+    }
+}

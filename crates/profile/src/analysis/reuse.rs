@@ -1,0 +1,145 @@
+//! Reuse-interval analysis of two-touch pages (paper Fig. 5 and the §5.2
+//! promotion-fraction result).
+
+use crate::sample::MemSample;
+use crate::stats::Summary;
+use std::collections::HashMap;
+use tiersim_mem::{Tier, VirtAddr};
+
+/// Reuse statistics over the pages of one object that were externally
+/// touched exactly twice.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReuseAnalysis {
+    /// Pages with exactly two external touches.
+    pub pages_analyzed: usize,
+    /// Distribution of the time between the two touches, in seconds.
+    pub intervals_secs: Option<Summary>,
+    /// Fraction of analyzed pages whose first touch was on NVM and whose
+    /// second was on DRAM — i.e. pages that were observably promoted
+    /// between the touches (the paper finds at most 1.3%).
+    pub promoted_fraction: f64,
+}
+
+/// Analyzes two-touch reuse for external load samples within
+/// `[base, base+len)` (pass an object's range, or the whole address space
+/// with `len == u64::MAX`).
+///
+/// # Examples
+///
+/// ```
+/// use tiersim_mem::VirtAddr;
+/// use tiersim_profile::two_touch_reuse;
+///
+/// let r = two_touch_reuse(&[], VirtAddr::new(0), u64::MAX, 1_000_000_000);
+/// assert_eq!(r.pages_analyzed, 0);
+/// assert!(r.intervals_secs.is_none());
+/// ```
+pub fn two_touch_reuse(
+    samples: &[MemSample],
+    base: VirtAddr,
+    len: u64,
+    freq_hz: u64,
+) -> ReuseAnalysis {
+    let end = base.raw().saturating_add(len);
+    let mut per_page: HashMap<u64, Vec<(u64, Tier)>> = HashMap::new();
+    for s in samples.iter().filter(|s| {
+        !s.is_store && s.is_external() && s.addr >= base && s.addr.raw() < end
+    }) {
+        let tier = s.level.tier().expect("external sample has a tier");
+        per_page.entry(s.page().index()).or_default().push((s.time_cycles, tier));
+    }
+
+    let mut intervals = Vec::new();
+    let mut promoted = 0usize;
+    let mut analyzed = 0usize;
+    for touches in per_page.values() {
+        if touches.len() != 2 {
+            continue;
+        }
+        analyzed += 1;
+        let (mut first, mut second) = (touches[0], touches[1]);
+        if first.0 > second.0 {
+            core::mem::swap(&mut first, &mut second);
+        }
+        intervals.push((second.0 - first.0) as f64 / freq_hz as f64);
+        if first.1 == Tier::Nvm && second.1 == Tier::Dram {
+            promoted += 1;
+        }
+    }
+
+    ReuseAnalysis {
+        pages_analyzed: analyzed,
+        intervals_secs: Summary::of(&intervals),
+        promoted_fraction: if analyzed == 0 { 0.0 } else { promoted as f64 / analyzed as f64 },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tiersim_mem::{MemLevel, ThreadId, PAGE_SIZE};
+
+    fn s(page: u64, time: u64, level: MemLevel) -> MemSample {
+        MemSample {
+            time_cycles: time,
+            addr: VirtAddr::new(page * PAGE_SIZE),
+            level,
+            latency_cycles: 1,
+            tlb_miss: false,
+            thread: ThreadId(0),
+            is_store: false,
+        }
+    }
+
+    #[test]
+    fn intervals_are_in_seconds() {
+        let freq = 1000; // 1000 cycles per second
+        let samples = [
+            s(1, 0, MemLevel::Nvm),
+            s(1, 2000, MemLevel::Nvm), // 2 s apart
+            s(2, 100, MemLevel::Nvm),
+            s(2, 600, MemLevel::Nvm), // 0.5 s apart
+            s(3, 0, MemLevel::Nvm),   // one touch: excluded
+        ];
+        let r = two_touch_reuse(&samples, VirtAddr::new(0), u64::MAX, freq);
+        assert_eq!(r.pages_analyzed, 2);
+        let sum = r.intervals_secs.unwrap();
+        assert_eq!(sum.min, 0.5);
+        assert_eq!(sum.max, 2.0);
+    }
+
+    #[test]
+    fn promotion_is_nvm_then_dram() {
+        let samples = [
+            s(1, 0, MemLevel::Nvm),
+            s(1, 10, MemLevel::Dram), // promoted
+            s(2, 0, MemLevel::Dram),
+            s(2, 10, MemLevel::Nvm), // demoted, not promoted
+            s(3, 0, MemLevel::Nvm),
+            s(3, 10, MemLevel::Nvm),
+        ];
+        let r = two_touch_reuse(&samples, VirtAddr::new(0), u64::MAX, 1000);
+        assert_eq!(r.pages_analyzed, 3);
+        assert!((r.promoted_fraction - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn out_of_order_timestamps_are_handled() {
+        let samples = [s(1, 500, MemLevel::Dram), s(1, 100, MemLevel::Nvm)];
+        let r = two_touch_reuse(&samples, VirtAddr::new(0), u64::MAX, 100);
+        assert_eq!(r.promoted_fraction, 1.0); // NVM at 100 precedes DRAM at 500
+        assert_eq!(r.intervals_secs.unwrap().max, 4.0);
+    }
+
+    #[test]
+    fn range_filter_excludes_other_objects() {
+        let samples = [
+            s(1, 0, MemLevel::Nvm),
+            s(1, 10, MemLevel::Nvm),
+            s(100, 0, MemLevel::Nvm),
+            s(100, 10, MemLevel::Nvm),
+        ];
+        let r = two_touch_reuse(&samples, VirtAddr::new(0), 10 * PAGE_SIZE, 1000);
+        assert_eq!(r.pages_analyzed, 1);
+    }
+}

@@ -1,0 +1,130 @@
+//! Time-series analyses: allocation timeline (Fig. 7) and binned sample
+//! counts (Fig. 10).
+
+use crate::alloc::AllocTracker;
+use crate::sample::MemSample;
+
+/// A step-function timeline of live allocated bytes (paper Fig. 7: "how
+/// memory is allocated over time").
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct AllocTimeline {
+    /// `(seconds, live_bytes)` after each allocation/free event, in time
+    /// order.
+    pub points: Vec<(f64, u64)>,
+}
+
+impl AllocTimeline {
+    /// Builds the timeline from a tracker's records.
+    pub fn of(tracker: &AllocTracker, freq_hz: u64) -> AllocTimeline {
+        // Collect (time, delta) events.
+        let mut events: Vec<(u64, i64)> = Vec::new();
+        for r in tracker.records() {
+            events.push((r.alloc_time, r.len as i64));
+            if let Some(f) = r.free_time {
+                events.push((f, -(r.len as i64)));
+            }
+        }
+        events.sort_unstable();
+        let mut live: i64 = 0;
+        let mut points = Vec::with_capacity(events.len());
+        for (t, d) in events {
+            live += d;
+            debug_assert!(live >= 0, "live bytes went negative");
+            points.push((t as f64 / freq_hz as f64, live as u64));
+        }
+        AllocTimeline { points }
+    }
+
+    /// Peak live bytes.
+    pub fn peak_bytes(&self) -> u64 {
+        self.points.iter().map(|&(_, b)| b).max().unwrap_or(0)
+    }
+}
+
+/// Counts samples matching `keep` into fixed-width time bins; returns
+/// `(bin_start_seconds, count)` for every bin from 0 to the last sample
+/// (paper Fig. 10's "DRAM load accesses over time").
+///
+/// # Panics
+///
+/// Panics if `bin_secs` is not positive.
+pub fn binned_counts(
+    samples: &[MemSample],
+    bin_secs: f64,
+    freq_hz: u64,
+    mut keep: impl FnMut(&MemSample) -> bool,
+) -> Vec<(f64, u64)> {
+    assert!(bin_secs > 0.0, "bin width must be positive");
+    let mut bins: Vec<u64> = Vec::new();
+    for s in samples.iter() {
+        if !keep(s) {
+            continue;
+        }
+        let t = s.time_cycles as f64 / freq_hz as f64;
+        let idx = (t / bin_secs) as usize;
+        if idx >= bins.len() {
+            bins.resize(idx + 1, 0);
+        }
+        bins[idx] += 1;
+    }
+    bins.into_iter().enumerate().map(|(i, c)| (i as f64 * bin_secs, c)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tiersim_mem::{MemLevel, ThreadId, VirtAddr};
+
+    #[test]
+    fn timeline_steps_up_and_down() {
+        let mut t = AllocTracker::new();
+        t.on_mmap(VirtAddr::new(0x1000), 100, "a", 0);
+        t.on_mmap(VirtAddr::new(0x8000), 200, "b", 1000);
+        t.on_munmap(VirtAddr::new(0x1000), 2000);
+        let tl = AllocTimeline::of(&t, 1000);
+        assert_eq!(tl.points, vec![(0.0, 100), (1.0, 300), (2.0, 200)]);
+        assert_eq!(tl.peak_bytes(), 300);
+    }
+
+    #[test]
+    fn empty_tracker_empty_timeline() {
+        let tl = AllocTimeline::of(&AllocTracker::new(), 1000);
+        assert!(tl.points.is_empty());
+        assert_eq!(tl.peak_bytes(), 0);
+    }
+
+    fn s(time: u64, level: MemLevel) -> MemSample {
+        MemSample {
+            time_cycles: time,
+            addr: VirtAddr::new(0x1000),
+            level,
+            latency_cycles: 1,
+            tlb_miss: false,
+            thread: ThreadId(0),
+            is_store: false,
+        }
+    }
+
+    #[test]
+    fn binning_counts_per_interval() {
+        let samples = [
+            s(0, MemLevel::Dram),
+            s(500, MemLevel::Dram),
+            s(1500, MemLevel::Dram),
+            s(1600, MemLevel::Nvm),
+            s(2500, MemLevel::Dram),
+        ];
+        // freq 1000 Hz, 1 s bins; keep DRAM only.
+        let bins = binned_counts(&samples, 1.0, 1000, |s| s.level == MemLevel::Dram);
+        assert_eq!(bins, vec![(0.0, 2), (1.0, 1), (2.0, 1)]);
+    }
+
+    #[test]
+    fn empty_bins_are_present_between_samples() {
+        let samples = [s(0, MemLevel::Dram), s(3500, MemLevel::Dram)];
+        let bins = binned_counts(&samples, 1.0, 1000, |_| true);
+        assert_eq!(bins.len(), 4);
+        assert_eq!(bins[1].1, 0);
+        assert_eq!(bins[2].1, 0);
+    }
+}

@@ -1,0 +1,125 @@
+//! Top-N object ranking by external samples (paper Fig. 6).
+
+use crate::alloc::ObjectId;
+use crate::mapping::MappedProfile;
+use std::sync::Arc;
+use tiersim_mem::Tier;
+
+/// One bar of the paper's Figure 6: an object, its sample count on a
+/// tier, and its share of that tier's samples.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TopObjectRow {
+    /// The object.
+    pub id: ObjectId,
+    /// Call-site label.
+    pub site: Arc<str>,
+    /// Object size in bytes.
+    pub len: u64,
+    /// Samples on the requested tier.
+    pub samples: u64,
+    /// Share of the tier's total samples, in `[0, 1]`.
+    pub share: f64,
+}
+
+/// Returns the `n` objects with the most load samples on `tier`,
+/// descending, with their share of the tier's samples.
+///
+/// # Examples
+///
+/// ```
+/// use tiersim_mem::Tier;
+/// use tiersim_profile::{top_objects, MappedProfile};
+///
+/// let rows = top_objects(&MappedProfile::default(), Tier::Nvm, 10);
+/// assert!(rows.is_empty());
+/// ```
+pub fn top_objects(mapped: &MappedProfile, tier: Tier, n: usize) -> Vec<TopObjectRow> {
+    let total: u64 = mapped.objects.iter().map(|o| o.samples_on(tier)).sum();
+    if total == 0 {
+        return Vec::new();
+    }
+    let ranked = match tier {
+        Tier::Dram => mapped.top_by_dram(),
+        Tier::Nvm => mapped.top_by_nvm(),
+    };
+    ranked
+        .into_iter()
+        .filter(|o| o.samples_on(tier) > 0)
+        .take(n)
+        .map(|o| TopObjectRow {
+            id: o.id,
+            site: Arc::clone(&o.site),
+            len: o.len,
+            samples: o.samples_on(tier),
+            share: o.samples_on(tier) as f64 / total as f64,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alloc::AllocTracker;
+    use crate::mapping::map_samples;
+    use crate::sample::MemSample;
+    use tiersim_mem::{MemLevel, ThreadId, VirtAddr, PAGE_SIZE};
+
+    fn setup() -> MappedProfile {
+        let mut t = AllocTracker::new();
+        t.on_mmap(VirtAddr::new(0x100000), 4 * PAGE_SIZE, "hot", 0);
+        t.on_mmap(VirtAddr::new(0x200000), 4 * PAGE_SIZE, "warm", 0);
+        t.on_mmap(VirtAddr::new(0x300000), 4 * PAGE_SIZE, "cold", 0);
+        let mut samples = Vec::new();
+        let mut push = |addr: u64, level: MemLevel, count: usize| {
+            for i in 0..count {
+                samples.push(MemSample {
+                    time_cycles: i as u64,
+                    addr: VirtAddr::new(addr + (i as u64 * 64) % PAGE_SIZE),
+                    level,
+                    latency_cycles: 100,
+                    tlb_miss: false,
+                    thread: ThreadId(0),
+                    is_store: false,
+                });
+            }
+        };
+        push(0x100000, MemLevel::Nvm, 6);
+        push(0x200000, MemLevel::Nvm, 3);
+        push(0x300000, MemLevel::Nvm, 1);
+        push(0x200000, MemLevel::Dram, 5);
+        map_samples(&t, &samples)
+    }
+
+    #[test]
+    fn ranks_by_tier_samples() {
+        let m = setup();
+        let rows = top_objects(&m, Tier::Nvm, 10);
+        assert_eq!(rows.len(), 3);
+        assert_eq!(&*rows[0].site, "hot");
+        assert_eq!(rows[0].samples, 6);
+        assert!((rows[0].share - 0.6).abs() < 1e-12);
+        assert_eq!(&*rows[2].site, "cold");
+    }
+
+    #[test]
+    fn n_truncates() {
+        let m = setup();
+        assert_eq!(top_objects(&m, Tier::Nvm, 2).len(), 2);
+    }
+
+    #[test]
+    fn dram_ranking_differs() {
+        let m = setup();
+        let rows = top_objects(&m, Tier::Dram, 10);
+        assert_eq!(rows.len(), 1);
+        assert_eq!(&*rows[0].site, "warm");
+        assert_eq!(rows[0].share, 1.0);
+    }
+
+    #[test]
+    fn shares_sum_to_one_over_all_objects() {
+        let m = setup();
+        let total: f64 = top_objects(&m, Tier::Nvm, usize::MAX).iter().map(|r| r.share).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,166 @@
+//! CSV export matching the paper artifact's trace files.
+//!
+//! The paper's pipeline writes `memory_trace.csv`, `mmap_trace.csv`,
+//! `munmap_trace.csv` and the mapped per-tier traces
+//! (`perfmem_trace_mapped_DRAM.csv` / `_PMEM.csv`); these writers produce
+//! the same shapes so downstream plotting scripts could be reused.
+
+use crate::alloc::AllocTracker;
+use crate::sample::MemSample;
+use std::io::{self, Write};
+use tiersim_mem::Tier;
+
+/// Writes the raw sample trace (`memory_trace.csv`): one row per sample
+/// with timestamp, address, level, latency, TLB flag, thread and op.
+///
+/// # Errors
+///
+/// Propagates I/O errors from `out`.
+pub fn write_memory_trace<W: Write>(mut out: W, samples: &[MemSample]) -> io::Result<()> {
+    writeln!(out, "time_cycles,addr,level,latency_cycles,tlb_miss,thread,op")?;
+    for s in samples {
+        writeln!(
+            out,
+            "{},{:#x},{},{},{},{},{}",
+            s.time_cycles,
+            s.addr.raw(),
+            s.level,
+            s.latency_cycles,
+            u8::from(s.tlb_miss),
+            s.thread.0,
+            if s.is_store { "store" } else { "load" },
+        )?;
+    }
+    Ok(())
+}
+
+/// Writes the allocation trace (`mmap_trace.csv`): timestamp, base, size,
+/// call site — the record layout of the paper's §3.2.
+///
+/// # Errors
+///
+/// Propagates I/O errors from `out`.
+pub fn write_mmap_trace<W: Write>(mut out: W, tracker: &AllocTracker) -> io::Result<()> {
+    writeln!(out, "object_id,alloc_time_cycles,addr,len,site")?;
+    for r in tracker.records() {
+        writeln!(out, "{},{},{:#x},{},{}", r.id.0, r.alloc_time, r.addr.raw(), r.len, r.site)?;
+    }
+    Ok(())
+}
+
+/// Writes the deallocation trace (`munmap_trace.csv`).
+///
+/// # Errors
+///
+/// Propagates I/O errors from `out`.
+pub fn write_munmap_trace<W: Write>(mut out: W, tracker: &AllocTracker) -> io::Result<()> {
+    writeln!(out, "object_id,free_time_cycles,addr")?;
+    for r in tracker.records() {
+        if let Some(f) = r.free_time {
+            writeln!(out, "{},{},{:#x}", r.id.0, f, r.addr.raw())?;
+        }
+    }
+    Ok(())
+}
+
+/// Writes the mapped per-tier trace (`perfmem_trace_mapped_DRAM.csv` /
+/// `perfmem_trace_mapped_PMEM.csv`): external load samples on `tier`
+/// joined with their object id.
+///
+/// # Errors
+///
+/// Propagates I/O errors from `out`.
+pub fn write_mapped_trace<W: Write>(
+    mut out: W,
+    samples: &[MemSample],
+    tracker: &AllocTracker,
+    tier: Tier,
+) -> io::Result<()> {
+    writeln!(out, "time_cycles,addr,latency_cycles,tlb_miss,thread,object_id,site")?;
+    for s in samples {
+        if s.is_store || s.level.tier() != Some(tier) {
+            continue;
+        }
+        let (id, site) = match tracker.object_at(s.addr) {
+            Some(id) => {
+                let rec = tracker.record(id).expect("tracked id");
+                (id.0 as i64, rec.site.as_ref())
+            }
+            None => (-1, "?"),
+        };
+        writeln!(
+            out,
+            "{},{:#x},{},{},{},{},{}",
+            s.time_cycles,
+            s.addr.raw(),
+            s.latency_cycles,
+            u8::from(s.tlb_miss),
+            s.thread.0,
+            id,
+            site,
+        )?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tiersim_mem::{MemLevel, ThreadId, VirtAddr};
+
+    fn sample(level: MemLevel) -> MemSample {
+        MemSample {
+            time_cycles: 42,
+            addr: VirtAddr::new(0x1000),
+            level,
+            latency_cycles: 777,
+            tlb_miss: true,
+            thread: ThreadId(3),
+            is_store: false,
+        }
+    }
+
+    #[test]
+    fn memory_trace_rows() {
+        let mut buf = Vec::new();
+        write_memory_trace(&mut buf, &[sample(MemLevel::Nvm)]).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let mut lines = text.lines();
+        assert!(lines.next().unwrap().starts_with("time_cycles,"));
+        assert_eq!(lines.next().unwrap(), "42,0x1000,PMEM,777,1,3,load");
+    }
+
+    #[test]
+    fn mmap_and_munmap_traces() {
+        let mut t = AllocTracker::new();
+        t.on_mmap(VirtAddr::new(0x2000), 4096, "edges", 5);
+        t.on_munmap(VirtAddr::new(0x2000), 9);
+        let mut buf = Vec::new();
+        write_mmap_trace(&mut buf, &t).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("0,5,0x2000,4096,edges"));
+        let mut buf2 = Vec::new();
+        write_munmap_trace(&mut buf2, &t).unwrap();
+        assert!(String::from_utf8(buf2).unwrap().contains("0,9,0x2000"));
+    }
+
+    #[test]
+    fn mapped_trace_filters_tier_and_joins_objects() {
+        let mut t = AllocTracker::new();
+        t.on_mmap(VirtAddr::new(0x1000), 4096, "edges", 0);
+        let samples = [sample(MemLevel::Nvm), sample(MemLevel::Dram), sample(MemLevel::L1)];
+        let mut buf = Vec::new();
+        write_mapped_trace(&mut buf, &samples, &t, Tier::Nvm).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert_eq!(text.lines().count(), 2); // header + 1 NVM row
+        assert!(text.contains(",0,edges"));
+    }
+
+    #[test]
+    fn unmapped_samples_get_sentinel_id() {
+        let t = AllocTracker::new();
+        let mut buf = Vec::new();
+        write_mapped_trace(&mut buf, &[sample(MemLevel::Nvm)], &t, Tier::Nvm).unwrap();
+        assert!(String::from_utf8(buf).unwrap().contains(",-1,?"));
+    }
+}

@@ -1,0 +1,46 @@
+//! Watch AutoNUMA work over time, the way the paper reads `numastat` and
+//! `vmstat` once per second (Figures 9 and 10).
+//!
+//! ```text
+//! cargo run --release --example autonuma_counters
+//! ```
+
+use tiersim::core::{run_workload, Dataset, Kernel, MachineConfig, TimelineOps, WorkloadConfig};
+use tiersim::mem::Tier;
+use tiersim::policy::TieringMode;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let workload = WorkloadConfig::new(Kernel::Bc, Dataset::Kron).scale(14).trials(2);
+    let machine =
+        MachineConfig::scaled_default(workload.steady_app_bytes(), TieringMode::AutoNuma);
+    println!("running {} and polling counters...", workload.name());
+    let report = run_workload(machine, workload)?;
+
+    let demotions = report.timeline.counter_deltas(|c| c.pgdemote_kswapd + c.pgdemote_direct);
+    let promotions = report.timeline.counter_deltas(|c| c.pgpromote_success);
+
+    println!("\n{:>8}  {:>9} {:>9}  {:>8} {:>8}  {:>5}", "t(s)", "DRAM(MB)", "NVM(MB)", "demote", "promote", "CPU%");
+    for ((snap, (_, d)), (_, p)) in report.timeline.iter().zip(&demotions).zip(&promotions) {
+        println!(
+            "{:>8.4}  {:>9.1} {:>9.1}  {:>8} {:>8}  {:>4.0}%",
+            snap.time_secs,
+            snap.numastat.used_bytes(Tier::Dram) as f64 / (1 << 20) as f64,
+            snap.numastat.used_bytes(Tier::Nvm) as f64 / (1 << 20) as f64,
+            d,
+            p,
+            snap.cpu_util * 100.0,
+        );
+    }
+
+    let c = report.counters;
+    println!("\nfinal counters (cumulative, like vmstat since boot):");
+    println!("  numa_hint_faults    {:>8}", c.numa_hint_faults);
+    println!("  pgpromote_candidate {:>8}", c.pgpromote_candidate);
+    println!("  pgpromote_success   {:>8}", c.pgpromote_success);
+    println!("  pgpromote_demoted   {:>8}", c.pgpromote_demoted);
+    println!("  pgdemote_kswapd     {:>8}", c.pgdemote_kswapd);
+    println!("  pgdemote_direct     {:>8}", c.pgdemote_direct);
+    println!("  page_cache_filled   {:>8}", c.page_cache_filled);
+    println!("  page_cache_dropped  {:>8}", c.page_cache_dropped);
+    Ok(())
+}

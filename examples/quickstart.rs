@@ -1,0 +1,51 @@
+//! Quickstart: run one GAPBS-style workload on the simulated tiered-memory
+//! machine and print what the paper's scripts would measure.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use tiersim::core::{run_workload, Dataset, Kernel, MachineConfig, WorkloadConfig};
+use tiersim::mem::Tier;
+use tiersim::policy::TieringMode;
+use tiersim::profile::LevelDistribution;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // bfs_kron at a laptop-friendly scale (the paper uses scale 30).
+    let workload = WorkloadConfig::new(Kernel::Bfs, Dataset::Kron).scale(14).trials(4);
+    let machine =
+        MachineConfig::scaled_default(workload.steady_app_bytes(), TieringMode::AutoNuma);
+    println!(
+        "running {} on {} MB DRAM + {} MB NVM (AutoNUMA tiering on)...",
+        workload.name(),
+        machine.mem.dram_capacity >> 20,
+        machine.mem.nvm_capacity >> 20,
+    );
+
+    let report = run_workload(machine, workload)?;
+
+    println!("\nphases:");
+    println!("  load  (page cache): {:.4}s", report.load_end_secs);
+    println!("  build (CSR):        {:.4}s", report.build_end_secs - report.load_end_secs);
+    for (i, t) in report.trial_secs.iter().enumerate() {
+        println!("  trial {i}:            {t:.4}s");
+    }
+    println!("  total:              {:.4}s", report.total_secs);
+
+    let levels = LevelDistribution::of(&report.samples);
+    println!("\nmemory samples ({} collected):", report.samples.len());
+    println!("  outside caches: {:.1}%", levels.external_fraction() * 100.0);
+    println!(
+        "  of external — DRAM: {:.1}%, NVM: {:.1}%",
+        levels.tier_share_of_external(Tier::Dram) * 100.0,
+        levels.tier_share_of_external(Tier::Nvm) * 100.0,
+    );
+
+    let c = report.counters;
+    println!("\nvmstat counters:");
+    println!("  pgpromote_success: {}", c.pgpromote_success);
+    println!("  pgdemote_kswapd:   {}", c.pgdemote_kswapd);
+    println!("  pgdemote_direct:   {}", c.pgdemote_direct);
+    println!("  pgalloc_dram/nvm:  {}/{}", c.pgalloc_dram, c.pgalloc_nvm);
+    Ok(())
+}
