@@ -78,9 +78,7 @@ fn ablate_page_cache(c: &mut Criterion) {
     let mut g = c.benchmark_group("ablate_page_cache");
     g.sample_size(10);
     g.bench_function("enabled", |b| b.iter(|| run(machine(|_| {}))));
-    g.bench_function("disabled", |b| {
-        b.iter(|| run(machine(|m| m.os.page_cache_enabled = false)))
-    });
+    g.bench_function("disabled", |b| b.iter(|| run(machine(|m| m.os.page_cache_enabled = false))));
     g.finish();
 }
 
@@ -108,11 +106,9 @@ fn ablate_tlb_reach(c: &mut Criterion) {
     use tiersim_mem::TlbGeometry;
     let mut g = c.benchmark_group("ablate_tlb_reach");
     g.sample_size(10);
-    for (name, dtlb, stlb) in [
-        ("tiny_16_64", 16usize, 64usize),
-        ("medium_64_512", 64, 512),
-        ("huge_256_4096", 256, 4096),
-    ] {
+    for (name, dtlb, stlb) in
+        [("tiny_16_64", 16usize, 64usize), ("medium_64_512", 64, 512), ("huge_256_4096", 256, 4096)]
+    {
         g.bench_function(name, |b| {
             b.iter(|| {
                 run(machine(|m| {

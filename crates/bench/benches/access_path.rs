@@ -37,8 +37,7 @@ fn bench_access(c: &mut Criterion) {
     g.bench_function("dram_scattered", |b| {
         b.iter(|| {
             i = i.wrapping_add(40503) % 2048;
-            sys.access(black_box(a + i * PAGE_SIZE + (i % 64) * 64), AccessKind::Load, 0)
-                .unwrap()
+            sys.access(black_box(a + i * PAGE_SIZE + (i % 64) * 64), AccessKind::Load, 0).unwrap()
         })
     });
 
@@ -47,8 +46,7 @@ fn bench_access(c: &mut Criterion) {
     g.bench_function("nvm_scattered", |b| {
         b.iter(|| {
             i = i.wrapping_add(40503) % 2048;
-            sys.access(black_box(a + i * PAGE_SIZE + (i % 64) * 64), AccessKind::Load, 0)
-                .unwrap()
+            sys.access(black_box(a + i * PAGE_SIZE + (i % 64) * 64), AccessKind::Load, 0).unwrap()
         })
     });
 

@@ -37,9 +37,7 @@ fn bench_build_and_kernels(c: &mut Criterion) {
 
     let mut m = NullBackend::new();
     let graph = build_sim_csr(&mut m, &el, true, 4);
-    g.bench_function("bfs", |b| {
-        b.iter(|| bfs(&mut m, &graph, 1, 4, BfsParams::default()))
-    });
+    g.bench_function("bfs", |b| b.iter(|| bfs(&mut m, &graph, 1, 4, BfsParams::default())));
     g.bench_function("bc_one_source", |b| b.iter(|| bc(&mut m, &graph, &[1], 4)));
     g.bench_function("cc_sv", |b| b.iter(|| cc_sv(&mut m, &graph, 4)));
     g.bench_function("cc_afforest", |b| b.iter(|| cc_afforest(&mut m, &graph, 2, 4)));

@@ -7,10 +7,18 @@ use tiersim_core::{plan_from_report, run_workload, Dataset, Kernel, RunReport};
 use tiersim_policy::{aggregate_by_label, TieringMode};
 
 fn dump(tag: &str, r: &RunReport) {
-    println!("--- {tag}: exec {:.4}s total {:.4}s nvm_samples {} ---", r.exec_secs(), r.total_secs, r.nvm_samples());
+    println!(
+        "--- {tag}: exec {:.4}s total {:.4}s nvm_samples {} ---",
+        r.exec_secs(),
+        r.total_secs,
+        r.nvm_samples()
+    );
     let mapped = r.mapped();
     let stats = aggregate_by_label(&mapped);
-    println!("{:<22} {:>10} {:>9} {:>9} {:>9} {:>10}", "label", "bytes", "samples", "dram", "nvm", "density");
+    println!(
+        "{:<22} {:>10} {:>9} {:>9} {:>9} {:>10}",
+        "label", "bytes", "samples", "dram", "nvm", "density"
+    );
     for s in &stats {
         let (dram, nvm): (u64, u64) = mapped
             .objects
@@ -19,7 +27,12 @@ fn dump(tag: &str, r: &RunReport) {
             .fold((0, 0), |(d, n), o| (d + o.dram_samples, n + o.nvm_samples));
         println!(
             "{:<22} {:>10} {:>9} {:>9} {:>9} {:>10.6}",
-            s.label, s.bytes, s.samples, dram, nvm, s.density()
+            s.label,
+            s.bytes,
+            s.samples,
+            dram,
+            nvm,
+            s.density()
         );
     }
     println!("counters: {:?}", r.counters);
@@ -44,7 +57,10 @@ fn main() {
             let auto = run_workload(base.clone(), w).expect("autonuma run");
             dump("autonuma", &auto);
             let plan = plan_from_report(&auto, &base, false);
-            println!("plan: dram_used={} budget={} spilled={:?}", plan.dram_used, plan.dram_budget, plan.spilled_label);
+            println!(
+                "plan: dram_used={} budget={} spilled={:?}",
+                plan.dram_used, plan.dram_budget, plan.spilled_label
+            );
             for (label, p) in plan.placement.iter() {
                 println!("  {label:<22} -> {p:?}");
             }

@@ -15,7 +15,13 @@ fn main() {
     banner("extension — dataset locality (irregular vs lattice)", &cli);
     let cfg = cli.experiment;
     let mut t = TextTable::new(vec![
-        "Dataset", "1-touch", "3+-touch", "Promotions", "AutoNUMA", "Static", "Static gain",
+        "Dataset",
+        "1-touch",
+        "3+-touch",
+        "Promotions",
+        "AutoNUMA",
+        "Static",
+        "Static gain",
     ]);
     for dataset in [Dataset::Kron, Dataset::Urand, Dataset::Road] {
         let w = cfg.workload(Kernel::Bfs, dataset);

@@ -3,8 +3,8 @@
 //! and migrates objects online — the future work its conclusion sketches.
 
 use tiersim_bench::{banner, Cli};
-use tiersim_core::{plan_from_report, run_workload, Dataset, Kernel};
 use tiersim_core::render::{pct, secs, TextTable};
+use tiersim_core::{plan_from_report, run_workload, Dataset, Kernel};
 use tiersim_policy::{DynamicObjectConfig, TieringMode};
 
 fn main() {
@@ -12,7 +12,12 @@ fn main() {
     banner("extension — dynamic vs static object-level tiering", &cli);
     let cfg = cli.experiment;
     let mut t = TextTable::new(vec![
-        "Workload", "AutoNUMA", "Static object", "Dynamic object", "Static gain", "Dynamic gain",
+        "Workload",
+        "AutoNUMA",
+        "Static object",
+        "Dynamic object",
+        "Static gain",
+        "Dynamic gain",
     ]);
     for kernel in [Kernel::Bc, Kernel::Cc] {
         for dataset in [Dataset::Kron, Dataset::Urand] {

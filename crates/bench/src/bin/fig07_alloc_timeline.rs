@@ -15,10 +15,7 @@ fn main() {
         t.row(vec![format!("{secs:.4}"), format!("{:.2}", bytes as f64 / (1 << 20) as f64)]);
     }
     let mut text = t.render();
-    text.push_str(&format!(
-        "peak live: {:.2} MB\n",
-        tl.peak_bytes() as f64 / (1 << 20) as f64
-    ));
+    text.push_str(&format!("peak live: {:.2} MB\n", tl.peak_bytes() as f64 / (1 << 20) as f64));
     if let Some(secs) = a.hottest_nvm_alloc_secs() {
         text.push_str(&format!("hottest NVM object allocated at t = {secs:.4}s\n"));
     }

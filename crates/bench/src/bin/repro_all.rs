@@ -1,56 +1,93 @@
 //! Runs every reproduction experiment and prints all tables/figures,
 //! sharing the six characterization runs across Tables 1–3 and
 //! Figures 3–5.
+//!
+//! Experiments are isolated: a failing (or panicking) experiment is
+//! recorded and the rest still run. A failure summary is printed at the
+//! end and the process exits nonzero if anything failed.
 
-use tiersim_bench::{banner, Cli};
+use tiersim_bench::{banner, Cli, ExperimentSuite};
 use tiersim_core::experiments::{AutonumaTrace, Characterization, Comparison, ObjectAnalysis};
+use tiersim_core::CoreError;
 
 fn main() {
     let cli = Cli::from_env();
     banner("full paper reproduction", &cli);
-    let mut all = String::new();
-    let mut section = |title: &str, body: String| {
-        println!("--- {title} ---\n{body}");
-        all.push_str(&format!("--- {title} ---\n{body}\n"));
-    };
+    let mut suite = ExperimentSuite::new();
 
-    let c = Characterization::run(&cli.experiment).expect("characterization");
-    section("Figure 3: sample distribution across levels", c.render_fig3());
-    section("Figure 4: page touch-count histogram", c.render_fig4());
-    section("Figure 5: 2-touch reuse intervals (hottest NVM object)", c.render_fig5());
-    section("Table 1: external access location", c.render_table1());
-    section("Table 2: external latency cost split", c.render_table2());
-    section("Table 3: external access cost by TLB outcome", c.render_table3());
+    if cli.inject_failure {
+        // Deliberate failure to exercise the continue-on-failure path:
+        // everything below must still run and the exit code must be 1.
+        suite.attempt("injected failure", || {
+            Err::<(), _>(CoreError::InvalidConfig {
+                what: "injected failure",
+                got: "--inject-failure".to_string(),
+            })
+        });
+    }
 
-    let a = ObjectAnalysis::run(&cli.experiment).expect("object analysis");
-    section("Figure 6: top objects by external samples (bc_kron)", a.render_fig6(10));
-    if let Some(secs) = a.hottest_nvm_alloc_secs() {
-        section(
-            "Figure 7: allocation timeline (bc_kron)",
-            format!(
+    if let Some(c) = suite.attempt("characterization", || Characterization::run(&cli.experiment)) {
+        for (title, body) in [
+            ("Figure 3: sample distribution across levels", c.render_fig3()),
+            ("Figure 4: page touch-count histogram", c.render_fig4()),
+            ("Figure 5: 2-touch reuse intervals (hottest NVM object)", c.render_fig5()),
+            ("Table 1: external access location", c.render_table1()),
+            ("Table 2: external latency cost split", c.render_table2()),
+            ("Table 3: external access cost by TLB outcome", c.render_table3()),
+        ] {
+            println!("{}", suite.section(title, &body));
+        }
+    }
+
+    if let Some(a) = suite.attempt("object analysis", || ObjectAnalysis::run(&cli.experiment)) {
+        println!(
+            "{}",
+            suite
+                .section("Figure 6: top objects by external samples (bc_kron)", &a.render_fig6(10))
+        );
+        if let Some(secs) = a.hottest_nvm_alloc_secs() {
+            let body = format!(
                 "peak live {:.2} MB over {} events; hottest NVM object allocated at t={secs:.4}s\n",
                 a.fig7().peak_bytes() as f64 / (1 << 20) as f64,
                 a.fig7().points.len(),
-            ),
-        );
-    }
-    if let Some(p) = a.fig8() {
-        section(
-            "Figure 8: hottest NVM object access pattern (bc_kron)",
-            format!(
+            );
+            println!("{}", suite.section("Figure 7: allocation timeline (bc_kron)", &body));
+        }
+        if let Some(p) = a.fig8() {
+            let body = format!(
                 "{} samples, randomness metric {:.3}\n",
                 p.points.len(),
                 p.randomness().unwrap_or(0.0)
-            ),
+            );
+            println!(
+                "{}",
+                suite.section("Figure 8: hottest NVM object access pattern (bc_kron)", &body)
+            );
+        }
+    }
+
+    if let Some(tr) = suite.attempt("autonuma trace", || AutonumaTrace::run(&cli.experiment)) {
+        println!(
+            "{}",
+            suite.section(
+                "Figure 9: memory usage and counters over time (bc_kron)",
+                &tr.render_fig9()
+            )
+        );
+        println!(
+            "{}",
+            suite.section("Figure 10: DRAM loads vs promotions (bc_kron)", &tr.render_fig10())
         );
     }
 
-    let tr = AutonumaTrace::run(&cli.experiment).expect("autonuma trace");
-    section("Figure 9: memory usage and counters over time (bc_kron)", tr.render_fig9());
-    section("Figure 10: DRAM loads vs promotions (bc_kron)", tr.render_fig10());
+    if let Some(cmp) = suite.attempt("comparison", || Comparison::run(&cli.experiment)) {
+        println!(
+            "{}",
+            suite.section("Figure 11: object-level static mapping vs AutoNUMA", &cmp.render())
+        );
+    }
 
-    let cmp = Comparison::run(&cli.experiment).expect("comparison");
-    section("Figure 11: object-level static mapping vs AutoNUMA", cmp.render());
-
-    cli.maybe_write_out(&all);
+    print!("{}", suite.summary());
+    cli.maybe_write_out(suite.output());
+    std::process::exit(suite.exit_code());
 }

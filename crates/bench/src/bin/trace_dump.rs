@@ -19,10 +19,7 @@ fn main() {
     for kernel in Kernel::PAPER {
         for dataset in Dataset::ALL {
             let w = cli.experiment.workload(kernel, dataset);
-            let r = cli
-                .experiment
-                .run(w, TieringMode::AutoNuma)
-                .expect("workload run");
+            let r = cli.experiment.run(w, TieringMode::AutoNuma).expect("workload run");
             let dir = std::path::PathBuf::from(w.name()).join("autonuma");
             fs::create_dir_all(&dir).expect("create output dir");
             let open = |name: &str| {

@@ -27,6 +27,9 @@ pub struct Cli {
     pub experiment: ExperimentConfig,
     /// Optional output-file path.
     pub out: Option<PathBuf>,
+    /// Injects a deliberately failing experiment into `repro_all`, to
+    /// exercise the continue-on-failure path end to end.
+    pub inject_failure: bool,
 }
 
 impl Cli {
@@ -36,29 +39,27 @@ impl Cli {
     ///
     /// Returns a usage string on unknown flags or malformed values.
     pub fn parse(args: impl IntoIterator<Item = String>) -> Result<Cli, String> {
-        let mut cli = Cli { experiment: ExperimentConfig::default(), out: None };
+        let mut cli =
+            Cli { experiment: ExperimentConfig::default(), out: None, inject_failure: false };
         let mut it = args.into_iter();
         while let Some(arg) = it.next() {
-            let mut value = |name: &str| {
-                it.next().ok_or_else(|| format!("missing value for {name}"))
-            };
+            let mut value =
+                |name: &str| it.next().ok_or_else(|| format!("missing value for {name}"));
             match arg.as_str() {
                 "--scale" => {
-                    cli.experiment.scale = value("--scale")?
-                        .parse()
-                        .map_err(|e| format!("bad --scale: {e}"))?;
+                    cli.experiment.scale =
+                        value("--scale")?.parse().map_err(|e| format!("bad --scale: {e}"))?;
                 }
                 "--degree" => {
-                    cli.experiment.degree = value("--degree")?
-                        .parse()
-                        .map_err(|e| format!("bad --degree: {e}"))?;
+                    cli.experiment.degree =
+                        value("--degree")?.parse().map_err(|e| format!("bad --degree: {e}"))?;
                 }
                 "--trials" => {
-                    cli.experiment.trials = value("--trials")?
-                        .parse()
-                        .map_err(|e| format!("bad --trials: {e}"))?;
+                    cli.experiment.trials =
+                        value("--trials")?.parse().map_err(|e| format!("bad --trials: {e}"))?;
                 }
                 "--out" => cli.out = Some(PathBuf::from(value("--out")?)),
+                "--inject-failure" => cli.inject_failure = true,
                 "--help" | "-h" => return Err(USAGE.to_string()),
                 other => return Err(format!("unknown argument: {other}\n{USAGE}")),
             }
@@ -93,7 +94,91 @@ impl Cli {
 }
 
 /// Usage text shared by the binaries.
-pub const USAGE: &str = "usage: <bin> [--scale N] [--degree N] [--trials N] [--out PATH]";
+pub const USAGE: &str =
+    "usage: <bin> [--scale N] [--degree N] [--trials N] [--out PATH] [--inject-failure]";
+
+/// Runs a set of experiments where each may fail without killing the
+/// rest: `repro_all`'s continue-on-failure harness.
+///
+/// Each [`attempt`](ExperimentSuite::attempt) isolates one experiment —
+/// an `Err` or a panic is recorded against its name and the suite moves
+/// on. At the end, [`summary`](ExperimentSuite::summary) reports what
+/// failed and [`exit_code`](ExperimentSuite::exit_code) is nonzero if
+/// anything did.
+#[derive(Debug, Default)]
+pub struct ExperimentSuite {
+    output: String,
+    attempted: usize,
+    failures: Vec<(String, String)>,
+}
+
+impl ExperimentSuite {
+    /// An empty suite.
+    pub fn new() -> ExperimentSuite {
+        ExperimentSuite::default()
+    }
+
+    /// Records one rendered section and returns the text to display.
+    pub fn section(&mut self, title: &str, body: &str) -> String {
+        let text = format!("--- {title} ---\n{body}");
+        self.output.push_str(&text);
+        self.output.push('\n');
+        text
+    }
+
+    /// Runs one experiment isolated from the rest. Returns its value on
+    /// success; on `Err` or panic, records the failure under `name` and
+    /// returns `None` so the caller can skip that experiment's sections.
+    pub fn attempt<T, E: std::fmt::Display>(
+        &mut self,
+        name: &str,
+        f: impl FnOnce() -> Result<T, E>,
+    ) -> Option<T> {
+        self.attempted += 1;
+        match std::panic::catch_unwind(std::panic::AssertUnwindSafe(f)) {
+            Ok(Ok(v)) => Some(v),
+            Ok(Err(e)) => {
+                self.failures.push((name.to_string(), e.to_string()));
+                None
+            }
+            Err(payload) => {
+                let msg = payload
+                    .downcast_ref::<&str>()
+                    .map(|s| (*s).to_string())
+                    .or_else(|| payload.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "unknown panic".to_string());
+                self.failures.push((name.to_string(), format!("panicked: {msg}")));
+                None
+            }
+        }
+    }
+
+    /// Accumulated section text (what `--out` writes).
+    pub fn output(&self) -> &str {
+        &self.output
+    }
+
+    /// The recorded `(experiment, error)` pairs.
+    pub fn failures(&self) -> &[(String, String)] {
+        &self.failures
+    }
+
+    /// End-of-run report: which experiments completed and, for each
+    /// failure, what went wrong.
+    pub fn summary(&self) -> String {
+        let ok = self.attempted - self.failures.len();
+        let mut s = format!("== {ok}/{} experiments completed ==\n", self.attempted);
+        for (name, err) in &self.failures {
+            s.push_str(&format!("FAILED {name}: {err}\n"));
+        }
+        s
+    }
+
+    /// `0` if every attempt succeeded, `1` otherwise.
+    pub fn exit_code(&self) -> i32 {
+        i32::from(!self.failures.is_empty())
+    }
+}
 
 /// Prints the standard experiment banner.
 pub fn banner(what: &str, cli: &Cli) {
@@ -120,8 +205,9 @@ mod tests {
 
     #[test]
     fn parses_all_flags() {
-        let cli = parse(&["--scale", "14", "--degree", "8", "--trials", "2", "--out", "/tmp/x.txt"])
-            .unwrap();
+        let cli =
+            parse(&["--scale", "14", "--degree", "8", "--trials", "2", "--out", "/tmp/x.txt"])
+                .unwrap();
         assert_eq!(cli.experiment.scale, 14);
         assert_eq!(cli.experiment.degree, 8);
         assert_eq!(cli.experiment.trials, 2);
@@ -135,5 +221,49 @@ mod tests {
         assert!(parse(&["--scale"]).is_err());
         assert!(parse(&["--scale", "40"]).is_err());
         assert!(parse(&["--help"]).is_err());
+    }
+
+    #[test]
+    fn parses_inject_failure_flag() {
+        assert!(!parse(&[]).unwrap().inject_failure);
+        assert!(parse(&["--inject-failure"]).unwrap().inject_failure);
+    }
+
+    #[test]
+    fn suite_continues_past_failures_and_reports() {
+        let mut suite = ExperimentSuite::new();
+        let ok = suite.attempt("first", || Ok::<_, String>(41));
+        assert_eq!(ok, Some(41));
+        let bad = suite.attempt("second", || Err::<i32, _>("boom".to_string()));
+        assert_eq!(bad, None);
+        let after = suite.attempt("third", || Ok::<_, String>(1));
+        assert_eq!(after, Some(1), "a failure does not stop later experiments");
+        assert_eq!(suite.failures().len(), 1);
+        assert_eq!(suite.exit_code(), 1);
+        let s = suite.summary();
+        assert!(s.contains("2/3 experiments completed"), "{s}");
+        assert!(s.contains("FAILED second: boom"), "{s}");
+    }
+
+    #[test]
+    fn suite_isolates_panics() {
+        let mut suite = ExperimentSuite::new();
+        let r = suite.attempt("exploding", || -> Result<(), String> {
+            panic!("unrecoverable fault at 0xdead");
+        });
+        assert_eq!(r, None);
+        assert!(suite.summary().contains("panicked: unrecoverable fault at 0xdead"));
+        assert_eq!(suite.exit_code(), 1);
+    }
+
+    #[test]
+    fn clean_suite_exits_zero() {
+        let mut suite = ExperimentSuite::new();
+        suite.attempt("only", || Ok::<_, String>(()));
+        let text = suite.section("t", "body\n");
+        assert!(text.starts_with("--- t ---"));
+        assert_eq!(suite.exit_code(), 0);
+        assert!(suite.summary().contains("1/1 experiments completed"));
+        assert!(suite.output().contains("body"));
     }
 }

@@ -2,9 +2,14 @@
 //! for one run.
 
 use crate::error::CoreError;
-use tiersim_mem::{CacheGeometry, MemConfig, TlbGeometry};
+use tiersim_mem::{CacheGeometry, FaultPlan, MemConfig, TlbGeometry};
 use tiersim_os::OsConfig;
 use tiersim_policy::TieringMode;
+
+/// The machine-level name for the fault-injection plan: the plan lives
+/// in [`MemConfig::fault`] (the memory system owns the injector), and
+/// [`MachineConfig::with_fault`] threads it through.
+pub type FaultConfig = FaultPlan;
 
 /// Full platform configuration for a run: hardware model, OS model,
 /// tiering mode, thread count and profiling parameters.
@@ -94,6 +99,18 @@ impl MachineConfig {
         }
     }
 
+    /// Returns a copy with `fault` as the fault-injection plan.
+    #[must_use]
+    pub fn with_fault(mut self, fault: FaultConfig) -> Self {
+        self.mem.fault = fault;
+        self
+    }
+
+    /// The fault-injection plan this machine runs with.
+    pub fn fault(&self) -> &FaultConfig {
+        &self.mem.fault
+    }
+
     /// Validates the configuration.
     ///
     /// # Errors
@@ -103,19 +120,25 @@ impl MachineConfig {
         self.mem.validate()?;
         self.os.validate()?;
         if self.threads == 0 {
-            return Err(CoreError::InvalidConfig { what: "threads" });
+            return Err(CoreError::InvalidConfig { what: "threads", got: "0".to_string() });
         }
         if self.sample_period == 0 {
-            return Err(CoreError::InvalidConfig { what: "sample period" });
+            return Err(CoreError::InvalidConfig { what: "sample period", got: "0".to_string() });
         }
         if self.timeline_period_cycles == 0 {
-            return Err(CoreError::InvalidConfig { what: "timeline period" });
+            return Err(CoreError::InvalidConfig { what: "timeline period", got: "0".to_string() });
         }
         if !(0.0..=1.0).contains(&self.plan_dram_headroom) {
-            return Err(CoreError::InvalidConfig { what: "plan headroom" });
+            return Err(CoreError::InvalidConfig {
+                what: "plan headroom",
+                got: format!("{} (must be within 0..=1)", self.plan_dram_headroom),
+            });
         }
         if self.mem.freq_hz != self.os.freq_hz {
-            return Err(CoreError::InvalidConfig { what: "mem/os frequency mismatch" });
+            return Err(CoreError::InvalidConfig {
+                what: "mem/os frequency mismatch",
+                got: format!("mem {} Hz vs os {} Hz", self.mem.freq_hz, self.os.freq_hz),
+            });
         }
         Ok(())
     }
@@ -141,7 +164,7 @@ mod tests {
     fn validation_catches_zero_threads() {
         let mut cfg = MachineConfig::scaled_default(1 << 20, TieringMode::FirstTouch);
         cfg.threads = 0;
-        assert!(matches!(cfg.validate(), Err(CoreError::InvalidConfig { what: "threads" })));
+        assert!(matches!(cfg.validate(), Err(CoreError::InvalidConfig { what: "threads", .. })));
     }
 
     #[test]
@@ -156,5 +179,19 @@ mod tests {
         let small = MachineConfig::scaled_default(8 << 20, TieringMode::AutoNuma);
         let large = MachineConfig::scaled_default(128 << 20, TieringMode::AutoNuma);
         assert!(large.os.scan_size_pages > small.os.scan_size_pages);
+    }
+
+    #[test]
+    fn with_fault_threads_plan_to_memory_config() {
+        use tiersim_mem::RATE_ONE;
+        let plan =
+            FaultConfig { seed: 11, migrate_busy_per_64k: RATE_ONE / 8, ..FaultConfig::none() };
+        let cfg = MachineConfig::scaled_default(1 << 20, TieringMode::AutoNuma).with_fault(plan);
+        cfg.validate().unwrap();
+        assert_eq!(*cfg.fault(), plan);
+        assert_eq!(cfg.mem.fault, plan);
+        // Default machines carry the empty plan.
+        let plain = MachineConfig::scaled_default(1 << 20, TieringMode::AutoNuma);
+        assert!(plain.fault().is_none());
     }
 }

@@ -11,8 +11,10 @@ pub enum CoreError {
     Os(tiersim_os::OsError),
     /// A machine/experiment parameter was rejected.
     InvalidConfig {
-        /// Human-readable description of the offending parameter.
+        /// Which parameter was rejected.
         what: &'static str,
+        /// The offending value (and, where useful, the accepted range).
+        got: String,
     },
 }
 
@@ -21,7 +23,9 @@ impl fmt::Display for CoreError {
         match self {
             CoreError::Mem(e) => write!(f, "memory system: {e}"),
             CoreError::Os(e) => write!(f, "os model: {e}"),
-            CoreError::InvalidConfig { what } => write!(f, "invalid configuration: {what}"),
+            CoreError::InvalidConfig { what, got } => {
+                write!(f, "invalid configuration: {what} (got {got})")
+            }
         }
     }
 }
@@ -58,6 +62,8 @@ mod tests {
         let e = CoreError::from(tiersim_mem::MemError::OutOfMemory);
         assert!(e.to_string().contains("memory system"));
         assert!(e.source().is_some());
-        assert!(CoreError::InvalidConfig { what: "x" }.source().is_none());
+        let inv = CoreError::InvalidConfig { what: "x", got: "7".to_string() };
+        assert!(inv.source().is_none());
+        assert!(inv.to_string().contains('7'), "error carries the offending value: {inv}");
     }
 }

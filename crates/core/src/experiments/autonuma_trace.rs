@@ -67,10 +67,7 @@ impl AutonumaTrace {
 
     /// Figure 9 rows, one per timeline snapshot.
     pub fn fig9(&self) -> Vec<Fig9Row> {
-        let demote = self
-            .report
-            .timeline
-            .counter_deltas(|c| c.pgdemote_kswapd + c.pgdemote_direct);
+        let demote = self.report.timeline.counter_deltas(|c| c.pgdemote_kswapd + c.pgdemote_direct);
         let promote = self.report.timeline.counter_deltas(|c| c.pgpromote_success);
         self.report
             .timeline
@@ -79,13 +76,11 @@ impl AutonumaTrace {
             .zip(promote)
             .map(|((s, (_, d)), (_, p))| Fig9Row {
                 time_secs: s.time_secs,
-                dram_app_bytes: s.numastat.anon_pages[Tier::Dram.index()]
-                    * tiersim_mem::PAGE_SIZE,
+                dram_app_bytes: s.numastat.anon_pages[Tier::Dram.index()] * tiersim_mem::PAGE_SIZE,
                 dram_cache_bytes: s.numastat.file_pages[Tier::Dram.index()]
                     * tiersim_mem::PAGE_SIZE,
                 nvm_app_bytes: s.numastat.anon_pages[Tier::Nvm.index()] * tiersim_mem::PAGE_SIZE,
-                nvm_cache_bytes: s.numastat.file_pages[Tier::Nvm.index()]
-                    * tiersim_mem::PAGE_SIZE,
+                nvm_cache_bytes: s.numastat.file_pages[Tier::Nvm.index()] * tiersim_mem::PAGE_SIZE,
                 demotions: d,
                 promotions: p,
                 cpu_util: s.cpu_util,
@@ -119,7 +114,13 @@ impl AutonumaTrace {
     /// Renders Figure 9 as a text table.
     pub fn render_fig9(&self) -> String {
         let mut t = TextTable::new(vec![
-            "t(s)", "DRAM app", "DRAM cache", "NVM app", "NVM cache", "demote", "promote",
+            "t(s)",
+            "DRAM app",
+            "DRAM cache",
+            "NVM app",
+            "NVM cache",
+            "demote",
+            "promote",
             "CPU%",
         ]);
         let mb = |b: u64| format!("{:.1}MB", b as f64 / (1 << 20) as f64);

@@ -165,8 +165,7 @@ impl Characterization {
                 match mapped.hottest_nvm_object() {
                     Some(obj) => {
                         let rec = r.tracker.record(obj.id).expect("profiled object exists");
-                        let reuse =
-                            two_touch_reuse(&r.samples, rec.addr, rec.len, self.freq_hz);
+                        let reuse = two_touch_reuse(&r.samples, rec.addr, rec.len, self.freq_hz);
                         Fig5Row {
                             workload: r.workload.name(),
                             hottest_object: obj.site.to_string(),
@@ -237,7 +236,8 @@ impl Characterization {
 
     /// Renders Table 1 as text in the paper's layout.
     pub fn render_table1(&self) -> String {
-        let mut t = TextTable::new(vec!["Workload", "Outside Cache", "Pages in DRAM", "Pages in NVM"]);
+        let mut t =
+            TextTable::new(vec!["Workload", "Outside Cache", "Pages in DRAM", "Pages in NVM"]);
         for r in self.table1() {
             t.row(vec![r.workload, pct(r.outside_cache), pct(r.dram_share), pct(r.nvm_share)]);
         }

@@ -90,8 +90,7 @@ impl Comparison {
         let mut static_cfg = base;
         static_cfg.mode = TieringMode::StaticObject(plan);
         let stat = run_workload(static_cfg, workload)?;
-        let name =
-            if spill { format!("{}*", workload.name()) } else { workload.name() };
+        let name = if spill { format!("{}*", workload.name()) } else { workload.name() };
         Ok(Fig11Row {
             workload: name,
             autonuma_secs: auto.total_secs,
@@ -109,7 +108,11 @@ impl Comparison {
     pub fn mean_improvement(&self) -> f64 {
         let base: Vec<f64> =
             self.rows.iter().filter(|r| !r.spill).map(Fig11Row::improvement).collect();
-        if base.is_empty() { 0.0 } else { base.iter().sum::<f64>() / base.len() as f64 }
+        if base.is_empty() {
+            0.0
+        } else {
+            base.iter().sum::<f64>() / base.len() as f64
+        }
     }
 
     /// Best improvement across all rows (the paper reports up to 51%).

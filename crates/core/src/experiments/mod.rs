@@ -123,9 +123,7 @@ mod tests {
         assert_eq!(ws.len(), 6);
         assert!(ws.iter().all(|w| w.degree == 8));
         // BFS runs 4x the trials (GAPBS's 64-vs-16 default ratio).
-        assert!(ws
-            .iter()
-            .all(|w| w.trials == if w.kernel == Kernel::Bfs { 12 } else { 3 }));
+        assert!(ws.iter().all(|w| w.trials == if w.kernel == Kernel::Bfs { 12 } else { 3 }));
         assert!(ws.iter().filter(|w| w.dataset == Dataset::Kron).all(|w| w.scale == 12));
         assert!(ws.iter().filter(|w| w.dataset == Dataset::Urand).all(|w| w.scale == 13));
     }

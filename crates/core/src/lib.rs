@@ -41,11 +41,12 @@ mod runner;
 mod timeline;
 mod workload;
 
-pub use config::MachineConfig;
+pub use config::{FaultConfig, MachineConfig};
 pub use error::CoreError;
 pub use experiments::ExperimentConfig;
 pub use machine::Machine;
 pub use report::RunReport;
 pub use runner::{generate, plan_from_report, run_autonuma_vs_static, run_workload};
+pub use tiersim_mem::{CycleWindow, FaultPlan, FaultStats, RATE_ONE};
 pub use timeline::{TimelineOps, TimelineSnapshot};
 pub use workload::{Dataset, Kernel, LoadMode, WorkloadConfig};

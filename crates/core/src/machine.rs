@@ -9,7 +9,9 @@ use tiersim_mem::{
     PAGE_SIZE,
 };
 use tiersim_os::{AutoNuma, NumaStat};
-use tiersim_policy::{aggregate_by_label, plan_static, DynamicObjectConfig, Placement, TieringMode};
+use tiersim_policy::{
+    aggregate_by_label, plan_static, DynamicObjectConfig, Placement, TieringMode,
+};
 use tiersim_profile::{AllocTracker, Sampler};
 
 /// Syscall overhead charged per `mmap`/`munmap`, in cycles (~0.5 µs).
@@ -89,7 +91,8 @@ impl Machine {
         let next_snapshot = cfg.timeline_period_cycles;
         let dynamic = match &cfg.mode {
             TieringMode::DynamicObject(d) => {
-                d.validate().map_err(|what| CoreError::InvalidConfig { what })?;
+                d.validate()
+                    .map_err(|what| CoreError::InvalidConfig { what, got: format!("{d:?}") })?;
                 Some(*d)
             }
             _ => None,
@@ -213,8 +216,7 @@ impl Machine {
         }
         let mapped = tiersim_profile::map_samples(&self.tracker, window);
         let stats = aggregate_by_label(&mapped);
-        let budget =
-            (self.cfg.mem.dram_capacity as f64 * dcfg.dram_headroom) as u64;
+        let budget = (self.cfg.mem.dram_capacity as f64 * dcfg.dram_headroom) as u64;
         let plan = plan_static(&stats, budget, true);
 
         // Snapshot the live objects before mutating the memory system.
@@ -241,7 +243,11 @@ impl Machine {
                     Placement::Dram => Tier::Dram,
                     Placement::Nvm => Tier::Nvm,
                     Placement::Split { dram_bytes } => {
-                        if i * PAGE_SIZE < dram_bytes { Tier::Dram } else { Tier::Nvm }
+                        if i * PAGE_SIZE < dram_bytes {
+                            Tier::Dram
+                        } else {
+                            Tier::Nvm
+                        }
                     }
                 };
                 if info.tier != want {
@@ -270,9 +276,8 @@ impl Machine {
 
     fn snapshot(&mut self) {
         let wall = (self.clock_cycles - self.window_start_cycles).max(1);
-        let util = (self.window_busy_cycles as f64
-            / (wall as f64 * self.cfg.threads as f64))
-            .min(1.0);
+        let util =
+            (self.window_busy_cycles as f64 / (wall as f64 * self.cfg.threads as f64)).min(1.0);
         self.timeline.push(TimelineSnapshot {
             time_secs: self.cfg.mem.cycles_to_secs(self.clock_cycles),
             numastat: NumaStat::collect(&self.mem),
@@ -330,9 +335,7 @@ impl Machine {
             Placement::Dram => {
                 self.mem.set_policy_range(addr, rounded, MemPolicy::Bind(Tier::Dram))
             }
-            Placement::Nvm => {
-                self.mem.set_policy_range(addr, rounded, MemPolicy::Bind(Tier::Nvm))
-            }
+            Placement::Nvm => self.mem.set_policy_range(addr, rounded, MemPolicy::Bind(Tier::Nvm)),
             Placement::Split { dram_bytes } => {
                 let head = (dram_bytes / PAGE_SIZE * PAGE_SIZE).min(rounded);
                 if head > 0 {
@@ -373,8 +376,7 @@ impl Machine {
             }
         };
         let os_cost = self.os.on_access(&mut self.mem, &outcome, self.clock_cycles);
-        self.sampler
-            .observe(kind, &outcome, addr, self.cur_thread, self.clock_cycles);
+        self.sampler.observe(kind, &outcome, addr, self.cur_thread, self.clock_cycles);
         self.advance_parallel(self.cfg.cpu_cycles_per_op + outcome.cycles + os_cost);
     }
 
@@ -389,10 +391,8 @@ impl Machine {
 
 impl MemBackend for Machine {
     fn mmap(&mut self, len: u64, label: &str) -> VirtAddr {
-        let addr = self
-            .mem
-            .mmap(len, MemPolicy::Default, label)
-            .expect("virtual address space exhausted");
+        let addr =
+            self.mem.mmap(len, MemPolicy::Default, label).expect("virtual address space exhausted");
         self.apply_placement(addr, len, label);
         self.tracker.on_mmap(addr, len, label, self.clock_cycles);
         self.advance_parallel(SYSCALL_COST_CYCLES);
@@ -476,10 +476,8 @@ mod tests {
     #[test]
     fn split_placement_spans_tiers() {
         let mut plan = plan_static(&[], 0, false);
-        plan.placement.insert(
-            "split",
-            tiersim_policy::Placement::Split { dram_bytes: 2 * PAGE_SIZE },
-        );
+        plan.placement
+            .insert("split", tiersim_policy::Placement::Split { dram_bytes: 2 * PAGE_SIZE });
         let mut m = machine(TieringMode::StaticObject(plan));
         let mut v = SimVec::new(&mut m, "split", 4 * PAGE_SIZE as usize, 0u8);
         for p in 0..4 {
@@ -528,10 +526,11 @@ mod tests {
 
     #[test]
     fn dynamic_mode_migrates_objects_toward_plan() {
-        let mut dcfg = tiersim_policy::DynamicObjectConfig::default();
-        dcfg.replan_interval_cycles = 50_000;
-        let mut cfg =
-            MachineConfig::scaled_default(2 << 20, TieringMode::DynamicObject(dcfg));
+        let dcfg = tiersim_policy::DynamicObjectConfig {
+            replan_interval_cycles: 50_000,
+            ..Default::default()
+        };
+        let mut cfg = MachineConfig::scaled_default(2 << 20, TieringMode::DynamicObject(dcfg));
         cfg.sample_period = 13; // dense samples so the window sees the object
         let mut m = Machine::new(cfg).unwrap();
         // A hot object faulted onto NVM (DRAM-first will place it in DRAM,

@@ -3,7 +3,7 @@
 use crate::timeline::TimelineSnapshot;
 use crate::workload::WorkloadConfig;
 use std::io::{self, Write};
-use tiersim_mem::{AccessStats, Tier};
+use tiersim_mem::{AccessStats, FaultStats, Tier};
 use tiersim_os::VmCounters;
 use tiersim_profile::{map_samples, AllocTracker, MappedProfile, MemSample};
 
@@ -32,6 +32,8 @@ pub struct RunReport {
     pub timeline: Vec<TimelineSnapshot>,
     /// Ground-truth access totals from the memory system.
     pub mem_stats: AccessStats,
+    /// Injected-fault totals (all zero when the fault plan is empty).
+    pub fault_stats: FaultStats,
     /// NVM write-amplification factor over the run.
     pub nvm_write_amplification: f64,
 }
@@ -59,10 +61,15 @@ impl RunReport {
     /// Load samples that hit NVM (the quantity the object-level policy
     /// minimizes; the paper reports a 79% reduction for `bc_kron`).
     pub fn nvm_samples(&self) -> u64 {
-        self.samples
-            .iter()
-            .filter(|s| !s.is_store && s.level == tiersim_mem::MemLevel::Nvm)
-            .count() as u64
+        self.samples.iter().filter(|s| !s.is_store && s.level == tiersim_mem::MemLevel::Nvm).count()
+            as u64
+    }
+
+    /// Whether the run degraded under injected faults: any migration gave
+    /// up after retries (its page stayed on NVM) or any allocation had to
+    /// fall back to the other tier. Always `false` with an empty plan.
+    pub fn ran_degraded(&self) -> bool {
+        self.counters.pgmigrate_fail > 0 || self.fault_stats.dram_alloc_failures > 0
     }
 
     /// Writes the per-second timeline as CSV (the series behind the
@@ -106,11 +113,13 @@ impl RunReport {
         writeln!(
             out,
             "workload,mode,total_secs,exec_secs,load_secs,samples,nvm_samples,\
-             pgpromote_success,pgdemote_total,pgalloc_dram,pgalloc_nvm"
+             pgpromote_success,pgdemote_total,pgalloc_dram,pgalloc_nvm,\
+             pgmigrate_fail,pgmigrate_retry,fault_alloc_fail,fault_migrate_busy,\
+             fault_nvm_spiked,fault_reclaim_stalls"
         )?;
         writeln!(
             out,
-            "{},{},{:.6},{:.6},{:.6},{},{},{},{},{},{}",
+            "{},{},{:.6},{:.6},{:.6},{},{},{},{},{},{},{},{},{},{},{},{}",
             self.workload.name(),
             self.mode_name,
             self.total_secs,
@@ -122,6 +131,12 @@ impl RunReport {
             self.counters.pgdemote_total(),
             self.counters.pgalloc_dram,
             self.counters.pgalloc_nvm,
+            self.counters.pgmigrate_fail,
+            self.counters.pgmigrate_retry,
+            self.fault_stats.dram_alloc_failures,
+            self.fault_stats.migrate_busy_failures,
+            self.fault_stats.nvm_spiked_ops,
+            self.fault_stats.reclaim_stalls,
         )
     }
 }
@@ -144,6 +159,7 @@ mod tests {
             counters: VmCounters::default(),
             timeline: Vec::new(),
             mem_stats: AccessStats::default(),
+            fault_stats: FaultStats::default(),
             nvm_write_amplification: 0.0,
         }
     }
@@ -166,6 +182,25 @@ mod tests {
         let mut buf = Vec::new();
         r.write_timeline_csv(&mut buf).unwrap();
         assert_eq!(String::from_utf8(buf).unwrap().lines().count(), 1); // header only
+    }
+
+    #[test]
+    fn summary_carries_degraded_mode_counters() {
+        let mut r = report(vec![0.5]);
+        assert!(!r.ran_degraded());
+        r.counters.pgmigrate_fail = 3;
+        r.counters.pgmigrate_retry = 9;
+        r.fault_stats.dram_alloc_failures = 2;
+        assert!(r.ran_degraded());
+        let mut buf = Vec::new();
+        r.write_summary_csv(&mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.lines().next().unwrap().contains("pgmigrate_fail"));
+        let row = text.lines().nth(1).unwrap();
+        let cols: Vec<&str> = row.split(',').collect();
+        let header_cols = text.lines().next().unwrap().split(',').count();
+        assert_eq!(cols.len(), header_cols, "row width matches header");
+        assert!(row.ends_with(",3,9,2,0,0,0"), "degraded columns emitted: {row}");
     }
 
     #[test]

@@ -16,12 +16,12 @@ use tiersim_policy::{aggregate_by_label, plan_static, StaticPlan, TieringMode};
 /// offline GAPBS `converter` step that produces the `.sg` file).
 pub fn generate(workload: &WorkloadConfig) -> EdgeList {
     match workload.dataset {
-        Dataset::Kron => KroneckerGenerator::new(workload.scale, workload.degree)
-            .seed(workload.seed)
-            .generate(),
-        Dataset::Urand => UniformGenerator::new(workload.scale, workload.degree)
-            .seed(workload.seed)
-            .generate(),
+        Dataset::Kron => {
+            KroneckerGenerator::new(workload.scale, workload.degree).seed(workload.seed).generate()
+        }
+        Dataset::Urand => {
+            UniformGenerator::new(workload.scale, workload.degree).seed(workload.seed).generate()
+        }
         Dataset::Road => {
             // Lattices need an even scale; round up.
             tiersim_graph::GridGenerator::new(workload.scale + workload.scale % 2).generate()
@@ -147,8 +147,8 @@ pub fn run_workload(
             // copy-out, so page cache and CSR growth compete for DRAM
             // concurrently, as in the paper's long load phase.
             let g = load_sim_csr_streamed(&mut m, &host, threads, 1 << 20, |m, bytes| {
-                m.file_read(bytes).expect("file read");
-            });
+                m.file_read(bytes)
+            })?;
             let load_end = m.now_secs();
             m.snapshot_now();
             (g, load_end)
@@ -171,6 +171,7 @@ pub fn run_workload(
     let total_secs = m.now_secs();
     let counters = m.os().counters();
     let mem_stats = *m.mem().stats();
+    let fault_stats = m.mem().fault_stats();
     let nvm_write_amplification = m.mem().nvm_write_amplification();
     let (samples, tracker, timeline) = m.into_artifacts();
     Ok(RunReport {
@@ -185,6 +186,7 @@ pub fn run_workload(
         counters,
         timeline,
         mem_stats,
+        fault_stats,
         nvm_write_amplification,
     })
 }
@@ -192,7 +194,11 @@ pub fn run_workload(
 /// Builds the paper's §7 static object plan from a profiling run: fold the
 /// run's samples by label, rank by density, and pack into
 /// `plan_dram_headroom × DRAM`.
-pub fn plan_from_report(report: &RunReport, machine_cfg: &MachineConfig, spill: bool) -> StaticPlan {
+pub fn plan_from_report(
+    report: &RunReport,
+    machine_cfg: &MachineConfig,
+    spill: bool,
+) -> StaticPlan {
     let mapped = report.mapped();
     let stats = aggregate_by_label(&mapped);
     let budget = (machine_cfg.mem.dram_capacity as f64 * machine_cfg.plan_dram_headroom) as u64;
@@ -257,8 +263,7 @@ mod tests {
         // GAPBS BC re-allocates its arrays every trial, so each trial is a
         // separate timed execution and leaves its own tracked objects.
         assert_eq!(r.trial_secs.len(), 2);
-        let sigma_count =
-            r.tracker.records().iter().filter(|rec| &*rec.site == "bc.sigma").count();
+        let sigma_count = r.tracker.records().iter().filter(|rec| &*rec.site == "bc.sigma").count();
         assert_eq!(sigma_count, 2);
     }
 
@@ -315,6 +320,71 @@ mod tests {
             .find(|rec| &*rec.site == "builder.edge_list")
             .expect("edge list tracked");
         assert!(edge_list.free_time.is_some(), "edge list freed after build");
+    }
+
+    #[test]
+    fn dram_squeeze_completes_via_demotion_fallback() {
+        // DRAM well below the workload footprint: the run must complete by
+        // demoting to NVM and falling back on allocation, never panicking.
+        let w = tiny(Kernel::Bfs, Dataset::Kron).trials(1);
+        let mut c = cfg(&w, TieringMode::AutoNuma);
+        let page = tiersim_mem::PAGE_SIZE;
+        c.mem.dram_capacity = (c.mem.dram_capacity / 8 / page).max(64) * page;
+        let r = run_workload(c, w).unwrap();
+        assert!(r.exec_secs() > 0.0);
+        assert!(r.counters.pgdemote_total() > 0, "squeeze forces demotions");
+        assert!(r.counters.pgalloc_nvm > 0, "overflow lands on NVM");
+    }
+
+    #[test]
+    fn seeded_fault_plan_is_deterministic_and_survivable() {
+        use crate::config::FaultConfig;
+        use tiersim_mem::RATE_ONE;
+        let w = tiny(Kernel::Bfs, Dataset::Kron).trials(1);
+        let plan = FaultConfig {
+            seed: 0xfau64 << 32 | 0x17,
+            dram_alloc_fail_per_64k: RATE_ONE / 16,
+            migrate_busy_per_64k: RATE_ONE / 2,
+            reclaim_stall_per_64k: RATE_ONE / 8,
+            reclaim_stall_cycles: 10_000,
+            ..FaultConfig::none()
+        };
+        let mut c = cfg(&w, TieringMode::AutoNuma).with_fault(plan);
+        c.os.migrate_max_retries = 1;
+        let a = run_workload(c.clone(), w).unwrap();
+        let b = run_workload(c, w).unwrap();
+        // Faults fired and the run degraded gracefully instead of dying.
+        assert!(a.counters.pgmigrate_fail > 0, "some migrations gave up");
+        assert!(a.counters.pgmigrate_retry > 0, "some migrations retried");
+        assert!(a.fault_stats.migrate_busy_failures > 0);
+        assert!(a.ran_degraded());
+        assert!(a.exec_secs() > 0.0);
+        // Same seed, same config: bit-for-bit identical reports.
+        assert_eq!(a.total_secs, b.total_secs);
+        assert_eq!(a.trial_secs, b.trial_secs);
+        assert_eq!(a.samples.len(), b.samples.len());
+        assert_eq!(a.counters, b.counters);
+        assert_eq!(a.fault_stats, b.fault_stats);
+        assert_eq!(a.mem_stats, b.mem_stats);
+        let (mut ca, mut cb) = (Vec::new(), Vec::new());
+        a.write_summary_csv(&mut ca).unwrap();
+        b.write_summary_csv(&mut cb).unwrap();
+        assert_eq!(ca, cb, "summary CSV is byte-identical");
+    }
+
+    #[test]
+    fn empty_fault_plan_leaves_reports_unchanged() {
+        use crate::config::FaultConfig;
+        let w = tiny(Kernel::Cc, Dataset::Kron).trials(1);
+        let plain = run_workload(cfg(&w, TieringMode::AutoNuma), w).unwrap();
+        let with_none =
+            run_workload(cfg(&w, TieringMode::AutoNuma).with_fault(FaultConfig::none()), w)
+                .unwrap();
+        assert_eq!(plain.total_secs, with_none.total_secs);
+        assert_eq!(plain.counters, with_none.counters);
+        assert_eq!(plain.mem_stats, with_none.mem_stats);
+        assert_eq!(plain.fault_stats, with_none.fault_stats);
+        assert_eq!(plain.fault_stats, Default::default());
     }
 
     #[test]

@@ -90,7 +90,8 @@ mod tests {
         let el = EdgeList::new(4, vec![(0, 1), (1, 2), (2, 3), (3, 0)]);
         let mut b = NullBackend::new();
         let g = build_sim_csr(&mut b, &el, true, 1);
-        let scores = pr(&mut b, &g, PrParams { max_iters: 100, tolerance: 1e-12, ..Default::default() }, 1);
+        let scores =
+            pr(&mut b, &g, PrParams { max_iters: 100, tolerance: 1e-12, ..Default::default() }, 1);
         let first = scores.host()[0];
         assert!(scores.host().iter().all(|s| (s - first).abs() < 1e-9));
         let sum: f64 = scores.host().iter().sum();

@@ -48,7 +48,11 @@ pub fn sssp<B: MemBackend>(
         // reinsert into it).
         while let Some(frontier) = {
             let bucket = &mut buckets[bi];
-            if bucket.is_empty() { None } else { Some(std::mem::take(bucket)) }
+            if bucket.is_empty() {
+                None
+            } else {
+                Some(std::mem::take(bucket))
+            }
         } {
             for (k, &u) in frontier.iter().enumerate() {
                 attribute_thread(b, k, frontier.len(), threads);

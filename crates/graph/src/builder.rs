@@ -152,38 +152,45 @@ pub fn sg_file_bytes(num_nodes: usize, num_directed_edges: usize) -> u64 {
 /// real loaders behave and it matters for tiering: page-cache fills and
 /// CSR allocations compete for DRAM *concurrently*, so reclaim can demote
 /// cache pages while the arrays grow (paper Fig. 9's load phase).
-pub fn load_sim_csr_streamed<B: MemBackend>(
+///
+/// # Errors
+///
+/// Stops at the first `read_chunk` error and returns it, like a loader
+/// whose `read()` failed. The partially written CSR arrays stay mapped in
+/// the backend; a failed run tears the whole machine down anyway.
+pub fn load_sim_csr_streamed<B: MemBackend, E>(
     b: &mut B,
     host: &crate::csr::CsrGraph,
     threads: usize,
     chunk_bytes: u64,
-    mut read_chunk: impl FnMut(&mut B, u64),
-) -> SimCsrGraph {
+    mut read_chunk: impl FnMut(&mut B, u64) -> Result<(), E>,
+) -> Result<SimCsrGraph, E> {
     assert!(chunk_bytes >= 8, "chunk must hold at least one element");
     let n = host.num_nodes();
     let m = host.num_edges();
     let mut budget = 0u64;
-    let mut refill = |b: &mut B, budget: &mut u64, need: u64| {
+    let mut refill = |b: &mut B, budget: &mut u64, need: u64| -> Result<(), E> {
         if *budget < need {
-            read_chunk(b, chunk_bytes);
+            read_chunk(b, chunk_bytes)?;
             *budget += chunk_bytes;
         }
+        Ok(())
     };
     let mut index = SimVec::new(b, "csr.index", n + 1, 0u64);
     for (u, &off) in host.offsets().iter().enumerate() {
-        refill(b, &mut budget, 8);
+        refill(b, &mut budget, 8)?;
         budget -= 8;
         attribute_thread(b, u, n + 1, threads);
         index.set(b, u, off);
     }
     let mut neighbors = SimVec::new(b, "csr.neighbors", m, 0 as NodeId);
     for (i, &v) in host.neighbor_array().iter().enumerate() {
-        refill(b, &mut budget, 4);
+        refill(b, &mut budget, 4)?;
         budget -= 4;
         attribute_thread(b, i, m, threads);
         neighbors.set(b, i, v);
     }
-    SimCsrGraph::from_parts(index, neighbors)
+    Ok(SimCsrGraph::from_parts(index, neighbors))
 }
 
 /// Generates deterministic edge weights in `1..=255` aligned with the
@@ -274,6 +281,39 @@ mod tests {
     #[test]
     fn sg_file_size_formula() {
         assert_eq!(sg_file_bytes(3, 4), 16 + 8 * 4 + 4 * 4);
+    }
+
+    #[test]
+    fn streamed_load_matches_eager_load() {
+        let el = EdgeList::new(8, vec![(0, 1), (1, 2), (3, 4), (6, 7), (2, 0)]);
+        let host = CsrGraph::from_edges(&el, true);
+        let mut b = NullBackend::new();
+        let mut chunks = 0u64;
+        let loaded = load_sim_csr_streamed(&mut b, &host, 3, 16, |_b, _bytes| {
+            chunks += 1;
+            Ok::<(), ()>(())
+        })
+        .unwrap();
+        assert_eq!(loaded.to_host_csr(), host);
+        assert!(chunks > 1, "small chunks force multiple reads");
+    }
+
+    #[test]
+    fn streamed_load_propagates_read_errors() {
+        let el = EdgeList::new(8, vec![(0, 1), (1, 2), (3, 4), (6, 7), (2, 0)]);
+        let host = CsrGraph::from_edges(&el, true);
+        let mut b = NullBackend::new();
+        let mut chunks = 0;
+        let r = load_sim_csr_streamed(&mut b, &host, 3, 16, |_b, _bytes| {
+            chunks += 1;
+            if chunks == 3 {
+                Err("disk on fire")
+            } else {
+                Ok(())
+            }
+        });
+        assert_eq!(r.unwrap_err(), "disk on fire");
+        assert_eq!(chunks, 3, "loader stops at the first failed read");
     }
 
     proptest::proptest! {

@@ -178,10 +178,8 @@ mod tests {
 
     #[test]
     fn endpoints_in_range() {
-        for el in [
-            KroneckerGenerator::new(6, 4).generate(),
-            UniformGenerator::new(6, 4).generate(),
-        ] {
+        for el in [KroneckerGenerator::new(6, 4).generate(), UniformGenerator::new(6, 4).generate()]
+        {
             assert!(el.edges.iter().all(|&(u, v)| (u as usize) < 64 && (v as usize) < 64));
         }
     }
@@ -225,8 +223,8 @@ impl GridGenerator {
     ///
     /// Panics if `scale` is odd, zero, or greater than 30.
     pub fn new(scale: u32) -> Self {
-        assert!(scale >= 2 && scale <= 30, "scale must be in 2..=30");
-        assert!(scale % 2 == 0, "grid scale must be even (square lattice)");
+        assert!((2..=30).contains(&scale), "scale must be in 2..=30");
+        assert!(scale.is_multiple_of(2), "grid scale must be even (square lattice)");
         GridGenerator { scale }
     }
 

@@ -27,11 +27,7 @@ pub fn bfs(host: &CsrGraph, source: NodeId, dist: &[i32]) -> VerifyResult {
     if dist == expected.as_slice() {
         return Ok(());
     }
-    let first = dist
-        .iter()
-        .zip(&expected)
-        .position(|(a, b)| a != b)
-        .expect("some mismatch exists");
+    let first = dist.iter().zip(&expected).position(|(a, b)| a != b).expect("some mismatch exists");
     Err(format!(
         "bfs mismatch at vertex {first}: got {}, expected {}",
         dist[first], expected[first]
@@ -58,11 +54,8 @@ pub fn cc(host: &CsrGraph, labels: &[NodeId]) -> VerifyResult {
     if canonical == expected {
         return Ok(());
     }
-    let first = canonical
-        .iter()
-        .zip(&expected)
-        .position(|(a, b)| a != b)
-        .expect("some mismatch exists");
+    let first =
+        canonical.iter().zip(&expected).position(|(a, b)| a != b).expect("some mismatch exists");
     Err(format!(
         "cc mismatch at vertex {first}: component {} vs expected {}",
         canonical[first], expected[first]
@@ -87,11 +80,7 @@ pub fn sssp(host: &CsrGraph, weights: &[u32], source: NodeId, dist: &[u64]) -> V
     if dist == expected.as_slice() {
         return Ok(());
     }
-    let first = dist
-        .iter()
-        .zip(&expected)
-        .position(|(a, b)| a != b)
-        .expect("some mismatch exists");
+    let first = dist.iter().zip(&expected).position(|(a, b)| a != b).expect("some mismatch exists");
     Err(format!(
         "sssp mismatch at vertex {first}: got {}, expected {}",
         dist[first], expected[first]

@@ -44,7 +44,11 @@ impl CacheStats {
 
     /// Hit ratio in `[0, 1]`; `0` if there were no lookups.
     pub fn hit_ratio(&self) -> f64 {
-        if self.lookups() == 0 { 0.0 } else { self.hits as f64 / self.lookups() as f64 }
+        if self.lookups() == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.lookups() as f64
+        }
     }
 }
 
@@ -150,9 +154,8 @@ impl SetAssocCache {
 
         // Miss: pick victim = invalid way if any, else LRU (max age).
         self.stats.misses += 1;
-        let victim = (0..self.ways)
-            .find(|&w| self.tags[base + w] == INVALID)
-            .unwrap_or_else(|| {
+        let victim =
+            (0..self.ways).find(|&w| self.tags[base + w] == INVALID).unwrap_or_else(|| {
                 (0..self.ways).max_by_key(|&w| self.ages[base + w]).expect("ways >= 1")
             });
         let idx = base + victim;
@@ -216,11 +219,7 @@ mod tests {
     use super::*;
 
     fn tiny(ways: usize, sets: usize) -> SetAssocCache {
-        SetAssocCache::new(CacheGeometry {
-            capacity: (ways * sets) as u64 * 64,
-            ways,
-            latency: 1,
-        })
+        SetAssocCache::new(CacheGeometry { capacity: (ways * sets) as u64 * 64, ways, latency: 1 })
     }
 
     #[test]

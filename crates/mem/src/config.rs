@@ -1,6 +1,7 @@
 //! Configuration for the simulated memory system.
 
 use crate::error::MemError;
+use crate::fault::FaultPlan;
 
 /// Geometry of one set-associative cache level.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -28,7 +29,7 @@ impl CacheGeometry {
             || !lines.is_multiple_of(self.ways as u64)
             || !(lines / self.ways as u64).is_power_of_two()
         {
-            return Err(MemError::InvalidConfig { what });
+            return Err(MemError::InvalidConfig { what, got: format!("{self:?}") });
         }
         Ok(())
     }
@@ -56,7 +57,7 @@ impl TlbGeometry {
             || !self.entries.is_multiple_of(self.ways)
             || !(self.entries / self.ways).is_power_of_two()
         {
-            return Err(MemError::InvalidConfig { what });
+            return Err(MemError::InvalidConfig { what, got: format!("{self:?}") });
         }
         Ok(())
     }
@@ -153,6 +154,9 @@ pub struct MemConfig {
     /// Optane *Memory Mode*: DRAM becomes a transparent direct-mapped
     /// line cache over NVM; page placement is ignored (paper §2.1).
     pub memory_mode: bool,
+    /// Deterministic fault-injection plan; [`FaultPlan::none`] (the
+    /// default) injects nothing and costs nothing.
+    pub fault: FaultPlan,
 }
 
 impl MemConfig {
@@ -173,20 +177,36 @@ impl MemConfig {
         self.dtlb.validate("dtlb geometry")?;
         self.stlb.validate("stlb geometry")?;
         if self.dram_capacity == 0 || !self.dram_capacity.is_multiple_of(crate::addr::PAGE_SIZE) {
-            return Err(MemError::InvalidConfig { what: "dram capacity" });
+            return Err(MemError::InvalidConfig {
+                what: "dram capacity",
+                got: format!(
+                    "{} (must be a nonzero multiple of the page size)",
+                    self.dram_capacity
+                ),
+            });
         }
         if self.nvm_capacity == 0 || !self.nvm_capacity.is_multiple_of(crate::addr::PAGE_SIZE) {
-            return Err(MemError::InvalidConfig { what: "nvm capacity" });
+            return Err(MemError::InvalidConfig {
+                what: "nvm capacity",
+                got: format!("{} (must be a nonzero multiple of the page size)", self.nvm_capacity),
+            });
         }
         if self.dram.banks == 0 || !self.dram.row_bytes.is_power_of_two() {
-            return Err(MemError::InvalidConfig { what: "dram timings" });
+            return Err(MemError::InvalidConfig {
+                what: "dram timings",
+                got: format!("{:?}", self.dram),
+            });
         }
         if self.nvm.buffer_entries == 0 || !self.nvm.block_bytes.is_power_of_two() {
-            return Err(MemError::InvalidConfig { what: "nvm timings" });
+            return Err(MemError::InvalidConfig {
+                what: "nvm timings",
+                got: format!("{:?}", self.nvm),
+            });
         }
         if self.freq_hz == 0 {
-            return Err(MemError::InvalidConfig { what: "frequency" });
+            return Err(MemError::InvalidConfig { what: "frequency", got: "0 Hz".to_string() });
         }
+        self.fault.validate()?;
         Ok(())
     }
 
@@ -231,6 +251,7 @@ impl Default for MemConfig {
             },
             freq_hz: 2_600_000_000,
             memory_mode: false,
+            fault: FaultPlan::none(),
         }
     }
 }
@@ -308,6 +329,12 @@ impl MemConfigBuilder {
         self
     }
 
+    /// Sets the fault-injection plan.
+    pub fn fault(mut self, plan: FaultPlan) -> Self {
+        self.cfg.fault = plan;
+        self
+    }
+
     /// Finishes the builder, validating the configuration.
     ///
     /// # Errors
@@ -349,7 +376,17 @@ mod tests {
     #[test]
     fn builder_rejects_unaligned_capacity() {
         let err = MemConfig::builder().dram_capacity(4097).build().unwrap_err();
-        assert!(matches!(err, MemError::InvalidConfig { what: "dram capacity" }));
+        assert!(matches!(err, MemError::InvalidConfig { what: "dram capacity", .. }));
+        assert!(err.to_string().contains("4097"), "error carries the offending value: {err}");
+    }
+
+    #[test]
+    fn builder_rejects_bad_fault_plan() {
+        let err = MemConfig::builder()
+            .fault(FaultPlan { nvm_spike_multiplier: 0, ..FaultPlan::none() })
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, MemError::InvalidConfig { what: "fault nvm spike multiplier", .. }));
     }
 
     #[test]

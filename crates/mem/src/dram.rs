@@ -161,7 +161,7 @@ mod tests {
     fn row_conflict_in_same_bank_misses() {
         let mut d = model();
         d.read(0); // bank 0, row 0
-        // Row 4 maps to bank 0 (4 % 4 banks) — conflicts with row 0.
+                   // Row 4 maps to bank 0 (4 % 4 banks) — conflicts with row 0.
         assert_eq!(d.read(4 * 4096), 200);
     }
 

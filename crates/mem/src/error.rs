@@ -43,11 +43,38 @@ pub enum MemError {
         /// The address given.
         addr: VirtAddr,
     },
+    /// A frame allocation failed transiently (injected fault modelling
+    /// the kernel's `__alloc_pages` returning `NULL` under pressure).
+    /// Retryable: the caller may back off and retry, or fall back to
+    /// the other tier.
+    AllocTransient {
+        /// The tier whose allocation failed.
+        tier: Tier,
+    },
+    /// A page migration failed with EBUSY (injected fault modelling a
+    /// pinned or temporarily busy page that `migrate_pages()` refuses
+    /// to move). Retryable: the page stays put and may be retried.
+    MigrateBusy {
+        /// The page that could not be migrated.
+        page: PageNum,
+    },
     /// A configuration value was rejected.
     InvalidConfig {
-        /// Human-readable description of the offending parameter.
+        /// Which parameter was rejected.
         what: &'static str,
+        /// The offending value (and, where useful, the accepted range).
+        got: String,
     },
+}
+
+impl MemError {
+    /// Whether the error is transient: retrying the same operation
+    /// later (or with backoff) may succeed. Only the injected-fault
+    /// variants qualify; everything else reflects stable state.
+    #[must_use]
+    pub fn is_transient(&self) -> bool {
+        matches!(self, MemError::AllocTransient { .. } | MemError::MigrateBusy { .. })
+    }
 }
 
 impl fmt::Display for MemError {
@@ -62,7 +89,15 @@ impl fmt::Display for MemError {
             }
             MemError::InvalidLength { len } => write!(f, "invalid mapping length {len}"),
             MemError::NoSuchMapping { addr } => write!(f, "no mapping at {addr}"),
-            MemError::InvalidConfig { what } => write!(f, "invalid configuration: {what}"),
+            MemError::AllocTransient { tier } => {
+                write!(f, "transient allocation failure on tier {tier} (retryable)")
+            }
+            MemError::MigrateBusy { page } => {
+                write!(f, "page {page} is busy and cannot be migrated (retryable)")
+            }
+            MemError::InvalidConfig { what, got } => {
+                write!(f, "invalid configuration: {what} (got {got})")
+            }
         }
     }
 }
@@ -99,6 +134,9 @@ mod tests {
             MemError::OutOfMemory,
             MemError::PageNotResident { page: PageNum::new(1) },
             MemError::InvalidLength { len: 0 },
+            MemError::AllocTransient { tier: Tier::Dram },
+            MemError::MigrateBusy { page: PageNum::new(2) },
+            MemError::InvalidConfig { what: "x", got: "0".to_string() },
         ];
         for e in errs {
             let s = e.to_string();
@@ -112,5 +150,13 @@ mod tests {
     fn error_is_send_sync() {
         fn assert_send_sync<T: Send + Sync>() {}
         assert_send_sync::<MemError>();
+    }
+
+    #[test]
+    fn only_injected_faults_are_transient() {
+        assert!(MemError::AllocTransient { tier: Tier::Dram }.is_transient());
+        assert!(MemError::MigrateBusy { page: PageNum::new(1) }.is_transient());
+        assert!(!MemError::OutOfMemory.is_transient());
+        assert!(!MemError::TierFull { tier: Tier::Nvm }.is_transient());
     }
 }

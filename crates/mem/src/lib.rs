@@ -49,6 +49,7 @@ mod cache;
 mod config;
 mod dram;
 mod error;
+mod fault;
 mod frame;
 mod memory_mode;
 mod nvm;
@@ -62,12 +63,17 @@ mod tlb;
 mod vma;
 
 pub use access::{AccessError, AccessKind, AccessOutcome};
-pub use addr::{pages_for, PageNum, ThreadId, VirtAddr, LINE_SHIFT, LINE_SIZE, PAGE_SHIFT, PAGE_SIZE};
+pub use addr::{
+    pages_for, PageNum, ThreadId, VirtAddr, LINE_SHIFT, LINE_SIZE, PAGE_SHIFT, PAGE_SIZE,
+};
 pub use backend::{MemBackend, NullBackend};
 pub use cache::{CacheOutcome, CacheStats, SetAssocCache};
-pub use config::{CacheGeometry, DramTimings, MemConfig, MemConfigBuilder, NvmTimings, TlbGeometry};
+pub use config::{
+    CacheGeometry, DramTimings, MemConfig, MemConfigBuilder, NvmTimings, TlbGeometry,
+};
 pub use dram::{DeviceStats, DramModel};
 pub use error::{MemError, PageFault};
+pub use fault::{CycleWindow, FaultPlan, FaultState, FaultStats, RATE_ONE};
 pub use frame::FrameAllocator;
 pub use memory_mode::{MemoryModeCache, MemoryModeOutcome};
 pub use nvm::NvmModel;

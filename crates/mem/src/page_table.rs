@@ -115,8 +115,8 @@ impl PageTable {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::addr::PAGE_SIZE;
     use crate::addr::VirtAddr;
+    use crate::addr::PAGE_SIZE;
 
     fn pn(i: u64) -> PageNum {
         VirtAddr::new(MMAP_BASE + i * PAGE_SIZE).page()

@@ -68,7 +68,11 @@ impl AccessStats {
 
     /// Fraction of accesses satisfied outside the caches.
     pub fn external_fraction(&self) -> f64 {
-        if self.total() == 0 { 0.0 } else { self.external() as f64 / self.total() as f64 }
+        if self.total() == 0 {
+            0.0
+        } else {
+            self.external() as f64 / self.total() as f64
+        }
     }
 
     /// External accesses that hit the given tier.

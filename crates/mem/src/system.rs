@@ -6,6 +6,7 @@ use crate::cache::{CacheOutcome, SetAssocCache};
 use crate::config::MemConfig;
 use crate::dram::DramModel;
 use crate::error::{MemError, PageFault};
+use crate::fault::{FaultState, FaultStats};
 use crate::frame::FrameAllocator;
 use crate::memory_mode::MemoryModeCache;
 use crate::nvm::NvmModel;
@@ -73,6 +74,7 @@ pub struct MemorySystem {
     /// line cache over NVM.
     mm_cache: Option<MemoryModeCache>,
     stats: AccessStats,
+    faults: FaultState,
 }
 
 impl MemorySystem {
@@ -99,6 +101,7 @@ impl MemorySystem {
             dram: DramModel::new(cfg.dram),
             nvm: NvmModel::new(cfg.nvm),
             stats: AccessStats::default(),
+            faults: FaultState::new(cfg.fault),
             cfg,
         })
     }
@@ -180,9 +183,15 @@ impl MemorySystem {
     ///
     /// - [`MemError::TierFull`] if the tier has no free frames.
     /// - [`MemError::PageAlreadyResident`] if the page is already mapped.
+    /// - [`MemError::AllocTransient`] if the fault plan injects a
+    ///   transient allocation failure (retryable; no state changed).
     pub fn map_page(&mut self, pn: PageNum, tier: Tier, now: u64) -> Result<(), MemError> {
         if self.pages.is_resident(pn) {
             return Err(MemError::PageAlreadyResident { page: pn });
+        }
+        self.faults.set_now(now);
+        if self.faults.dram_alloc_fails(tier) {
+            return Err(MemError::AllocTransient { tier });
         }
         self.frames[tier.index()].alloc()?;
         self.pages.insert(pn, PageInfo::new(tier, now));
@@ -210,14 +219,15 @@ impl MemorySystem {
     /// - [`MemError::PageNotResident`] if the page is not resident.
     /// - [`MemError::TierFull`] if the destination has no free frames.
     /// - [`MemError::PageAlreadyResident`] if the page is already on `to`.
+    /// - [`MemError::MigrateBusy`] if the fault plan injects an
+    ///   EBUSY-style failure (retryable; the page stays where it was).
     pub fn migrate_page(&mut self, pn: PageNum, to: Tier) -> Result<u64, MemError> {
-        let from = self
-            .pages
-            .get(pn)
-            .ok_or(MemError::PageNotResident { page: pn })?
-            .tier;
+        let from = self.pages.get(pn).ok_or(MemError::PageNotResident { page: pn })?.tier;
         if from == to {
             return Err(MemError::PageAlreadyResident { page: pn });
+        }
+        if self.faults.migrate_busy(pn) {
+            return Err(MemError::MigrateBusy { page: pn });
         }
         self.frames[to.index()].alloc()?;
         self.frames[from.index()].free();
@@ -284,14 +294,14 @@ impl MemorySystem {
     fn device_read(&mut self, tier: Tier, addr: u64) -> u64 {
         match tier {
             Tier::Dram => self.dram.read(addr),
-            Tier::Nvm => self.nvm.read(addr),
+            Tier::Nvm => self.nvm.read(addr) * self.faults.nvm_multiplier(addr),
         }
     }
 
     fn device_write(&mut self, tier: Tier, addr: u64) -> u64 {
         match tier {
             Tier::Dram => self.dram.write(addr),
-            Tier::Nvm => self.nvm.write(addr),
+            Tier::Nvm => self.nvm.write(addr) * self.faults.nvm_multiplier(addr),
         }
     }
 
@@ -389,6 +399,7 @@ impl MemorySystem {
         now: u64,
     ) -> Result<AccessOutcome, AccessError> {
         let pn = addr.page();
+        self.faults.set_now(now);
         let (tier, hint_fault, hint_scan_time) = match self.pages.get_mut(pn) {
             Some(info) => {
                 info.last_access = now;
@@ -399,10 +410,7 @@ impl MemorySystem {
                 (info.tier, hint, info.scan_time)
             }
             None => {
-                let vma = self
-                    .vmas
-                    .find(addr)
-                    .ok_or(AccessError::Segfault { addr })?;
+                let vma = self.vmas.find(addr).ok_or(AccessError::Segfault { addr })?;
                 return Err(AccessError::Fault(PageFault {
                     page: pn,
                     addr,
@@ -433,15 +441,8 @@ impl MemorySystem {
         let (level, data_cycles) = self.cache_path(addr.line(), kind.is_store(), tier);
         cycles += data_cycles;
 
-        let outcome = AccessOutcome {
-            page: pn,
-            level,
-            tier,
-            cycles,
-            tlb_miss,
-            hint_fault,
-            hint_scan_time,
-        };
+        let outcome =
+            AccessOutcome { page: pn, level, tier, cycles, tlb_miss, hint_fault, hint_scan_time };
         self.stats.record(kind, &outcome);
         Ok(outcome)
     }
@@ -459,7 +460,9 @@ impl MemorySystem {
     }
 
     /// Per-cache statistics `(l1, l2, l3)`.
-    pub fn cache_stats(&self) -> (crate::cache::CacheStats, crate::cache::CacheStats, crate::cache::CacheStats) {
+    pub fn cache_stats(
+        &self,
+    ) -> (crate::cache::CacheStats, crate::cache::CacheStats, crate::cache::CacheStats) {
         (self.l1.stats(), self.l2.stats(), self.l3.stats())
     }
 
@@ -481,6 +484,22 @@ impl MemorySystem {
     /// NVM write amplification factor so far.
     pub fn nvm_write_amplification(&self) -> f64 {
         self.nvm.write_amplification()
+    }
+
+    /// The fault injector (read-only observability).
+    pub fn faults(&self) -> &FaultState {
+        &self.faults
+    }
+
+    /// The fault injector, mutable: the OS model draws reclaim stalls
+    /// from it and feeds it the clock.
+    pub fn faults_mut(&mut self) -> &mut FaultState {
+        &mut self.faults
+    }
+
+    /// Counts of faults injected so far.
+    pub fn fault_stats(&self) -> FaultStats {
+        self.faults.stats()
     }
 
     /// Resets all statistics (state — caches, TLB, placements — is kept).
@@ -629,10 +648,7 @@ mod tests {
         let report = s.munmap(a).unwrap();
         assert_eq!(report.freed_pages[Tier::Dram.index()], 4);
         assert_eq!(s.used_pages(Tier::Dram), 0);
-        assert!(matches!(
-            s.access(a, AccessKind::Load, 0),
-            Err(AccessError::Segfault { .. })
-        ));
+        assert!(matches!(s.access(a, AccessKind::Load, 0), Err(AccessError::Segfault { .. })));
     }
 
     #[test]

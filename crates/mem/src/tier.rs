@@ -118,14 +118,8 @@ impl MemLevel {
     }
 
     /// All levels in hierarchy order.
-    pub const ALL: [MemLevel; 6] = [
-        MemLevel::L1,
-        MemLevel::L2,
-        MemLevel::L3,
-        MemLevel::Lfb,
-        MemLevel::Dram,
-        MemLevel::Nvm,
-    ];
+    pub const ALL: [MemLevel; 6] =
+        [MemLevel::L1, MemLevel::L2, MemLevel::L3, MemLevel::Lfb, MemLevel::Dram, MemLevel::Nvm];
 }
 
 impl fmt::Display for MemLevel {

@@ -43,7 +43,11 @@ impl TlbStats {
 
     /// Fraction of lookups that required a page walk.
     pub fn miss_ratio(&self) -> f64 {
-        if self.lookups() == 0 { 0.0 } else { self.misses as f64 / self.lookups() as f64 }
+        if self.lookups() == 0 {
+            0.0
+        } else {
+            self.misses as f64 / self.lookups() as f64
+        }
     }
 }
 
@@ -91,9 +95,8 @@ impl TlbLevel {
             self.touch(base, w);
             return;
         }
-        let victim = (0..self.ways)
-            .find(|&w| self.tags[base + w] == INVALID)
-            .unwrap_or_else(|| {
+        let victim =
+            (0..self.ways).find(|&w| self.tags[base + w] == INVALID).unwrap_or_else(|| {
                 (0..self.ways).max_by_key(|&w| self.ages[base + w]).expect("ways >= 1")
             });
         self.tags[base + victim] = pn;

@@ -125,9 +125,7 @@ impl VmaTable {
         if len == 0 {
             return Err(MemError::InvalidLength { len });
         }
-        let len = pages_for(len)
-            .checked_mul(PAGE_SIZE)
-            .ok_or(MemError::InvalidLength { len })?;
+        let len = pages_for(len).checked_mul(PAGE_SIZE).ok_or(MemError::InvalidLength { len })?;
         let base = VirtAddr::new(self.next_addr);
         self.next_addr = self
             .next_addr
@@ -150,11 +148,7 @@ impl VmaTable {
     /// Returns [`MemError::NoSuchMapping`] if `addr` is not the base of a
     /// mapped region.
     pub fn unmap(&mut self, addr: VirtAddr) -> Result<Vec<Vma>, MemError> {
-        let first = self
-            .vmas
-            .get(&addr.raw())
-            .cloned()
-            .ok_or(MemError::NoSuchMapping { addr })?;
+        let first = self.vmas.get(&addr.raw()).cloned().ok_or(MemError::NoSuchMapping { addr })?;
         // Fragments from a split share the contiguous span (guard gaps
         // separate distinct map() calls, so contiguity identifies them).
         let mut removed = vec![self.vmas.remove(&addr.raw()).expect("present")];
@@ -211,14 +205,26 @@ impl VmaTable {
                 let id = self.fresh_id();
                 self.vmas.insert(
                     vma.base.raw(),
-                    Vma { id, base: vma.base, len: left_len, policy: vma.policy, label: Arc::clone(&vma.label) },
+                    Vma {
+                        id,
+                        base: vma.base,
+                        len: left_len,
+                        policy: vma.policy,
+                        label: Arc::clone(&vma.label),
+                    },
                 );
             }
             let mid_end = vma.end().min(end);
             let id = self.fresh_id();
             self.vmas.insert(
                 cursor.raw(),
-                Vma { id, base: cursor, len: mid_end - cursor, policy, label: Arc::clone(&vma.label) },
+                Vma {
+                    id,
+                    base: cursor,
+                    len: mid_end - cursor,
+                    policy,
+                    label: Arc::clone(&vma.label),
+                },
             );
             // Right fragment keeps the old policy.
             if mid_end < vma.end() {

@@ -25,7 +25,11 @@ fn op_strategy() -> impl Strategy<Value = Op> {
 }
 
 fn tier_of(b: bool) -> Tier {
-    if b { Tier::Dram } else { Tier::Nvm }
+    if b {
+        Tier::Dram
+    } else {
+        Tier::Nvm
+    }
 }
 
 proptest! {
@@ -199,9 +203,6 @@ fn outcome_tier_matches_placement() {
     sys.map_page(a.page(), Tier::Dram, 0).unwrap();
     sys.map_page((a + PAGE_SIZE).page(), Tier::Nvm, 0).unwrap();
     assert_eq!(sys.access(a, AccessKind::Load, 0).unwrap().tier, Tier::Dram);
-    assert_eq!(
-        sys.access(a + PAGE_SIZE, AccessKind::Load, 0).unwrap().tier,
-        Tier::Nvm
-    );
+    assert_eq!(sys.access(a + PAGE_SIZE, AccessKind::Load, 0).unwrap().tier, Tier::Nvm);
     let _ = VirtAddr::NULL;
 }

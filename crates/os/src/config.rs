@@ -98,6 +98,16 @@ pub struct OsConfig {
     /// Kernel overhead per page migration, on top of the device copy.
     pub migration_overhead_cycles: u64,
 
+    // ----- migration retry (fault tolerance) ---------------------------
+    /// Maximum extra attempts after a transient (EBUSY-style) migration
+    /// failure before the page is given up on (`pgmigrate_fail`) and
+    /// requeued. Mirrors the bounded retry loop in the kernel's
+    /// `migrate_pages()`.
+    pub migrate_max_retries: u32,
+    /// Simulated cycles of backoff charged before each migration retry
+    /// (the kernel's cond_resched/lock-retry delay).
+    pub migrate_retry_backoff_cycles: u64,
+
     /// CPU frequency used to convert the rate limit, must match the memory
     /// system's frequency.
     pub freq_hz: u64,
@@ -108,26 +118,28 @@ impl Default for OsConfig {
         let hz: u64 = 2_600_000_000;
         OsConfig {
             autonuma_enabled: true,
-            scan_period_cycles: hz,                 // 1 s
-            scan_size_pages: 65_536,                // 256 MB
+            scan_period_cycles: hz,  // 1 s
+            scan_size_pages: 65_536, // 256 MB
             scan_period_adaptive: false,
-            scan_period_max_cycles: hz * 60,        // 60 s
-            hot_threshold_cycles: hz,               // 1 s
-            hot_threshold_min_cycles: hz / 1000,    // 1 ms
-            hot_threshold_max_cycles: hz * 10,      // 10 s
-            threshold_adjust_period_cycles: hz,     // 1 s
+            scan_period_max_cycles: hz * 60,              // 60 s
+            hot_threshold_cycles: hz,                     // 1 s
+            hot_threshold_min_cycles: hz / 1000,          // 1 ms
+            hot_threshold_max_cycles: hz * 10,            // 10 s
+            threshold_adjust_period_cycles: hz,           // 1 s
             promo_rate_limit_bytes_per_sec: 65_536 << 20, // 65536 MB/s
             wmark_min_frac: 0.02,
             wmark_low_frac: 0.04,
             wmark_high_frac: 0.08,
             kswapd_batch_pages: 4096,
-            lru_quantum_cycles: hz,                 // 1 s (scan period)
-            kswapd_period_cycles: hz / 100,         // 10 ms
+            lru_quantum_cycles: hz,         // 1 s (scan period)
+            kswapd_period_cycles: hz / 100, // 10 ms
             page_cache_enabled: true,
-            disk_read_cycles_per_page: 52_000,      // ≈ 20 µs / page (parse-bound load)
+            disk_read_cycles_per_page: 52_000, // ≈ 20 µs / page (parse-bound load)
             hint_fault_cost_cycles: 2_000,
             minor_fault_cost_cycles: 1_200,
             migration_overhead_cycles: 5_000,
+            migrate_max_retries: 3, // kernel migrate_pages() tries up to 3 passes
+            migrate_retry_backoff_cycles: 2_600, // ~1 µs between passes
             freq_hz: hz,
         }
     }
@@ -178,19 +190,43 @@ impl OsConfig {
             || self.wmark_min_frac > self.wmark_low_frac
             || self.wmark_low_frac > self.wmark_high_frac
         {
-            return Err(OsError::InvalidConfig { what: "watermarks" });
+            return Err(OsError::InvalidConfig {
+                what: "watermarks",
+                got: format!(
+                    "min {} / low {} / high {} (need 0 <= min <= low <= high <= 1)",
+                    self.wmark_min_frac, self.wmark_low_frac, self.wmark_high_frac
+                ),
+            });
         }
         if self.scan_period_cycles == 0 || self.scan_size_pages == 0 {
-            return Err(OsError::InvalidConfig { what: "scanner" });
+            return Err(OsError::InvalidConfig {
+                what: "scanner",
+                got: format!(
+                    "period {} cycles, size {} pages (both must be nonzero)",
+                    self.scan_period_cycles, self.scan_size_pages
+                ),
+            });
         }
         if self.scan_period_max_cycles < self.scan_period_cycles {
-            return Err(OsError::InvalidConfig { what: "scan period max" });
+            return Err(OsError::InvalidConfig {
+                what: "scan period max",
+                got: format!(
+                    "{} < minimum period {}",
+                    self.scan_period_max_cycles, self.scan_period_cycles
+                ),
+            });
         }
         if self.hot_threshold_min_cycles > self.hot_threshold_max_cycles {
-            return Err(OsError::InvalidConfig { what: "threshold clamps" });
+            return Err(OsError::InvalidConfig {
+                what: "threshold clamps",
+                got: format!(
+                    "min {} > max {}",
+                    self.hot_threshold_min_cycles, self.hot_threshold_max_cycles
+                ),
+            });
         }
         if self.freq_hz == 0 {
-            return Err(OsError::InvalidConfig { what: "frequency" });
+            return Err(OsError::InvalidConfig { what: "frequency", got: "0 Hz".to_string() });
         }
         Ok(())
     }
@@ -253,6 +289,15 @@ impl OsConfigBuilder {
         self
     }
 
+    /// Sets the bounded migration-retry policy: `retries` extra attempts
+    /// after a transient failure, each preceded by `backoff_cycles` of
+    /// simulated backoff.
+    pub fn migrate_retry(mut self, retries: u32, backoff_cycles: u64) -> Self {
+        self.cfg.migrate_max_retries = retries;
+        self.cfg.migrate_retry_backoff_cycles = backoff_cycles;
+        self
+    }
+
     /// Finishes the builder, validating the configuration.
     ///
     /// # Errors
@@ -292,7 +337,8 @@ mod tests {
     #[test]
     fn builder_rejects_inverted_watermarks() {
         let err = OsConfig::builder().watermarks(0.5, 0.1, 0.9).build().unwrap_err();
-        assert!(matches!(err, OsError::InvalidConfig { what: "watermarks" }));
+        assert!(matches!(err, OsError::InvalidConfig { what: "watermarks", .. }));
+        assert!(err.to_string().contains("0.5"), "error carries the offending value: {err}");
     }
 
     #[test]

@@ -32,6 +32,11 @@ pub struct VmCounters {
     pub promo_threshold_rejected: u64,
     /// Promotion attempts that failed for lack of free DRAM.
     pub promo_no_space: u64,
+    /// Migrations that failed permanently after retries (the kernel's
+    /// `pgmigrate_fail`: busy pages `migrate_pages()` gave up on).
+    pub pgmigrate_fail: u64,
+    /// Migration retries after an EBUSY-style transient failure.
+    pub pgmigrate_retry: u64,
     /// First-touch (minor) faults placed on DRAM.
     pub pgalloc_dram: u64,
     /// First-touch (minor) faults placed on NVM.
@@ -65,8 +70,13 @@ impl VmCounters {
             pgdemote_direct: d(self.pgdemote_direct, earlier.pgdemote_direct),
             pgmigrate_success: d(self.pgmigrate_success, earlier.pgmigrate_success),
             promo_rate_limited: d(self.promo_rate_limited, earlier.promo_rate_limited),
-            promo_threshold_rejected: d(self.promo_threshold_rejected, earlier.promo_threshold_rejected),
+            promo_threshold_rejected: d(
+                self.promo_threshold_rejected,
+                earlier.promo_threshold_rejected,
+            ),
             promo_no_space: d(self.promo_no_space, earlier.promo_no_space),
+            pgmigrate_fail: d(self.pgmigrate_fail, earlier.pgmigrate_fail),
+            pgmigrate_retry: d(self.pgmigrate_retry, earlier.pgmigrate_retry),
             pgalloc_dram: d(self.pgalloc_dram, earlier.pgalloc_dram),
             pgalloc_nvm: d(self.pgalloc_nvm, earlier.pgalloc_nvm),
             page_cache_dropped: d(self.page_cache_dropped, earlier.page_cache_dropped),
@@ -139,14 +149,24 @@ mod tests {
 
     #[test]
     fn delta_subtracts_fields() {
-        let a = VmCounters { pgpromote_success: 10, pgdemote_kswapd: 4, ..Default::default() };
+        let a = VmCounters {
+            pgpromote_success: 10,
+            pgdemote_kswapd: 4,
+            pgmigrate_fail: 2,
+            pgmigrate_retry: 3,
+            ..Default::default()
+        };
         let mut b = a;
         b.pgpromote_success = 25;
         b.pgdemote_kswapd = 9;
+        b.pgmigrate_fail = 6;
+        b.pgmigrate_retry = 10;
         let d = b.delta(&a);
         assert_eq!(d.pgpromote_success, 15);
         assert_eq!(d.pgdemote_kswapd, 5);
         assert_eq!(d.pgdemote_total(), 5);
+        assert_eq!(d.pgmigrate_fail, 4);
+        assert_eq!(d.pgmigrate_retry, 7);
     }
 
     #[test]

@@ -142,6 +142,51 @@ impl AutoNuma {
         (mem.capacity_pages(Tier::Dram) as f64 * frac) as u64
     }
 
+    /// [`MemorySystem::map_page`] with bounded retry on injected
+    /// transient allocation failures, charging the backoff to `cost`.
+    /// Behaves exactly like a plain `map_page` when no fault plan is
+    /// active (transient errors then never occur).
+    fn map_page_retrying(
+        &mut self,
+        mem: &mut MemorySystem,
+        pn: tiersim_mem::PageNum,
+        tier: Tier,
+        now: u64,
+        cost: &mut u64,
+    ) -> Result<(), MemError> {
+        let mut attempts = 0;
+        loop {
+            match mem.map_page(pn, tier, now) {
+                Err(e) if e.is_transient() && attempts < self.cfg.migrate_max_retries => {
+                    attempts += 1;
+                    *cost += self.cfg.migrate_retry_backoff_cycles;
+                }
+                other => return other,
+            }
+        }
+    }
+
+    /// Places `pn` on NVM, falling back to any free DRAM when NVM is
+    /// exhausted (the allocator's last resort).
+    fn place_nvm_fallback(
+        &mut self,
+        mem: &mut MemorySystem,
+        pn: tiersim_mem::PageNum,
+        now: u64,
+        cost: &mut u64,
+    ) -> Result<Tier, OsError> {
+        match self.map_page_retrying(mem, pn, Tier::Nvm, now, cost) {
+            Ok(()) => Ok(Tier::Nvm),
+            Err(MemError::TierFull { .. }) => {
+                // NVM exhausted: last resort is any free DRAM.
+                self.map_page_retrying(mem, pn, Tier::Dram, now, cost)
+                    .map_err(|_| OsError::OutOfMemory)?;
+                Ok(Tier::Dram)
+            }
+            Err(e) => Err(e.into()),
+        }
+    }
+
     // ----- fault placement ------------------------------------------------
 
     /// Services a page fault: places the page according to the VMA policy
@@ -183,46 +228,55 @@ impl AutoNuma {
                     self.kswapd_pending = true;
                 }
                 if free > self.dram_watermark_pages(mem, self.cfg.wmark_min_frac) {
-                    mem.map_page(pn, Tier::Dram, now)?;
-                    Ok(Tier::Dram)
-                } else {
-                    match mem.map_page(pn, Tier::Nvm, now) {
-                        Ok(()) => Ok(Tier::Nvm),
-                        Err(MemError::TierFull { .. }) => {
-                            // NVM exhausted: last resort is any free DRAM.
-                            mem.map_page(pn, Tier::Dram, now)
-                                .map_err(|_| OsError::OutOfMemory)?;
-                            Ok(Tier::Dram)
-                        }
+                    match self.map_page_retrying(mem, pn, Tier::Dram, now, cost) {
+                        Ok(()) => Ok(Tier::Dram),
+                        // Injected allocation failure that outlived its
+                        // retries: degrade to NVM like the allocator's
+                        // node fallback, instead of failing the fault.
+                        Err(e) if e.is_transient() => self.place_nvm_fallback(mem, pn, now, cost),
                         Err(e) => Err(e.into()),
                     }
+                } else {
+                    self.place_nvm_fallback(mem, pn, now, cost)
                 }
             }
             MemPolicy::Interleave => {
                 // Alternate by page number, falling back when a tier is
                 // full — the kernel's round-robin with node fallback.
-                let t = if pn.index() % 2 == 0 { Tier::Dram } else { Tier::Nvm };
-                match mem.map_page(pn, t, now) {
+                let t = if pn.index().is_multiple_of(2) { Tier::Dram } else { Tier::Nvm };
+                match self.map_page_retrying(mem, pn, t, now, cost) {
                     Ok(()) => Ok(t),
-                    Err(MemError::TierFull { .. }) => {
-                        mem.map_page(pn, t.other(), now).map_err(|_| OsError::OutOfMemory)?;
+                    Err(e) if matches!(e, MemError::TierFull { .. }) || e.is_transient() => {
+                        self.map_page_retrying(mem, pn, t.other(), now, cost)
+                            .map_err(|_| OsError::OutOfMemory)?;
                         Ok(t.other())
                     }
                     Err(e) => Err(e.into()),
                 }
             }
-            MemPolicy::Preferred(t) => match mem.map_page(pn, t, now) {
+            MemPolicy::Preferred(t) => match self.map_page_retrying(mem, pn, t, now, cost) {
                 Ok(()) => Ok(t),
-                Err(MemError::TierFull { .. }) => {
-                    mem.map_page(pn, t.other(), now).map_err(|_| OsError::OutOfMemory)?;
+                Err(e) if matches!(e, MemError::TierFull { .. }) || e.is_transient() => {
+                    self.map_page_retrying(mem, pn, t.other(), now, cost)
+                        .map_err(|_| OsError::OutOfMemory)?;
                     Ok(t.other())
                 }
                 Err(e) => Err(e.into()),
             },
             MemPolicy::Bind(t) => {
                 loop {
-                    match mem.map_page(pn, t, now) {
+                    match self.map_page_retrying(mem, pn, t, now, cost) {
                         Ok(()) => return Ok(t),
+                        Err(e) if e.is_transient() => {
+                            // The bind target keeps failing transiently:
+                            // degrade to the other tier rather than
+                            // failing the fault; a later pass (promotion
+                            // or reclaim) restores the intended
+                            // placement.
+                            self.map_page_retrying(mem, pn, t.other(), now, cost)
+                                .map_err(|_| OsError::OutOfMemory)?;
+                            return Ok(t.other());
+                        }
                         Err(MemError::TierFull { .. }) if t == Tier::Dram => {
                             // mbind to DRAM under pressure: synchronous
                             // reclaim makes room. With tiering enabled the
@@ -233,8 +287,7 @@ impl AutoNuma {
                             let reclaimed = if self.cfg.autonuma_enabled {
                                 reclaim::direct_reclaim_one(mem, &mut self.counters, &self.cfg)
                             } else {
-                                let out =
-                                    reclaim::drop_page_cache(mem, &mut self.counters, 1);
+                                let out = reclaim::drop_page_cache(mem, &mut self.counters, 1);
                                 (out.dropped > 0).then_some(out.cost_cycles)
                             };
                             match reclaimed {
@@ -269,7 +322,7 @@ impl AutoNuma {
         let high = self.dram_watermark_pages(mem, self.cfg.wmark_high_frac);
         if free > high {
             // Plenty of fast memory: promote unconditionally (paper §2.2).
-            self.promote(mem, outcome.page, &mut cost);
+            self.promote(mem, outcome.page, now, &mut cost);
             return cost;
         }
 
@@ -289,23 +342,52 @@ impl AutoNuma {
             self.kswapd_pending = true;
             return cost;
         }
-        self.promote(mem, outcome.page, &mut cost);
+        self.promote(mem, outcome.page, now, &mut cost);
         cost
     }
 
-    fn promote(&mut self, mem: &mut MemorySystem, page: tiersim_mem::PageNum, cost: &mut u64) {
-        match mem.migrate_page(page, Tier::Dram) {
-            Ok(copy_cycles) => {
-                *cost += copy_cycles + self.cfg.migration_overhead_cycles;
-                self.counters.pgpromote_success += 1;
-                self.counters.pgmigrate_success += 1;
-                if let Some(p) = mem.page_mut(page) {
-                    p.flags.insert(PageFlags::WAS_PROMOTED);
+    fn promote(
+        &mut self,
+        mem: &mut MemorySystem,
+        page: tiersim_mem::PageNum,
+        now: u64,
+        cost: &mut u64,
+    ) {
+        let mut attempts = 0;
+        loop {
+            match mem.migrate_page(page, Tier::Dram) {
+                Ok(copy_cycles) => {
+                    *cost += copy_cycles + self.cfg.migration_overhead_cycles;
+                    self.counters.pgpromote_success += 1;
+                    self.counters.pgmigrate_success += 1;
+                    if let Some(p) = mem.page_mut(page) {
+                        p.flags.insert(PageFlags::WAS_PROMOTED);
+                    }
+                    return;
                 }
-            }
-            Err(_) => {
-                self.counters.promo_no_space += 1;
-                self.kswapd_pending = true;
+                Err(e) if e.is_transient() => {
+                    if attempts < self.cfg.migrate_max_retries {
+                        // Bounded retry with backoff in simulated cycles,
+                        // mirroring the passes of the kernel's
+                        // migrate_pages().
+                        attempts += 1;
+                        self.counters.pgmigrate_retry += 1;
+                        *cost += self.cfg.migrate_retry_backoff_cycles;
+                    } else {
+                        // Gave up (the kernel's pgmigrate_fail). Degrade
+                        // gracefully: the page stays on NVM and is
+                        // requeued by re-marking its hint, so a later
+                        // access retries the promotion.
+                        self.counters.pgmigrate_fail += 1;
+                        mem.mark_hint(page, now);
+                        return;
+                    }
+                }
+                Err(_) => {
+                    self.counters.promo_no_space += 1;
+                    self.kswapd_pending = true;
+                    return;
+                }
             }
         }
     }
@@ -326,19 +408,19 @@ impl AutoNuma {
                     // toward the maximum; fault activity speeds it back up.
                     let faults_now = self.counters.numa_hint_faults;
                     if faults_now == self.hint_faults_at_last_scan {
-                        self.cur_scan_period = (self.cur_scan_period * 3 / 2)
-                            .min(self.cfg.scan_period_max_cycles);
+                        self.cur_scan_period =
+                            (self.cur_scan_period * 3 / 2).min(self.cfg.scan_period_max_cycles);
                     } else {
-                        self.cur_scan_period = (self.cur_scan_period * 2 / 3)
-                            .max(self.cfg.scan_period_cycles);
+                        self.cur_scan_period =
+                            (self.cur_scan_period * 2 / 3).max(self.cfg.scan_period_cycles);
                     }
                     self.hint_faults_at_last_scan = faults_now;
                 }
                 self.next_scan = now + self.cur_scan_period;
             }
             if now >= self.next_adjust {
-                let interval_secs = self.cfg.threshold_adjust_period_cycles as f64
-                    / self.cfg.freq_hz as f64;
+                let interval_secs =
+                    self.cfg.threshold_adjust_period_cycles as f64 / self.cfg.freq_hz as f64;
                 let limit_bytes =
                     (self.cfg.promo_rate_limit_bytes_per_sec as f64 * interval_secs) as u64;
                 self.threshold.adjust(self.candidate_bytes_interval, limit_bytes);
@@ -441,13 +523,7 @@ mod tests {
     }
 
     fn os() -> AutoNuma {
-        AutoNuma::new(
-            OsConfig::builder()
-                .watermarks(0.05, 0.1, 0.2)
-                .build()
-                .unwrap(),
-        )
-        .unwrap()
+        AutoNuma::new(OsConfig::builder().watermarks(0.05, 0.1, 0.2).build().unwrap()).unwrap()
     }
 
     /// Touches `addr`, servicing the first-touch fault through the engine.
@@ -570,10 +646,8 @@ mod tests {
     #[test]
     fn disabled_autonuma_never_migrates() {
         let mut m = mem(8, 100);
-        let mut e = AutoNuma::new(
-            OsConfig::builder().autonuma_enabled(false).build().unwrap(),
-        )
-        .unwrap();
+        let mut e =
+            AutoNuma::new(OsConfig::builder().autonuma_enabled(false).build().unwrap()).unwrap();
         let a = m.mmap(20 * PAGE_SIZE, MemPolicy::Default, "big").unwrap();
         for i in 0..20 {
             touch(&mut m, &mut e, a + i * PAGE_SIZE, i);
@@ -589,10 +663,8 @@ mod tests {
     #[test]
     fn tick_runs_scanner_and_marks_pages() {
         let mut m = mem(100, 100);
-        let mut e = AutoNuma::new(
-            OsConfig::builder().scan_period_cycles(1000).build().unwrap(),
-        )
-        .unwrap();
+        let mut e =
+            AutoNuma::new(OsConfig::builder().scan_period_cycles(1000).build().unwrap()).unwrap();
         let a = m.mmap(4 * PAGE_SIZE, MemPolicy::Default, "x").unwrap();
         for i in 0..4 {
             touch(&mut m, &mut e, a + i * PAGE_SIZE, i);
@@ -631,10 +703,8 @@ mod tests {
     #[test]
     fn file_read_with_cache_disabled_only_waits() {
         let mut m = mem(100, 100);
-        let mut e = AutoNuma::new(
-            OsConfig::builder().page_cache_enabled(false).build().unwrap(),
-        )
-        .unwrap();
+        let mut e =
+            AutoNuma::new(OsConfig::builder().page_cache_enabled(false).build().unwrap()).unwrap();
         let (region, wait) = e.file_read(&mut m, 10 * PAGE_SIZE, 0).unwrap();
         assert!(region.is_none());
         assert!(wait > 0);
@@ -664,6 +734,64 @@ mod tests {
         touch(&mut m, &mut e, a, now); // marked by the scans above
         e.tick(&mut m, e.next_event());
         assert!(e.scan_period_cycles() < backed_off);
+    }
+
+    #[test]
+    fn injected_migrate_busy_retries_then_requeues() {
+        use tiersim_mem::{FaultPlan, RATE_ONE};
+        // Every migration fails: promotion must retry (with backoff),
+        // then give up, leave the page on NVM and requeue its hint.
+        let mut m = MemorySystem::new(
+            MemConfig::builder()
+                .dram_capacity(100 * PAGE_SIZE)
+                .nvm_capacity(100 * PAGE_SIZE)
+                .fault(FaultPlan { seed: 1, migrate_busy_per_64k: RATE_ONE, ..FaultPlan::none() })
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        let mut e = os();
+        let a = m.mmap(PAGE_SIZE, MemPolicy::Bind(Tier::Nvm), "x").unwrap();
+        touch(&mut m, &mut e, a, 0);
+        assert!(m.mark_hint(a.page(), 5));
+        let out = touch(&mut m, &mut e, a, 10);
+        assert!(out.hint_fault);
+        let c = e.counters();
+        assert_eq!(c.pgmigrate_retry, e.config().migrate_max_retries as u64);
+        assert_eq!(c.pgmigrate_fail, 1);
+        assert_eq!(c.pgpromote_success, 0);
+        // Graceful degradation: the page stays on NVM, requeued for a
+        // later promotion attempt.
+        assert_eq!(m.page(a.page()).unwrap().tier, Tier::Nvm);
+        assert!(m.page(a.page()).unwrap().flags.contains(PageFlags::HINT));
+    }
+
+    #[test]
+    fn injected_alloc_failure_degrades_to_nvm() {
+        use tiersim_mem::{FaultPlan, RATE_ONE};
+        // Every DRAM allocation fails transiently: default placement
+        // must fall back to NVM instead of erroring out.
+        let mut m = MemorySystem::new(
+            MemConfig::builder()
+                .dram_capacity(100 * PAGE_SIZE)
+                .nvm_capacity(100 * PAGE_SIZE)
+                .fault(FaultPlan {
+                    seed: 2,
+                    dram_alloc_fail_per_64k: RATE_ONE,
+                    ..FaultPlan::none()
+                })
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        let mut e = os();
+        let a = m.mmap(4 * PAGE_SIZE, MemPolicy::Default, "x").unwrap();
+        for i in 0..4 {
+            touch(&mut m, &mut e, a + i * PAGE_SIZE, i);
+        }
+        assert_eq!(e.counters().pgalloc_nvm, 4);
+        assert_eq!(m.used_pages(Tier::Dram), 0);
+        assert_eq!(m.used_pages(Tier::Nvm), 4);
     }
 
     #[test]

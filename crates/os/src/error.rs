@@ -7,8 +7,10 @@ use core::fmt;
 pub enum OsError {
     /// A configuration value was rejected.
     InvalidConfig {
-        /// Human-readable description of the offending parameter.
+        /// Which parameter was rejected.
         what: &'static str,
+        /// The offending value (and, where useful, the accepted range).
+        got: String,
     },
     /// Both tiers are exhausted and nothing reclaimable remains.
     OutOfMemory,
@@ -19,7 +21,9 @@ pub enum OsError {
 impl fmt::Display for OsError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            OsError::InvalidConfig { what } => write!(f, "invalid configuration: {what}"),
+            OsError::InvalidConfig { what, got } => {
+                write!(f, "invalid configuration: {what} (got {got})")
+            }
             OsError::OutOfMemory => f.write_str("out of memory: both tiers exhausted"),
             OsError::Mem(e) => write!(f, "memory system error: {e}"),
         }

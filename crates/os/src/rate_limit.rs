@@ -37,12 +37,7 @@ impl TokenBucket {
     /// Panics if `freq_hz == 0`.
     pub fn new(bytes_per_sec: u64, freq_hz: u64) -> Self {
         assert!(freq_hz > 0, "frequency must be positive");
-        TokenBucket {
-            bytes_per_sec,
-            freq_hz,
-            tokens: bytes_per_sec as f64,
-            last_refill_cycles: 0,
-        }
+        TokenBucket { bytes_per_sec, freq_hz, tokens: bytes_per_sec as f64, last_refill_cycles: 0 }
     }
 
     /// The configured rate in bytes per second.

@@ -44,7 +44,27 @@ fn reclaim_one(
     kswapd: bool,
 ) -> Option<u64> {
     let info = *mem.page(pn)?;
-    match mem.migrate_page(pn, Tier::Nvm) {
+    let mut attempts = 0;
+    let mut retry_cost = 0;
+    let migrated = loop {
+        match mem.migrate_page(pn, Tier::Nvm) {
+            Err(e) if e.is_transient() => {
+                if attempts < cfg.migrate_max_retries {
+                    attempts += 1;
+                    counters.pgmigrate_retry += 1;
+                    retry_cost += cfg.migrate_retry_backoff_cycles;
+                } else {
+                    // Busy page that outlived its retries (the kernel's
+                    // pgmigrate_fail): skip this victim, it stays on
+                    // DRAM and a later pass may reclaim it.
+                    counters.pgmigrate_fail += 1;
+                    return None;
+                }
+            }
+            other => break other,
+        }
+    };
+    match migrated {
         Ok(copy_cycles) => {
             if kswapd {
                 counters.pgdemote_kswapd += 1;
@@ -58,7 +78,7 @@ fn reclaim_one(
                     p.flags.remove(PageFlags::WAS_PROMOTED);
                 }
             }
-            Some(copy_cycles + cfg.migration_overhead_cycles)
+            Some(copy_cycles + cfg.migration_overhead_cycles + retry_cost)
         }
         Err(MemError::TierFull { .. }) => {
             // NVM is full: clean file pages can simply be dropped.
@@ -88,15 +108,16 @@ pub fn kswapd_reclaim(
         return out;
     }
     let need = (high - mem.free_pages(Tier::Dram)).min(cfg.kswapd_batch_pages);
+    // Injected reclaim stall (writeback/lock contention): one draw per
+    // reclaim pass, charged to the kswapd thread.
+    out.cost_cycles += mem.faults_mut().reclaim_stall_cycles();
     let victims = coldest_dram_pages(mem, need as usize, cfg.lru_quantum_cycles);
     for pn in victims {
         if mem.free_pages(Tier::Dram) >= high {
             break;
         }
-        let was_cache = mem
-            .page(pn)
-            .map(|p| p.flags.contains(PageFlags::PAGE_CACHE))
-            .unwrap_or(false);
+        let was_cache =
+            mem.page(pn).map(|p| p.flags.contains(PageFlags::PAGE_CACHE)).unwrap_or(false);
         let before_dropped = counters.page_cache_dropped;
         if let Some(cycles) = reclaim_one(mem, counters, cfg, pn, true) {
             out.cost_cycles += cycles;
@@ -118,9 +139,11 @@ pub fn direct_reclaim_one(
     counters: &mut VmCounters,
     cfg: &OsConfig,
 ) -> Option<u64> {
+    // Injected reclaim stall: the allocating thread eats it directly.
+    let stall = mem.faults_mut().reclaim_stall_cycles();
     for pn in coldest_dram_pages(mem, 8, cfg.lru_quantum_cycles) {
         if let Some(cycles) = reclaim_one(mem, counters, cfg, pn, false) {
-            return Some(cycles);
+            return Some(cycles + stall);
         }
     }
     None
@@ -138,9 +161,7 @@ pub fn drop_page_cache(
     let mut out = ReclaimOutcome::default();
     let mut candidates: Vec<(u64, PageNum)> = mem
         .resident_pages()
-        .filter(|(_, info)| {
-            info.tier == Tier::Dram && info.flags.contains(PageFlags::PAGE_CACHE)
-        })
+        .filter(|(_, info)| info.tier == Tier::Dram && info.flags.contains(PageFlags::PAGE_CACHE))
         .map(|(pn, info)| (info.last_access, pn))
         .collect();
     candidates.sort_unstable();
@@ -235,10 +256,7 @@ mod tests {
         m.map_page(n.page(), Tier::Nvm, 0).unwrap();
         let a = fill_dram(&mut m, 4);
         for i in 0..4 {
-            m.page_mut((a + i * PAGE_SIZE).page())
-                .unwrap()
-                .flags
-                .insert(PageFlags::PAGE_CACHE);
+            m.page_mut((a + i * PAGE_SIZE).page()).unwrap().flags.insert(PageFlags::PAGE_CACHE);
         }
         let mut c = VmCounters::default();
         let out = kswapd_reclaim(&mut m, &mut c, &cfg());
@@ -266,6 +284,55 @@ mod tests {
         assert!(cycles > 0);
         assert_eq!(c.pgdemote_direct, 1);
         assert_eq!(m.free_pages(Tier::Dram), 1);
+    }
+
+    #[test]
+    fn busy_victims_are_skipped_and_counted() {
+        use tiersim_mem::{FaultPlan, RATE_ONE};
+        // Every migration fails: kswapd must skip all victims without
+        // freeing anything, counting retries and permanent failures.
+        let mut m = MemorySystem::new(
+            MemConfig::builder()
+                .dram_capacity(10 * PAGE_SIZE)
+                .nvm_capacity(20 * PAGE_SIZE)
+                .fault(FaultPlan { seed: 4, migrate_busy_per_64k: RATE_ONE, ..FaultPlan::none() })
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        fill_dram(&mut m, 10);
+        let mut c = VmCounters::default();
+        let out = kswapd_reclaim(&mut m, &mut c, &cfg());
+        assert_eq!(out.demoted, 0);
+        assert_eq!(m.free_pages(Tier::Dram), 0, "nothing reclaimed under total busy");
+        assert!(c.pgmigrate_fail > 0);
+        assert_eq!(c.pgmigrate_retry, c.pgmigrate_fail * cfg().migrate_max_retries as u64);
+        assert_eq!(c.pgdemote_kswapd, 0);
+    }
+
+    #[test]
+    fn injected_reclaim_stall_charges_cycles() {
+        use tiersim_mem::{FaultPlan, RATE_ONE};
+        let plan = FaultPlan {
+            seed: 5,
+            reclaim_stall_per_64k: RATE_ONE,
+            reclaim_stall_cycles: 123_456,
+            ..FaultPlan::none()
+        };
+        let mut m = MemorySystem::new(
+            MemConfig::builder()
+                .dram_capacity(10 * PAGE_SIZE)
+                .nvm_capacity(20 * PAGE_SIZE)
+                .fault(plan)
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        fill_dram(&mut m, 10);
+        let mut c = VmCounters::default();
+        let out = kswapd_reclaim(&mut m, &mut c, &cfg());
+        assert!(out.cost_cycles >= 123_456, "stall charged: {}", out.cost_cycles);
+        assert_eq!(m.fault_stats().reclaim_stalls, 1);
     }
 
     #[test]

@@ -61,11 +61,9 @@ mod tests {
 
     #[test]
     fn validation_catches_bad_fields() {
-        let mut c = DynamicObjectConfig::default();
-        c.replan_interval_cycles = 0;
+        let c = DynamicObjectConfig { replan_interval_cycles: 0, ..Default::default() };
         assert!(c.validate().is_err());
-        let mut c = DynamicObjectConfig::default();
-        c.dram_headroom = 1.5;
+        let c = DynamicObjectConfig { dram_headroom: 1.5, ..Default::default() };
         assert!(c.validate().is_err());
     }
 }

@@ -80,10 +80,7 @@ mod tests {
         assert_eq!(TieringMode::AutoNuma.name(), "autonuma");
         assert_eq!(TieringMode::FirstTouch.name(), "first_touch");
         assert_eq!(TieringMode::StaticObject(plan(None)).name(), "static_object");
-        assert_eq!(
-            TieringMode::StaticObject(plan(Some("x"))).name(),
-            "static_object_spill"
-        );
+        assert_eq!(TieringMode::StaticObject(plan(Some("x"))).name(), "static_object_spill");
         assert_eq!(TieringMode::AllNvm.to_string(), "all_nvm");
     }
 

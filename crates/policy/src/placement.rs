@@ -89,10 +89,7 @@ mod tests {
     fn insert_and_override() {
         let mut p = ObjectPlacement::new();
         assert_eq!(p.insert("x", Placement::Dram), None);
-        assert_eq!(
-            p.insert("x", Placement::Split { dram_bytes: 4096 }),
-            Some(Placement::Dram)
-        );
+        assert_eq!(p.insert("x", Placement::Split { dram_bytes: 4096 }), Some(Placement::Dram));
         assert_eq!(p.placement_for("x"), Placement::Split { dram_bytes: 4096 });
         assert_eq!(p.len(), 1);
     }

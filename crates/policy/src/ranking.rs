@@ -24,7 +24,11 @@ pub struct LabelStats {
 impl LabelStats {
     /// The paper's ranking key: total accesses divided by allocation size.
     pub fn density(&self) -> f64 {
-        if self.bytes == 0 { 0.0 } else { self.samples as f64 / self.bytes as f64 }
+        if self.bytes == 0 {
+            0.0
+        } else {
+            self.samples as f64 / self.bytes as f64
+        }
     }
 }
 
@@ -40,7 +44,8 @@ impl LabelStats {
 /// assert!(aggregate_by_label(&MappedProfile::default()).is_empty());
 /// ```
 pub fn aggregate_by_label(mapped: &MappedProfile) -> Vec<LabelStats> {
-    let mut by_label: std::collections::HashMap<&str, LabelStats> = std::collections::HashMap::new();
+    let mut by_label: std::collections::HashMap<&str, LabelStats> =
+        std::collections::HashMap::new();
     for o in &mapped.objects {
         let e = by_label.entry(&o.site).or_insert_with(|| LabelStats {
             label: o.site.to_string(),
@@ -107,7 +112,7 @@ mod tests {
     fn ordering_is_by_density_desc() {
         let mapped = MappedProfile {
             objects: vec![
-                profile(0, "dense", 100, 100, 0),  // density 1.0
+                profile(0, "dense", 100, 100, 0),     // density 1.0
                 profile(1, "sparse", 10_000, 100, 0), // density 0.01
             ],
             unmapped_samples: 0,

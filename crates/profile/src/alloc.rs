@@ -115,10 +115,7 @@ impl AllocTracker {
     /// Records a deallocation of the object based at `addr`. Unknown
     /// addresses are ignored (like intercepting a foreign `munmap`).
     pub fn on_munmap(&mut self, addr: VirtAddr, now: u64) {
-        if let Some(rec) = self
-            .records
-            .iter_mut()
-            .find(|r| r.addr == addr && r.free_time.is_none())
+        if let Some(rec) = self.records.iter_mut().find(|r| r.addr == addr && r.free_time.is_none())
         {
             rec.free_time = Some(now);
         }

@@ -55,7 +55,11 @@ impl LevelDistribution {
     /// Fraction of samples outside the caches — Table 1's "Outside
     /// Cache" column and Fig. 3's green bar.
     pub fn external_fraction(&self) -> f64 {
-        if self.total() == 0 { 0.0 } else { self.external() as f64 / self.total() as f64 }
+        if self.total() == 0 {
+            0.0
+        } else {
+            self.external() as f64 / self.total() as f64
+        }
     }
 
     /// Share of external samples on `tier` — Table 1's "Pages in
@@ -129,10 +133,7 @@ mod tests {
 
     #[test]
     fn cost_split_weights_by_latency() {
-        let samples = [
-            s(MemLevel::Dram, 100, false, false),
-            s(MemLevel::Nvm, 300, false, false),
-        ];
+        let samples = [s(MemLevel::Dram, 100, false, false), s(MemLevel::Nvm, 300, false, false)];
         let d = LevelDistribution::of(&samples);
         assert!((d.tier_share_of_cost(Tier::Dram) - 0.25).abs() < 1e-12);
         assert!((d.tier_share_of_cost(Tier::Nvm) - 0.75).abs() < 1e-12);

@@ -114,8 +114,7 @@ mod tests {
     #[test]
     fn sequential_walk_has_low_randomness() {
         let o = object(0x100000, 64);
-        let seq: Vec<_> =
-            (0..64u64).map(|i| s(0x100000 + i * PAGE_SIZE, i, 0)).collect();
+        let seq: Vec<_> = (0..64u64).map(|i| s(0x100000 + i * PAGE_SIZE, i, 0)).collect();
         let p = AccessPattern::of(&seq, &o, 1000);
         assert!(p.randomness().unwrap() < 0.05);
     }
@@ -123,9 +122,8 @@ mod tests {
     #[test]
     fn scattered_walk_has_high_randomness() {
         let o = object(0x100000, 64);
-        let scattered: Vec<_> = (0..64u64)
-            .map(|i| s(0x100000 + (i.wrapping_mul(37) % 64) * PAGE_SIZE, i, 0))
-            .collect();
+        let scattered: Vec<_> =
+            (0..64u64).map(|i| s(0x100000 + (i.wrapping_mul(37) % 64) * PAGE_SIZE, i, 0)).collect();
         let p = AccessPattern::of(&scattered, &o, 1000);
         assert!(p.randomness().unwrap() > 0.2);
     }

@@ -42,9 +42,10 @@ pub fn two_touch_reuse(
 ) -> ReuseAnalysis {
     let end = base.raw().saturating_add(len);
     let mut per_page: HashMap<u64, Vec<(u64, Tier)>> = HashMap::new();
-    for s in samples.iter().filter(|s| {
-        !s.is_store && s.is_external() && s.addr >= base && s.addr.raw() < end
-    }) {
+    for s in samples
+        .iter()
+        .filter(|s| !s.is_store && s.is_external() && s.addr >= base && s.addr.raw() < end)
+    {
         let tier = s.level.tier().expect("external sample has a tier");
         per_page.entry(s.page().index()).or_default().push((s.time_cycles, tier));
     }

@@ -112,10 +112,13 @@ mod tests {
     #[test]
     fn classifies_touch_counts() {
         let samples = [
-            s(1, MemLevel::Nvm),                    // page 1: one touch
-            s(2, MemLevel::Dram), s(2, MemLevel::Nvm), // page 2: two
-            s(3, MemLevel::Dram), s(3, MemLevel::Dram), s(3, MemLevel::Dram), // page 3: 3+
-            s(4, MemLevel::L1),                     // cache hit: ignored
+            s(1, MemLevel::Nvm), // page 1: one touch
+            s(2, MemLevel::Dram),
+            s(2, MemLevel::Nvm), // page 2: two
+            s(3, MemLevel::Dram),
+            s(3, MemLevel::Dram),
+            s(3, MemLevel::Dram), // page 3: 3+
+            s(4, MemLevel::L1),   // cache hit: ignored
         ];
         let h = TouchHistogram::of(&samples);
         assert_eq!(h.pages_one, 1);

@@ -57,7 +57,11 @@ impl ObjectProfile {
     /// paper's object-level placement (§7: "total memory accesses divided
     /// by allocation size").
     pub fn density(&self) -> f64 {
-        if self.len == 0 { 0.0 } else { self.total_samples() as f64 / self.len as f64 }
+        if self.len == 0 {
+            0.0
+        } else {
+            self.total_samples() as f64 / self.len as f64
+        }
     }
 }
 

@@ -177,7 +177,13 @@ mod tests {
     fn disabled_sampler_records_nothing() {
         let mut s = Sampler::new(1);
         s.set_enabled(false);
-        assert!(!s.observe(AccessKind::Load, &outcome(MemLevel::L1), VirtAddr::new(0), ThreadId(0), 0));
+        assert!(!s.observe(
+            AccessKind::Load,
+            &outcome(MemLevel::L1),
+            VirtAddr::new(0),
+            ThreadId(0),
+            0
+        ));
         assert!(s.samples().is_empty());
         assert_eq!(s.observed(), 0);
     }

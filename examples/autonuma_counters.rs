@@ -11,15 +11,17 @@ use tiersim::policy::TieringMode;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let workload = WorkloadConfig::new(Kernel::Bc, Dataset::Kron).scale(14).trials(2);
-    let machine =
-        MachineConfig::scaled_default(workload.steady_app_bytes(), TieringMode::AutoNuma);
+    let machine = MachineConfig::scaled_default(workload.steady_app_bytes(), TieringMode::AutoNuma);
     println!("running {} and polling counters...", workload.name());
     let report = run_workload(machine, workload)?;
 
     let demotions = report.timeline.counter_deltas(|c| c.pgdemote_kswapd + c.pgdemote_direct);
     let promotions = report.timeline.counter_deltas(|c| c.pgpromote_success);
 
-    println!("\n{:>8}  {:>9} {:>9}  {:>8} {:>8}  {:>5}", "t(s)", "DRAM(MB)", "NVM(MB)", "demote", "promote", "CPU%");
+    println!(
+        "\n{:>8}  {:>9} {:>9}  {:>8} {:>8}  {:>5}",
+        "t(s)", "DRAM(MB)", "NVM(MB)", "demote", "promote", "CPU%"
+    );
     for ((snap, (_, d)), (_, p)) in report.timeline.iter().zip(&demotions).zip(&promotions) {
         println!(
             "{:>8.4}  {:>9.1} {:>9.1}  {:>8} {:>8}  {:>4.0}%",

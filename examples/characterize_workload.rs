@@ -13,8 +13,7 @@ use tiersim::profile::{top_objects, two_touch_reuse, TouchHistogram};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let workload = WorkloadConfig::new(Kernel::Bc, Dataset::Kron).scale(14).trials(2);
-    let machine =
-        MachineConfig::scaled_default(workload.steady_app_bytes(), TieringMode::AutoNuma);
+    let machine = MachineConfig::scaled_default(workload.steady_app_bytes(), TieringMode::AutoNuma);
     let freq = machine.mem.freq_hz;
     println!("profiling {} with AutoNUMA tiering...", workload.name());
     let report = run_workload(machine, workload)?;

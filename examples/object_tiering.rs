@@ -13,8 +13,7 @@ use tiersim::policy::{Placement, TieringMode};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let workload = WorkloadConfig::new(Kernel::Bc, Dataset::Kron).scale(14).trials(2);
-    let base =
-        MachineConfig::scaled_default(workload.steady_app_bytes(), TieringMode::AutoNuma);
+    let base = MachineConfig::scaled_default(workload.steady_app_bytes(), TieringMode::AutoNuma);
 
     println!("1) profiling run under AutoNUMA...");
     let auto = run_workload(base.clone(), workload)?;
@@ -46,7 +45,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\n                AutoNUMA     object-level");
     println!("run time        {:.4}s      {:.4}s", auto.total_secs, stat.total_secs);
     println!("NVM samples     {:<12} {}", auto.nvm_samples(), stat.nvm_samples());
-    println!("migrations      {:<12} {}", auto.counters.pgmigrate_success, stat.counters.pgmigrate_success);
+    println!(
+        "migrations      {:<12} {}",
+        auto.counters.pgmigrate_success, stat.counters.pgmigrate_success
+    );
     println!("\nimprovement: {:.1}% (paper reports 21% avg, up to 51%)", improvement * 100.0);
     Ok(())
 }

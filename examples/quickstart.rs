@@ -13,8 +13,7 @@ use tiersim::profile::LevelDistribution;
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // bfs_kron at a laptop-friendly scale (the paper uses scale 30).
     let workload = WorkloadConfig::new(Kernel::Bfs, Dataset::Kron).scale(14).trials(4);
-    let machine =
-        MachineConfig::scaled_default(workload.steady_app_bytes(), TieringMode::AutoNuma);
+    let machine = MachineConfig::scaled_default(workload.steady_app_bytes(), TieringMode::AutoNuma);
     println!(
         "running {} on {} MB DRAM + {} MB NVM (AutoNUMA tiering on)...",
         workload.name(),

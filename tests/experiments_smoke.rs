@@ -14,10 +14,7 @@ fn cfg() -> ExperimentConfig {
 fn characterization_rows_are_consistent() {
     let c = Characterization::run(&cfg()).expect("six workloads run");
     let names: Vec<String> = c.table1().iter().map(|r| r.workload.clone()).collect();
-    assert_eq!(
-        names,
-        ["bc_kron", "bc_urand", "bfs_kron", "bfs_urand", "cc_kron", "cc_urand"]
-    );
+    assert_eq!(names, ["bc_kron", "bc_urand", "bfs_kron", "bfs_urand", "cc_kron", "cc_urand"]);
     for (t1, t2) in c.table1().iter().zip(c.table2()) {
         assert!((0.0..=1.0).contains(&t1.outside_cache));
         if t1.outside_cache > 0.0 {
@@ -73,7 +70,13 @@ fn comparison_rows_cover_the_grid_with_spill_variants() {
     assert_eq!(
         names,
         [
-            "bc_kron", "bc_urand", "bfs_kron", "bfs_urand", "cc_kron", "cc_kron*", "cc_urand",
+            "bc_kron",
+            "bc_urand",
+            "bfs_kron",
+            "bfs_urand",
+            "cc_kron",
+            "cc_kron*",
+            "cc_urand",
             "cc_urand*"
         ]
     );

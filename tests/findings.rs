@@ -1,7 +1,7 @@
 //! Integration tests asserting the paper's seven findings qualitatively,
 //! at reduced scale, across the whole stack.
 
-use tiersim::core::{ExperimentConfig, Dataset, Kernel, RunReport};
+use tiersim::core::{Dataset, ExperimentConfig, Kernel, RunReport};
 use tiersim::mem::Tier;
 use tiersim::policy::TieringMode;
 use tiersim::profile::LevelDistribution;
@@ -44,10 +44,7 @@ fn finding2_nvm_accesses_concentrate_in_few_objects() {
     let top = tiersim::profile::top_objects(&mapped, Tier::Nvm, 3);
     assert!(!top.is_empty(), "expected NVM samples");
     let top3_share: f64 = top.iter().map(|t| t.share).sum();
-    assert!(
-        top3_share > 0.5,
-        "top-3 objects should hold most NVM samples, got {top3_share:.2}"
-    );
+    assert!(top3_share > 0.5, "top-3 objects should hold most NVM samples, got {top3_share:.2}");
 }
 
 /// Finding 3: pages land in DRAM because space is available (first touch),
@@ -56,10 +53,7 @@ fn finding2_nvm_accesses_concentrate_in_few_objects() {
 fn finding3_dram_first_allocation() {
     let r = bc_kron_report();
     assert!(r.counters.pgalloc_dram > 0, "early allocations land on DRAM");
-    assert!(
-        r.counters.pgalloc_nvm > 0,
-        "under pressure, later allocations must fall back to NVM"
-    );
+    assert!(r.counters.pgalloc_nvm > 0, "under pressure, later allocations must fall back to NVM");
 }
 
 /// Finding 4: the hottest NVM object's accesses are scattered, not
@@ -117,8 +111,7 @@ fn finding6_promotions_are_few_and_under_the_rate_limit() {
 fn finding7_demotions_exceed_promotions() {
     let r = bc_kron_report();
     assert!(
-        r.counters.pgdemote_total() + r.counters.page_cache_dropped
-            > r.counters.pgpromote_success,
+        r.counters.pgdemote_total() + r.counters.page_cache_dropped > r.counters.pgpromote_success,
         "demotions {} (+dropped {}) vs promotions {}",
         r.counters.pgdemote_total(),
         r.counters.page_cache_dropped,

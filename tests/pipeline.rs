@@ -98,11 +98,8 @@ fn csv_exports_are_consistent() {
         tiersim::mem::Tier::Nvm,
     )
     .unwrap();
-    let nvm_loads = r
-        .samples
-        .iter()
-        .filter(|s| !s.is_store && s.level == tiersim::mem::MemLevel::Nvm)
-        .count();
+    let nvm_loads =
+        r.samples.iter().filter(|s| !s.is_store && s.level == tiersim::mem::MemLevel::Nvm).count();
     assert_eq!(String::from_utf8(mapped).unwrap().lines().count(), nvm_loads + 1);
 }
 

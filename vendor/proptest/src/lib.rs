@@ -1,0 +1,424 @@
+//! Offline stub of `proptest` covering the API surface tiersim uses.
+//!
+//! Differences from the real crate, by design (the build environment has
+//! no network access, so this is a self-contained replacement):
+//!
+//! - Each `proptest!` test runs a fixed number of deterministic cases
+//!   ([`CASES`]); the RNG is seeded from the test's name, so failures
+//!   reproduce exactly on every run and machine.
+//! - There is no shrinking: a failing case reports the assertion as-is.
+//! - `prop_assert!`/`prop_assert_eq!` panic (like `assert!`) instead of
+//!   returning `Err`, which is equivalent for test bodies that do not
+//!   use `?`.
+
+/// Number of generated cases per property test.
+pub const CASES: u64 = 64;
+
+/// Deterministic RNG used by the stub runner (SplitMix64).
+pub mod test_runner {
+    /// Deterministic stream of 64-bit draws.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Seeds the generator from a test name (FNV-1a hash), so every
+        /// test gets a distinct but reproducible stream.
+        pub fn from_name(name: &str) -> Self {
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.as_bytes() {
+                h ^= u64::from(*b);
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+            TestRng { state: h }
+        }
+
+        /// Returns the next raw 64-bit draw.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform draw in `[0, bound)`; `bound` must be nonzero.
+        pub fn below(&mut self, bound: u64) -> u64 {
+            self.next_u64() % bound
+        }
+    }
+}
+
+/// Strategies: value generators composable with `prop_map`.
+pub mod strategy {
+    use crate::test_runner::TestRng;
+    use std::ops::Range;
+
+    /// A generator of values of type `Self::Value`.
+    pub trait Strategy {
+        /// The type of value this strategy generates.
+        type Value;
+
+        /// Generates one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Erases the strategy type.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            Box::new(self)
+        }
+    }
+
+    /// A type-erased strategy.
+    pub type BoxedStrategy<V> = Box<dyn Strategy<Value = V>>;
+
+    impl<V> Strategy for BoxedStrategy<V> {
+        type Value = V;
+        fn generate(&self, rng: &mut TestRng) -> V {
+            (**self).generate(rng)
+        }
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for &S {
+        type Value = S::Value;
+        fn generate(&self, rng: &mut TestRng) -> S::Value {
+            (**self).generate(rng)
+        }
+    }
+
+    /// Result of [`Strategy::prop_map`].
+    #[derive(Debug, Clone)]
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// Uniform choice between boxed alternatives ([`crate::prop_oneof!`]).
+    pub struct Union<V> {
+        options: Vec<BoxedStrategy<V>>,
+    }
+
+    impl<V> std::fmt::Debug for Union<V> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "Union({} options)", self.options.len())
+        }
+    }
+
+    impl<V> Union<V> {
+        /// Builds a union over `options`; must be non-empty.
+        pub fn new(options: Vec<BoxedStrategy<V>>) -> Self {
+            assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+            Union { options }
+        }
+    }
+
+    impl<V> Strategy for Union<V> {
+        type Value = V;
+        fn generate(&self, rng: &mut TestRng) -> V {
+            let idx = rng.below(self.options.len() as u64) as usize;
+            self.options[idx].generate(rng)
+        }
+    }
+
+    macro_rules! impl_int_range_strategy {
+        ($($t:ty),+) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end - self.start) as u64;
+                    self.start + rng.below(span) as $t
+                }
+            }
+        )+};
+    }
+    impl_int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for Range<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            assert!(self.start < self.end, "empty range strategy");
+            let unit = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+            self.start + unit * (self.end - self.start)
+        }
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($($name:ident : $idx:tt),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        };
+    }
+    impl_tuple_strategy!(A: 0);
+    impl_tuple_strategy!(A: 0, B: 1);
+    impl_tuple_strategy!(A: 0, B: 1, C: 2);
+    impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3);
+}
+
+/// `any::<T>()` and the [`Arbitrary`] trait.
+pub mod arbitrary {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::marker::PhantomData;
+
+    /// Strategy for the full value range of a primitive type.
+    #[derive(Debug, Clone, Copy)]
+    pub struct AnyValue<T>(PhantomData<T>);
+
+    impl<T> AnyValue<T> {
+        /// Creates the strategy.
+        pub const fn new() -> Self {
+            AnyValue(PhantomData)
+        }
+    }
+
+    impl<T> Default for AnyValue<T> {
+        fn default() -> Self {
+            Self::new()
+        }
+    }
+
+    /// Conversion from a raw 64-bit draw, used by [`AnyValue`].
+    pub trait FromBits {
+        /// Builds a value from raw bits.
+        fn from_bits(bits: u64) -> Self;
+    }
+
+    macro_rules! impl_from_bits_int {
+        ($($t:ty),+) => {$(
+            impl FromBits for $t {
+                fn from_bits(bits: u64) -> $t {
+                    bits as $t
+                }
+            }
+        )+};
+    }
+    impl_from_bits_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl FromBits for bool {
+        fn from_bits(bits: u64) -> bool {
+            bits & 1 == 1
+        }
+    }
+
+    impl<T: FromBits> Strategy for AnyValue<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::from_bits(rng.next_u64())
+        }
+    }
+
+    /// Types with a canonical strategy.
+    pub trait Arbitrary: Sized {
+        /// The canonical strategy type.
+        type Strategy: Strategy<Value = Self>;
+        /// Returns the canonical strategy.
+        fn arbitrary() -> Self::Strategy;
+    }
+
+    impl<T: FromBits> Arbitrary for T {
+        type Strategy = AnyValue<T>;
+        fn arbitrary() -> AnyValue<T> {
+            AnyValue::new()
+        }
+    }
+
+    /// The canonical strategy for `A`.
+    pub fn any<A: Arbitrary>() -> A::Strategy {
+        A::arbitrary()
+    }
+}
+
+/// Collection strategies (`proptest::collection::vec`).
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Inclusive-min, exclusive-max length range for collections.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        min: usize,
+        max_excl: usize,
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty collection size range");
+            SizeRange { min: r.start, max_excl: r.end }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            SizeRange { min: *r.start(), max_excl: r.end() + 1 }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { min: n, max_excl: n + 1 }
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with a length drawn from a range.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Generates vectors of `element` values with length in `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.max_excl - self.size.min) as u64;
+            let len = self.size.min + rng.below(span) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Boolean strategies (`proptest::bool::ANY`).
+pub mod bool {
+    use crate::arbitrary::AnyValue;
+
+    /// Uniform strategy over `true`/`false`.
+    pub const ANY: AnyValue<::core::primitive::bool> = AnyValue::new();
+}
+
+/// The usual imports: `use proptest::prelude::*;`.
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{BoxedStrategy, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Defines property tests: each `fn` body runs [`CASES`] deterministic
+/// cases with its arguments drawn from the given strategies.
+#[macro_export]
+macro_rules! proptest {
+    ($(
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strategy:expr),+ $(,)?) $body:block
+    )+) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let mut runner_rng = $crate::test_runner::TestRng::from_name(stringify!($name));
+            for _ in 0..$crate::CASES {
+                $(let $pat = $crate::strategy::Strategy::generate(&($strategy), &mut runner_rng);)+
+                $body
+            }
+        }
+    )+};
+}
+
+/// Uniform choice between the given strategies (all must generate the
+/// same value type).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($arm)),+
+        ])
+    };
+}
+
+/// Property assertion; panics on failure (no shrinking in this stub).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+/// Property equality assertion; panics on failure.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_eq!($a, $b, $($fmt)+) };
+}
+
+/// Property inequality assertion; panics on failure.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_ne!($a, $b, $($fmt)+) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[derive(Debug, Clone, Copy, PartialEq)]
+    enum Op {
+        A(u8),
+        B(bool),
+    }
+
+    fn op_strategy() -> impl Strategy<Value = Op> {
+        prop_oneof![any::<u8>().prop_map(Op::A), any::<bool>().prop_map(Op::B),]
+    }
+
+    proptest! {
+        /// Doc comments and multiple parameters must parse.
+        #[test]
+        fn generated_values_in_range(
+            x in 3u32..10,
+            mut v in crate::collection::vec(0u64..100, 1..20),
+            op in op_strategy(),
+            f in -1e6f64..1e6,
+            b in crate::bool::ANY,
+        ) {
+            prop_assert!((3..10).contains(&x));
+            v.sort_unstable();
+            prop_assert!(!v.is_empty() && v.len() < 20);
+            prop_assert!(v.iter().all(|&e| e < 100));
+            prop_assert!(f.abs() <= 1e6);
+            match op {
+                Op::A(_) | Op::B(_) => {}
+            }
+            prop_assert_eq!(b & b, b, "identity {}", b);
+        }
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let s = crate::collection::vec((0u32..50, any::<bool>()), 0..30);
+        let mut r1 = crate::test_runner::TestRng::from_name("det");
+        let mut r2 = crate::test_runner::TestRng::from_name("det");
+        for _ in 0..10 {
+            assert_eq!(s.generate(&mut r1), s.generate(&mut r2));
+        }
+    }
+}

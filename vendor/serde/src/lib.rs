@@ -1,0 +1,8 @@
+//! Offline stub of the `serde` facade. The build environment has no
+//! network access, and tiersim only uses serde through optional
+//! `#[cfg_attr(feature = "serde", derive(serde::Serialize,
+//! serde::Deserialize))]` annotations, so re-exporting no-op derives is
+//! sufficient to keep the feature compiling.
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

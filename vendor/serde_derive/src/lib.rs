@@ -1,0 +1,18 @@
+//! Offline no-op stub of serde's derive macros. The derives accept the
+//! `#[serde(...)]` helper attribute and expand to nothing, so types can
+//! keep their `cfg_attr(feature = "serde", derive(...))` annotations
+//! without a real serde implementation in the build environment.
+
+use proc_macro::TokenStream;
+
+/// No-op `Serialize` derive.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `Deserialize` derive.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
