@@ -1,0 +1,42 @@
+//! Cost of one tiersim-audit pass, sizing the `audit_every_ticks`
+//! checkpoint knob: the auditor walks every resident page plus the
+//! counter laws, so this measures the per-checkpoint overhead a
+//! debug-build run pays.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use tiersim_core::{Machine, MachineConfig};
+use tiersim_mem::{MemBackend, PAGE_SIZE};
+use tiersim_policy::TieringMode;
+
+/// A machine with `pages` resident pages of mixed DRAM/NVM traffic.
+fn warmed_machine(pages: u64) -> Machine {
+    let cfg = MachineConfig::scaled_default(pages * PAGE_SIZE, TieringMode::AutoNuma);
+    let mut m = Machine::new(cfg).expect("machine");
+    let base = m.mmap(pages * PAGE_SIZE, "bench.audit");
+    for i in 0..pages {
+        m.store(base + i * PAGE_SIZE, 8);
+    }
+    // A second scattered pass generates hint faults and promotions.
+    for i in 0..pages {
+        m.load(base + (i.wrapping_mul(37) % pages) * PAGE_SIZE, 8);
+    }
+    m
+}
+
+fn bench_audit(c: &mut Criterion) {
+    let mut g = c.benchmark_group("audit");
+    for &pages in &[256u64, 4096] {
+        let m = warmed_machine(pages);
+        g.bench_function(format!("full_pass_{pages}_pages"), |b| {
+            b.iter(|| {
+                let report = black_box(&m).audit();
+                assert!(report.is_clean());
+                report.checks
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_audit);
+criterion_main!(benches);

@@ -68,6 +68,7 @@ impl MachineConfig {
             .dtlb(TlbGeometry { entries: 16, ways: 4 })
             .stlb(TlbGeometry { entries: 64, ways: 8 })
             .build()
+            // tiersim-lint: allow(unwrap) — the geometry above is constant and valid by construction.
             .expect("scaled defaults are valid");
         // Dilation 5000: one "paper second" of OS behavior happens every
         // 0.2 ms of simulated time, so a ~0.5 s simulated run covers
@@ -109,6 +110,15 @@ impl MachineConfig {
     /// The fault-injection plan this machine runs with.
     pub fn fault(&self) -> &FaultConfig {
         &self.mem.fault
+    }
+
+    /// Returns a copy with tiersim-audit checkpoints every `ticks` OS
+    /// engine ticks (`0` disables; the periodic `debug_assert!` fires in
+    /// debug builds only). See `OsConfig::audit_every_ticks`.
+    #[must_use]
+    pub fn with_audit(mut self, ticks: u64) -> Self {
+        self.os.audit_every_ticks = ticks;
+        self
     }
 
     /// Validates the configuration.

@@ -162,9 +162,11 @@ impl Characterization {
             .iter()
             .map(|r| {
                 let mapped = r.mapped();
-                match mapped.hottest_nvm_object() {
-                    Some(obj) => {
-                        let rec = r.tracker.record(obj.id).expect("profiled object exists");
+                let hottest = mapped
+                    .hottest_nvm_object()
+                    .and_then(|o| r.tracker.record(o.id).map(|c| (o, c)));
+                match hottest {
+                    Some((obj, rec)) => {
                         let reuse = two_touch_reuse(&r.samples, rec.addr, rec.len, self.freq_hz);
                         Fig5Row {
                             workload: r.workload.name(),
@@ -249,7 +251,7 @@ impl Characterization {
         let mut t = TextTable::new(vec!["Application", "DRAM Access Cost", "NVM Access Cost"]);
         let mut rows = self.table2();
         // The paper orders Table 2 by NVM cost descending.
-        rows.sort_by(|a, b| b.nvm_cost_share.partial_cmp(&a.nvm_cost_share).expect("finite"));
+        rows.sort_by(|a, b| b.nvm_cost_share.total_cmp(&a.nvm_cost_share));
         for r in rows {
             t.row(vec![r.workload, pct(r.dram_cost_share), pct(r.nvm_cost_share)]);
         }

@@ -145,6 +145,13 @@ impl Machine {
         &self.os
     }
 
+    /// Runs the tiersim-audit invariant checks (frame ownership, tier
+    /// capacity, TLB coherence, VMA coverage, counter conservation laws)
+    /// against the current machine state. Read-only; works in any build.
+    pub fn audit(&self) -> tiersim_os::AuditReport {
+        self.os.audit(&self.mem)
+    }
+
     /// Samples recorded so far.
     pub fn samples(&self) -> &[tiersim_profile::MemSample] {
         self.sampler.samples()
@@ -341,6 +348,7 @@ impl Machine {
                 if head > 0 {
                     self.mem
                         .set_policy_range(addr, head, MemPolicy::Bind(Tier::Dram))
+                        // tiersim-lint: allow(unwrap) — the mapping was created just above.
                         .expect("fresh mapping accepts policy");
                 }
                 if head < rounded {
@@ -354,6 +362,7 @@ impl Machine {
                 }
             }
         };
+        // tiersim-lint: allow(unwrap) — the mapping was created just above.
         result.expect("fresh mapping accepts policy");
     }
 
@@ -391,8 +400,10 @@ impl Machine {
 
 impl MemBackend for Machine {
     fn mmap(&mut self, len: u64, label: &str) -> VirtAddr {
+        // MemBackend::mmap is infallible by contract; exhausting the
+        // 2^47-byte virtual space is a workload-authoring bug.
         let addr =
-            self.mem.mmap(len, MemPolicy::Default, label).expect("virtual address space exhausted");
+            self.mem.mmap(len, MemPolicy::Default, label).expect("virtual address space exhausted"); // tiersim-lint: allow(unwrap)
         self.apply_placement(addr, len, label);
         self.tracker.on_mmap(addr, len, label, self.clock_cycles);
         self.advance_parallel(SYSCALL_COST_CYCLES);
@@ -400,6 +411,9 @@ impl MemBackend for Machine {
     }
 
     fn munmap(&mut self, addr: VirtAddr) {
+        // Unmapping an address the workload never mapped is a
+        // workload-authoring bug, not a runtime condition.
+        // tiersim-lint: allow(unwrap)
         self.mem.munmap(addr).expect("munmap of unknown region");
         self.tracker.on_munmap(addr, self.clock_cycles);
         self.advance_parallel(SYSCALL_COST_CYCLES);

@@ -70,7 +70,7 @@ impl CsrGraph {
     pub fn from_parts(offsets: Vec<u64>, neighbors: Vec<NodeId>) -> CsrGraph {
         assert!(!offsets.is_empty(), "offsets must have at least one entry");
         assert!(offsets.windows(2).all(|w| w[0] <= w[1]), "offsets must be monotone");
-        assert_eq!(*offsets.last().unwrap() as usize, neighbors.len(), "offset coverage");
+        assert_eq!(offsets[offsets.len() - 1] as usize, neighbors.len(), "offset coverage");
         CsrGraph { offsets, neighbors }
     }
 

@@ -26,8 +26,9 @@ impl SimCsrGraph {
     pub fn from_parts(index: SimVec<u64>, neighbors: SimVec<NodeId>) -> Self {
         assert!(!index.is_empty(), "index must have at least one entry");
         assert!(index.host().windows(2).all(|w| w[0] <= w[1]), "offsets must be monotone");
+        let host = index.host();
         assert_eq!(
-            *index.host().last().unwrap() as usize,
+            host[host.len() - 1] as usize,
             neighbors.len(),
             "offsets must cover the neighbor array"
         );

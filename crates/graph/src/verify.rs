@@ -27,7 +27,13 @@ pub fn bfs(host: &CsrGraph, source: NodeId, dist: &[i32]) -> VerifyResult {
     if dist == expected.as_slice() {
         return Ok(());
     }
-    let first = dist.iter().zip(&expected).position(|(a, b)| a != b).expect("some mismatch exists");
+    let Some(first) = dist.iter().zip(&expected).position(|(a, b)| a != b) else {
+        return Err(format!(
+            "bfs length mismatch: got {}, expected {}",
+            dist.len(),
+            expected.len()
+        ));
+    };
     Err(format!(
         "bfs mismatch at vertex {first}: got {}, expected {}",
         dist[first], expected[first]
@@ -54,8 +60,13 @@ pub fn cc(host: &CsrGraph, labels: &[NodeId]) -> VerifyResult {
     if canonical == expected {
         return Ok(());
     }
-    let first =
-        canonical.iter().zip(&expected).position(|(a, b)| a != b).expect("some mismatch exists");
+    let Some(first) = canonical.iter().zip(&expected).position(|(a, b)| a != b) else {
+        return Err(format!(
+            "cc length mismatch: got {}, expected {}",
+            canonical.len(),
+            expected.len()
+        ));
+    };
     Err(format!(
         "cc mismatch at vertex {first}: component {} vs expected {}",
         canonical[first], expected[first]
@@ -80,7 +91,13 @@ pub fn sssp(host: &CsrGraph, weights: &[u32], source: NodeId, dist: &[u64]) -> V
     if dist == expected.as_slice() {
         return Ok(());
     }
-    let first = dist.iter().zip(&expected).position(|(a, b)| a != b).expect("some mismatch exists");
+    let Some(first) = dist.iter().zip(&expected).position(|(a, b)| a != b) else {
+        return Err(format!(
+            "sssp length mismatch: got {}, expected {}",
+            dist.len(),
+            expected.len()
+        ));
+    };
     Err(format!(
         "sssp mismatch at vertex {first}: got {}, expected {}",
         dist[first], expected[first]

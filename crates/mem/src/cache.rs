@@ -154,10 +154,10 @@ impl SetAssocCache {
 
         // Miss: pick victim = invalid way if any, else LRU (max age).
         self.stats.misses += 1;
-        let victim =
-            (0..self.ways).find(|&w| self.tags[base + w] == INVALID).unwrap_or_else(|| {
-                (0..self.ways).max_by_key(|&w| self.ages[base + w]).expect("ways >= 1")
-            });
+        let victim = (0..self.ways)
+            .find(|&w| self.tags[base + w] == INVALID)
+            .or_else(|| (0..self.ways).max_by_key(|&w| self.ages[base + w]))
+            .unwrap_or(0);
         let idx = base + victim;
         let writeback = if self.tags[idx] != INVALID && self.dirty[idx] {
             self.stats.writebacks += 1;

@@ -25,7 +25,7 @@ impl PageTable {
 
     #[inline]
     fn slot(pn: PageNum) -> Option<usize> {
-        pn.index().checked_sub(MMAP_BASE >> PAGE_SHIFT).map(|i| i as usize)
+        pn.index().checked_sub(MMAP_BASE >> PAGE_SHIFT).and_then(|i| usize::try_from(i).ok())
     }
 
     /// Returns the metadata of a resident page.
@@ -51,8 +51,13 @@ impl PageTable {
     /// Inserts metadata for `pn`. Returns the previous entry if the page
     /// was already resident (callers treat that as a bug; see
     /// [`MemorySystem::map_page`](crate::MemorySystem::map_page)).
+    /// A page below `MMAP_BASE` is never handed out by `mmap`, so such an
+    /// insert is ignored (and trips a debug assertion).
     pub fn insert(&mut self, pn: PageNum, info: PageInfo) -> Option<PageInfo> {
-        let slot = Self::slot(pn).expect("page below MMAP_BASE");
+        let Some(slot) = Self::slot(pn) else {
+            debug_assert!(false, "insert of page below MMAP_BASE");
+            return None;
+        };
         if slot >= self.entries.len() {
             self.entries.resize(slot + 1, None);
         }

@@ -289,6 +289,21 @@ impl MemorySystem {
         self.frames[tier.index()].capacity_pages()
     }
 
+    /// Resident pages on `tier` per the page table's internal counter.
+    ///
+    /// Audit introspection: this counter is maintained incrementally and
+    /// must agree with both a full [`MemorySystem::resident_pages`] walk
+    /// and the frame allocator's [`MemorySystem::used_pages`].
+    pub fn pt_resident_pages(&self, tier: Tier) -> u64 {
+        self.pages.resident_pages(tier)
+    }
+
+    /// Pages currently cached in the TLB, ascending and deduplicated
+    /// (audit introspection; see [`Tlb::cached_pages`]).
+    pub fn tlb_cached_pages(&self) -> Vec<PageNum> {
+        self.tlb.cached_pages()
+    }
+
     // ----- devices ------------------------------------------------------
 
     fn device_read(&mut self, tier: Tier, addr: u64) -> u64 {

@@ -95,10 +95,10 @@ impl TlbLevel {
             self.touch(base, w);
             return;
         }
-        let victim =
-            (0..self.ways).find(|&w| self.tags[base + w] == INVALID).unwrap_or_else(|| {
-                (0..self.ways).max_by_key(|&w| self.ages[base + w]).expect("ways >= 1")
-            });
+        let victim = (0..self.ways)
+            .find(|&w| self.tags[base + w] == INVALID)
+            .or_else(|| (0..self.ways).max_by_key(|&w| self.ages[base + w]))
+            .unwrap_or(0);
         self.tags[base + victim] = pn;
         self.fill_touch(base, victim);
     }
@@ -208,6 +208,25 @@ impl Tlb {
     pub fn flush(&mut self) {
         self.l1.flush();
         self.l2.flush();
+    }
+
+    /// Pages currently cached in either level, ascending and deduplicated.
+    ///
+    /// Audit introspection only — never on the lookup fast path. The
+    /// invariant auditor uses it to check every cached translation is
+    /// backed by a resident page-table entry.
+    pub fn cached_pages(&self) -> Vec<PageNum> {
+        let mut pages: Vec<u64> = self
+            .l1
+            .tags
+            .iter()
+            .chain(self.l2.tags.iter())
+            .copied()
+            .filter(|&t| t != INVALID)
+            .collect();
+        pages.sort_unstable();
+        pages.dedup();
+        pages.into_iter().map(PageNum::new).collect()
     }
 
     /// Accumulated statistics.

@@ -148,11 +148,11 @@ impl VmaTable {
     /// Returns [`MemError::NoSuchMapping`] if `addr` is not the base of a
     /// mapped region.
     pub fn unmap(&mut self, addr: VirtAddr) -> Result<Vec<Vma>, MemError> {
-        let first = self.vmas.get(&addr.raw()).cloned().ok_or(MemError::NoSuchMapping { addr })?;
+        let first = self.vmas.remove(&addr.raw()).ok_or(MemError::NoSuchMapping { addr })?;
         // Fragments from a split share the contiguous span (guard gaps
         // separate distinct map() calls, so contiguity identifies them).
-        let mut removed = vec![self.vmas.remove(&addr.raw()).expect("present")];
         let mut cursor = first.end();
+        let mut removed = vec![first];
         while let Some(next) = self.vmas.get(&cursor.raw()).cloned() {
             self.vmas.remove(&cursor.raw());
             cursor = next.end();
@@ -197,7 +197,8 @@ impl VmaTable {
         // Split and retag.
         let mut cursor = addr;
         while cursor < end {
-            let vma = self.find(cursor).expect("verified above").clone();
+            // Coverage was verified above, so the lookup cannot fail.
+            let Some(vma) = self.find(cursor).cloned() else { break };
             self.vmas.remove(&vma.base.raw());
             // Left fragment keeps the old policy.
             if vma.base < cursor {

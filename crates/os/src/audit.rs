@@ -1,0 +1,312 @@
+//! tiersim-audit: the simulation invariant auditor.
+//!
+//! tiersim's conclusions are only as good as its internal accounting:
+//! a double-counted promotion or a leaked frame silently skews every
+//! tiering figure derived from the run. The auditor cross-checks the
+//! simulator's redundant state representations against each other and the
+//! vmstat counters against conservation laws derived from the engine's
+//! code paths (DESIGN.md §9 lists them next to the counters they
+//! constrain). It runs from [`AutoNuma::tick`] every
+//! [`OsConfig::audit_every_ticks`] ticks in debug builds, and on demand
+//! via [`AutoNuma::audit`] in any build.
+
+use crate::config::OsConfig;
+use crate::counters::VmCounters;
+use tiersim_mem::{MemorySystem, PageNum, Tier};
+
+/// What a violated invariant is about.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AuditSubject {
+    /// A vmstat counter (named as in [`VmCounters`]).
+    Counter(&'static str),
+    /// A specific page.
+    Page(PageNum),
+    /// A tier's aggregate accounting.
+    Tier(Tier),
+}
+
+/// One invariant violation found by an audit pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AuditViolation {
+    /// Stable identifier of the violated invariant (e.g.
+    /// `"migration-conservation"`).
+    pub invariant: &'static str,
+    /// The counter, page, or tier involved.
+    pub subject: AuditSubject,
+    /// Observed values, human-readable.
+    pub detail: String,
+}
+
+impl std::fmt::Display for AuditViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{}] {:?}: {}", self.invariant, self.subject, self.detail)
+    }
+}
+
+/// The outcome of one audit pass.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct AuditReport {
+    /// All violations found, in check order.
+    pub violations: Vec<AuditViolation>,
+    /// Resident pages walked.
+    pub pages_walked: u64,
+    /// Individual invariant checks performed.
+    pub checks: u64,
+}
+
+impl AuditReport {
+    /// `true` when no invariant was violated.
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// Runs every invariant check against the current memory-system state and
+/// counter values. Read-only; safe at any point between engine calls.
+pub fn run(mem: &MemorySystem, counters: &VmCounters, cfg: &OsConfig) -> AuditReport {
+    let mut report = AuditReport::default();
+    check_residency(mem, &mut report);
+    check_tlb(mem, &mut report);
+    check_vma_coverage(mem, &mut report);
+    check_counters(counters, cfg, &mut report);
+    report
+}
+
+fn fail(report: &mut AuditReport, invariant: &'static str, subject: AuditSubject, detail: String) {
+    report.violations.push(AuditViolation { invariant, subject, detail });
+}
+
+/// Frame ownership and tier capacity: the page-table walk, the page
+/// table's incremental per-tier counters, and the frame allocators must
+/// all agree, and used + free must equal capacity. Because the page table
+/// maps each page to exactly one `PageInfo` (hence one tier), agreement of
+/// all three representations is what "every mapped page owns exactly one
+/// frame on exactly one tier" reduces to: a double-owned or leaked frame
+/// shows up as a count mismatch on its tier.
+fn check_residency(mem: &MemorySystem, report: &mut AuditReport) {
+    let mut walked = [0u64; 2];
+    for (_, info) in mem.resident_pages() {
+        walked[info.tier.index()] += 1;
+        report.pages_walked += 1;
+    }
+    for tier in Tier::ALL {
+        let walk = walked[tier.index()];
+        let frames = mem.used_pages(tier);
+        let pt = mem.pt_resident_pages(tier);
+        report.checks += 2;
+        if walk != frames || walk != pt {
+            fail(
+                report,
+                "frame-accounting",
+                AuditSubject::Tier(tier),
+                format!("page walk {walk}, frame allocator {frames}, page-table counter {pt}"),
+            );
+        }
+        let (used, free, cap) = (frames, mem.free_pages(tier), mem.capacity_pages(tier));
+        report.checks += 1;
+        if used + free != cap {
+            fail(
+                report,
+                "capacity-conservation",
+                AuditSubject::Tier(tier),
+                format!("used {used} + free {free} != capacity {cap}"),
+            );
+        }
+    }
+}
+
+/// TLB coherence: a cached translation for a non-resident page would let
+/// the simulated CPU keep accessing a page the OS already moved or freed.
+fn check_tlb(mem: &MemorySystem, report: &mut AuditReport) {
+    for pn in mem.tlb_cached_pages() {
+        report.checks += 1;
+        if mem.page(pn).is_none() {
+            fail(
+                report,
+                "tlb-coherence",
+                AuditSubject::Page(pn),
+                "TLB caches a translation for a non-resident page".to_string(),
+            );
+        }
+    }
+}
+
+/// Every resident page must be covered by a VMA: residency without a
+/// mapping means `munmap` leaked the page's frame.
+fn check_vma_coverage(mem: &MemorySystem, report: &mut AuditReport) {
+    for (pn, _) in mem.resident_pages() {
+        report.checks += 1;
+        if mem.find_vma(pn.base()).is_none() {
+            fail(
+                report,
+                "vma-coverage",
+                AuditSubject::Page(pn),
+                "resident page is outside every VMA".to_string(),
+            );
+        }
+    }
+}
+
+/// Conservation laws over the vmstat counters, each derived from the
+/// engine's code paths (see DESIGN.md §9 for the per-counter table).
+fn check_counters(c: &VmCounters, cfg: &OsConfig, report: &mut AuditReport) {
+    let mut law = |name: &'static str, counter: &'static str, ok: bool, detail: String| {
+        report.checks += 1;
+        if !ok {
+            fail(report, name, AuditSubject::Counter(counter), detail);
+        }
+    };
+    // Every successful migration is exactly one promotion or one demotion.
+    law(
+        "migration-conservation",
+        "pgmigrate_success",
+        c.pgmigrate_success == c.pgpromote_success + c.pgdemote_total(),
+        format!(
+            "pgmigrate_success {} != pgpromote_success {} + pgdemote {}",
+            c.pgmigrate_success,
+            c.pgpromote_success,
+            c.pgdemote_total()
+        ),
+    );
+    // A page demoted-after-promotion was both promoted and demoted.
+    law(
+        "thrash-bound",
+        "pgpromote_demoted",
+        c.pgpromote_demoted <= c.pgpromote_success && c.pgpromote_demoted <= c.pgdemote_total(),
+        format!(
+            "pgpromote_demoted {} exceeds pgpromote_success {} or pgdemote {}",
+            c.pgpromote_demoted,
+            c.pgpromote_success,
+            c.pgdemote_total()
+        ),
+    );
+    // Promotions only happen while servicing a hint fault.
+    law(
+        "promotion-causality",
+        "pgpromote_success",
+        c.pgpromote_success <= c.numa_hint_faults,
+        format!(
+            "pgpromote_success {} > numa_hint_faults {}",
+            c.pgpromote_success, c.numa_hint_faults
+        ),
+    );
+    // The rate limiter only drops pages already counted as candidates.
+    law(
+        "rate-limit-bound",
+        "promo_rate_limited",
+        c.promo_rate_limited <= c.pgpromote_candidate,
+        format!(
+            "promo_rate_limited {} > pgpromote_candidate {}",
+            c.promo_rate_limited, c.pgpromote_candidate
+        ),
+    );
+    // Each hint fault is threshold-rejected or becomes a candidate, never
+    // both (unconditionally promoted faults are neither).
+    law(
+        "hint-fault-partition",
+        "pgpromote_candidate",
+        c.promo_threshold_rejected + c.pgpromote_candidate <= c.numa_hint_faults,
+        format!(
+            "promo_threshold_rejected {} + pgpromote_candidate {} > numa_hint_faults {}",
+            c.promo_threshold_rejected, c.pgpromote_candidate, c.numa_hint_faults
+        ),
+    );
+    // A permanent migration failure is preceded by exactly
+    // `migrate_max_retries` retries, so retries bound fails from below.
+    law(
+        "retry-accounting",
+        "pgmigrate_retry",
+        c.pgmigrate_retry >= u64::from(cfg.migrate_max_retries) * c.pgmigrate_fail,
+        format!(
+            "pgmigrate_retry {} < migrate_max_retries {} * pgmigrate_fail {}",
+            c.pgmigrate_retry, cfg.migrate_max_retries, c.pgmigrate_fail
+        ),
+    );
+    // With retries disabled no retry may ever be counted.
+    law(
+        "retry-disabled",
+        "pgmigrate_retry",
+        cfg.migrate_max_retries > 0 || c.pgmigrate_retry == 0,
+        format!("pgmigrate_retry {} with migrate_max_retries 0", c.pgmigrate_retry),
+    );
+    // Reclaim can only drop page-cache pages that a file read filled.
+    law(
+        "page-cache-conservation",
+        "page_cache_dropped",
+        c.page_cache_dropped <= c.page_cache_filled,
+        format!(
+            "page_cache_dropped {} > page_cache_filled {}",
+            c.page_cache_dropped, c.page_cache_filled
+        ),
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn clean_counters() -> VmCounters {
+        VmCounters {
+            numa_hint_faults: 10,
+            pgpromote_candidate: 4,
+            pgpromote_success: 5,
+            pgdemote_kswapd: 2,
+            pgdemote_direct: 1,
+            pgmigrate_success: 8,
+            pgpromote_demoted: 1,
+            promo_threshold_rejected: 3,
+            promo_rate_limited: 1,
+            pgmigrate_fail: 1,
+            pgmigrate_retry: 3,
+            page_cache_filled: 6,
+            page_cache_dropped: 2,
+            ..Default::default()
+        }
+    }
+
+    fn counter_violations(c: &VmCounters) -> Vec<&'static str> {
+        let mut report = AuditReport::default();
+        check_counters(c, &OsConfig::default(), &mut report);
+        report.violations.iter().map(|v| v.invariant).collect()
+    }
+
+    #[test]
+    fn consistent_counters_pass_every_law() {
+        assert_eq!(counter_violations(&clean_counters()), Vec::<&str>::new());
+    }
+
+    #[test]
+    fn migration_conservation_catches_skew() {
+        let mut c = clean_counters();
+        c.pgpromote_success += 1; // promotion counted without a migration
+        assert!(counter_violations(&c).contains(&"migration-conservation"));
+    }
+
+    #[test]
+    fn thrash_bound_catches_excess_demoted() {
+        let mut c = clean_counters();
+        c.pgpromote_demoted = c.pgdemote_total() + 1;
+        assert!(counter_violations(&c).contains(&"thrash-bound"));
+    }
+
+    #[test]
+    fn hint_fault_partition_catches_double_count() {
+        let mut c = clean_counters();
+        c.promo_threshold_rejected = 20;
+        assert!(counter_violations(&c).contains(&"hint-fault-partition"));
+    }
+
+    #[test]
+    fn retry_accounting_requires_retries_per_fail() {
+        let mut c = clean_counters();
+        c.pgmigrate_retry = 0; // fails recorded without their retries
+        assert!(counter_violations(&c).contains(&"retry-accounting"));
+    }
+
+    #[test]
+    fn page_cache_conservation_catches_phantom_drop() {
+        let mut c = clean_counters();
+        c.page_cache_dropped = c.page_cache_filled + 1;
+        assert!(counter_violations(&c).contains(&"page-cache-conservation"));
+    }
+}

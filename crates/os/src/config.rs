@@ -111,6 +111,15 @@ pub struct OsConfig {
     /// CPU frequency used to convert the rate limit, must match the memory
     /// system's frequency.
     pub freq_hz: u64,
+
+    // ----- invariant auditing -------------------------------------------
+    /// Run the tiersim-audit invariant checks every N calls to
+    /// [`AutoNuma::tick`](crate::AutoNuma::tick) (`0` disables the
+    /// checkpoints). Checkpoints only fire in debug builds
+    /// (`debug_assertions`); release builds never pay for the walk. An
+    /// on-demand [`AutoNuma::audit`](crate::AutoNuma::audit) works in any
+    /// build regardless of this knob.
+    pub audit_every_ticks: u64,
 }
 
 impl Default for OsConfig {
@@ -141,6 +150,7 @@ impl Default for OsConfig {
             migrate_max_retries: 3, // kernel migrate_pages() tries up to 3 passes
             migrate_retry_backoff_cycles: 2_600, // ~1 µs between passes
             freq_hz: hz,
+            audit_every_ticks: 0,
         }
     }
 }
@@ -295,6 +305,13 @@ impl OsConfigBuilder {
     pub fn migrate_retry(mut self, retries: u32, backoff_cycles: u64) -> Self {
         self.cfg.migrate_max_retries = retries;
         self.cfg.migrate_retry_backoff_cycles = backoff_cycles;
+        self
+    }
+
+    /// Runs the tiersim-audit invariant checks every `ticks` engine ticks
+    /// in debug builds (`0` disables the checkpoints).
+    pub fn audit_every_ticks(mut self, ticks: u64) -> Self {
+        self.cfg.audit_every_ticks = ticks;
         self
     }
 

@@ -20,12 +20,18 @@
 //!   `numastat`-style [`NumaStat`] snapshots, exactly the observables the
 //!   paper reads in §6.5–6.7.
 //!
+//! - **Invariant auditing**: tiersim-audit ([`AuditReport`]) cross-checks
+//!   frame ownership, tier capacity, TLB coherence, VMA coverage and
+//!   counter conservation laws at configurable [`AutoNuma::tick`]
+//!   checkpoints in debug builds (DESIGN.md §9).
+//!
 //! The central type is [`AutoNuma`]; see its documentation for the three
 //! integration hooks (`handle_fault`, `on_access`, `tick`).
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod audit;
 mod config;
 mod counters;
 mod engine;
@@ -35,6 +41,7 @@ mod reclaim;
 mod scanner;
 mod threshold;
 
+pub use audit::{AuditReport, AuditSubject, AuditViolation};
 pub use config::{OsConfig, OsConfigBuilder};
 pub use counters::{NumaStat, VmCounters};
 pub use engine::{AutoNuma, FaultResolution};

@@ -1,6 +1,6 @@
 //! Object placements: where a logical object's pages should live.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Placement decision for one logical object (identified by its
 /// allocation-site label).
@@ -27,6 +27,9 @@ pub enum Placement {
 /// (NVM, like the paper's "objects that cannot fit on DRAM are assigned
 /// entirely to NVM").
 ///
+/// Entries are kept label-ordered (`BTreeMap`) so iteration — which feeds
+/// plan renderings and exported CSVs — is deterministic across runs.
+///
 /// # Examples
 ///
 /// ```
@@ -39,7 +42,7 @@ pub enum Placement {
 /// ```
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct ObjectPlacement {
-    map: HashMap<String, Placement>,
+    map: BTreeMap<String, Placement>,
 }
 
 impl ObjectPlacement {
@@ -58,7 +61,7 @@ impl ObjectPlacement {
         self.map.get(label).copied().unwrap_or(Placement::Nvm)
     }
 
-    /// Iterates `(label, placement)` entries in unspecified order.
+    /// Iterates `(label, placement)` entries in ascending label order.
     pub fn iter(&self) -> impl Iterator<Item = (&str, Placement)> {
         self.map.iter().map(|(k, &v)| (k.as_str(), v))
     }

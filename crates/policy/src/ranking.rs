@@ -44,8 +44,10 @@ impl LabelStats {
 /// assert!(aggregate_by_label(&MappedProfile::default()).is_empty());
 /// ```
 pub fn aggregate_by_label(mapped: &MappedProfile) -> Vec<LabelStats> {
-    let mut by_label: std::collections::HashMap<&str, LabelStats> =
-        std::collections::HashMap::new();
+    // Label-ordered so the fold itself is deterministic; the density sort
+    // below then starts from the same order on every run.
+    let mut by_label: std::collections::BTreeMap<&str, LabelStats> =
+        std::collections::BTreeMap::new();
     for o in &mapped.objects {
         let e = by_label.entry(&o.site).or_insert_with(|| LabelStats {
             label: o.site.to_string(),
@@ -58,12 +60,7 @@ pub fn aggregate_by_label(mapped: &MappedProfile) -> Vec<LabelStats> {
         e.nvm_samples += o.nvm_samples;
     }
     let mut v: Vec<LabelStats> = by_label.into_values().collect();
-    v.sort_by(|a, b| {
-        b.density()
-            .partial_cmp(&a.density())
-            .expect("densities are finite")
-            .then_with(|| a.label.cmp(&b.label))
-    });
+    v.sort_by(|a, b| b.density().total_cmp(&a.density()).then_with(|| a.label.cmp(&b.label)));
     v
 }
 

@@ -48,7 +48,9 @@ impl AccessPattern {
         let span = self.points.iter().map(|&(_, p, _)| p).max()?.max(1);
         let mut jumps = 0.0;
         let mut n = 0u64;
-        let mut last: std::collections::HashMap<u16, u64> = std::collections::HashMap::new();
+        // BTreeMap keeps the per-thread fold order deterministic (the
+        // result feeds reported randomness figures).
+        let mut last: std::collections::BTreeMap<u16, u64> = std::collections::BTreeMap::new();
         for &(_, page, tid) in &self.points {
             if let Some(prev) = last.insert(tid, page) {
                 jumps += page.abs_diff(prev) as f64;

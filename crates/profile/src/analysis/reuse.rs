@@ -3,7 +3,7 @@
 
 use crate::sample::MemSample;
 use crate::stats::Summary;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use tiersim_mem::{Tier, VirtAddr};
 
 /// Reuse statistics over the pages of one object that were externally
@@ -41,12 +41,15 @@ pub fn two_touch_reuse(
     freq_hz: u64,
 ) -> ReuseAnalysis {
     let end = base.raw().saturating_add(len);
-    let mut per_page: HashMap<u64, Vec<(u64, Tier)>> = HashMap::new();
+    // Page-ordered (BTreeMap): the interval vector feeds the summary
+    // statistics, so the fold order must not vary between runs.
+    let mut per_page: BTreeMap<u64, Vec<(u64, Tier)>> = BTreeMap::new();
     for s in samples
         .iter()
         .filter(|s| !s.is_store && s.is_external() && s.addr >= base && s.addr.raw() < end)
     {
-        let tier = s.level.tier().expect("external sample has a tier");
+        // `is_external()` guarantees the level is a memory tier.
+        let Some(tier) = s.level.tier() else { continue };
         per_page.entry(s.page().index()).or_default().push((s.time_cycles, tier));
     }
 

@@ -1,7 +1,7 @@
 //! Per-page touch-count histogram (paper Fig. 4).
 
 use crate::sample::MemSample;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Histogram of external page touches: how many pages (and what share of
 /// accesses) saw exactly one, exactly two, or three-plus sampled touches
@@ -30,7 +30,7 @@ pub struct TouchHistogram {
 impl TouchHistogram {
     /// Builds the histogram from external load samples.
     pub fn of(samples: &[MemSample]) -> TouchHistogram {
-        let mut touches: HashMap<u64, u64> = HashMap::new();
+        let mut touches: BTreeMap<u64, u64> = BTreeMap::new();
         for s in samples.iter().filter(|s| !s.is_store && s.is_external()) {
             *touches.entry(s.page().index()).or_insert(0) += 1;
         }

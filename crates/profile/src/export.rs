@@ -81,11 +81,9 @@ pub fn write_mapped_trace<W: Write>(
         if s.is_store || s.level.tier() != Some(tier) {
             continue;
         }
-        let (id, site) = match tracker.object_at(s.addr) {
-            Some(id) => {
-                let rec = tracker.record(id).expect("tracked id");
-                (id.0 as i64, rec.site.as_ref())
-            }
+        let hit = tracker.object_at(s.addr).and_then(|id| tracker.record(id).map(|r| (id, r)));
+        let (id, site) = match hit {
+            Some((id, rec)) => (id.0 as i64, rec.site.as_ref()),
             None => (-1, "?"),
         };
         writeln!(

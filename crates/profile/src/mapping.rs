@@ -3,7 +3,7 @@
 
 use crate::alloc::{AllocTracker, ObjectId};
 use crate::sample::MemSample;
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 use std::sync::Arc;
 use tiersim_mem::Tier;
 
@@ -96,9 +96,7 @@ impl MappedProfile {
     /// the object-level static mapper.
     pub fn by_density(&self) -> Vec<&ObjectProfile> {
         let mut v: Vec<&ObjectProfile> = self.objects.iter().collect();
-        v.sort_by(|a, b| {
-            b.density().partial_cmp(&a.density()).expect("finite").then(a.id.cmp(&b.id))
-        });
+        v.sort_by(|a, b| b.density().total_cmp(&a.density()).then(a.id.cmp(&b.id)));
         v
     }
 
@@ -145,7 +143,7 @@ pub fn map_samples(tracker: &AllocTracker, samples: &[MemSample]) -> MappedProfi
             external_pages: 0,
         })
         .collect();
-    let mut pages: Vec<HashSet<u64>> = vec![HashSet::new(); objects.len()];
+    let mut pages: Vec<BTreeSet<u64>> = vec![BTreeSet::new(); objects.len()];
     let mut out = MappedProfile::default();
 
     for s in samples {

@@ -34,7 +34,7 @@ impl Summary {
         if v.is_empty() {
             return None;
         }
-        v.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        v.sort_by(f64::total_cmp);
         let mean = v.iter().sum::<f64>() / v.len() as f64;
         let var = v.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / v.len() as f64;
         Some(Summary {

@@ -1,0 +1,299 @@
+//! A small line lexer for Rust sources.
+//!
+//! The lint pass needs three things per line: the code with comment and
+//! string/char-literal *contents* blanked out (so tokens inside strings or
+//! docs never trigger rules), the comment text (so allow-annotations can be
+//! found), and whether the line sits inside test-only code (a `#[cfg(test)]`
+//! module or a `#[test]` function). No full parser is needed for that —
+//! and the build must stay offline-capable, so `syn` is off the table.
+
+/// One source line, pre-digested for the rules engine.
+#[derive(Debug, Clone)]
+pub struct CodeLine {
+    /// 1-based line number.
+    pub number: usize,
+    /// Line content with comments removed and string/char contents blanked.
+    pub code: String,
+    /// Comment text found on this line (line + block comments, doc comments).
+    pub comment: String,
+    /// True when the line is inside `#[cfg(test)]`/`#[test]` code.
+    pub in_test: bool,
+}
+
+/// Lexer state that survives across lines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    Code,
+    /// Inside a (possibly nested) block comment.
+    BlockComment(u32),
+    /// Inside a normal string literal.
+    Str,
+    /// Inside a raw string literal with this many `#`s.
+    RawStr(u32),
+}
+
+/// Splits `src` into [`CodeLine`]s.
+pub fn lex(src: &str) -> Vec<CodeLine> {
+    let mut mode = Mode::Code;
+    let mut out = Vec::new();
+    for (idx, line) in src.lines().enumerate() {
+        let (code, comment, next) = lex_line(line, mode);
+        mode = next;
+        out.push(CodeLine { number: idx + 1, code, comment, in_test: false });
+    }
+    mark_test_regions(&mut out);
+    out
+}
+
+/// Lexes one line starting in `mode`; returns (code, comment, end mode).
+fn lex_line(line: &str, mut mode: Mode) -> (String, String, Mode) {
+    let bytes: Vec<char> = line.chars().collect();
+    let mut code = String::with_capacity(line.len());
+    let mut comment = String::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i];
+        let next = bytes.get(i + 1).copied();
+        match mode {
+            Mode::BlockComment(depth) => {
+                if c == '*' && next == Some('/') {
+                    mode = if depth == 1 { Mode::Code } else { Mode::BlockComment(depth - 1) };
+                    i += 2;
+                } else if c == '/' && next == Some('*') {
+                    mode = Mode::BlockComment(depth + 1);
+                    i += 2;
+                } else {
+                    comment.push(c);
+                    i += 1;
+                }
+            }
+            Mode::Str => {
+                if c == '\\' {
+                    code.push(' ');
+                    if next.is_some() {
+                        code.push(' ');
+                    }
+                    i += 2;
+                } else if c == '"' {
+                    code.push('"');
+                    mode = Mode::Code;
+                    i += 1;
+                } else {
+                    code.push(' ');
+                    i += 1;
+                }
+            }
+            Mode::RawStr(hashes) => {
+                if c == '"' && closes_raw(&bytes, i, hashes) {
+                    code.push('"');
+                    mode = Mode::Code;
+                    i += 1 + hashes as usize;
+                } else {
+                    code.push(' ');
+                    i += 1;
+                }
+            }
+            Mode::Code => {
+                if c == '/' && next == Some('/') {
+                    comment.push_str(&line[byte_offset(&bytes, i + 2)..]);
+                    break;
+                } else if c == '/' && next == Some('*') {
+                    mode = Mode::BlockComment(1);
+                    i += 2;
+                } else if c == '"' {
+                    code.push('"');
+                    mode = Mode::Str;
+                    i += 1;
+                } else if let Some(hashes) = raw_string_opens(&bytes, i) {
+                    // Emit the opening `r##"` so token boundaries survive.
+                    for _ in 0..(raw_prefix_len(&bytes, i) + hashes as usize + 1) {
+                        code.push(' ');
+                    }
+                    code.push('"');
+                    mode = Mode::RawStr(hashes);
+                    i += raw_prefix_len(&bytes, i) + hashes as usize + 1;
+                } else if c == '\'' {
+                    // Char literal or lifetime. `'\...'` and `'x'` are
+                    // literals; anything else (`'a`, `'static`) is a
+                    // lifetime and stays as code.
+                    if next == Some('\\') {
+                        let mut j = i + 2;
+                        while j < bytes.len() && bytes[j] != '\'' {
+                            j += 1;
+                        }
+                        for _ in i..=j.min(bytes.len() - 1) {
+                            code.push(' ');
+                        }
+                        i = j + 1;
+                    } else if bytes.get(i + 2) == Some(&'\'') {
+                        code.push_str("   ");
+                        i += 3;
+                    } else {
+                        code.push(c);
+                        i += 1;
+                    }
+                } else {
+                    code.push(c);
+                    i += 1;
+                }
+            }
+        }
+    }
+    (code, comment.trim().to_string(), mode)
+}
+
+/// Byte offset of the `idx`-th char in the original line.
+fn byte_offset(chars: &[char], idx: usize) -> usize {
+    chars[..idx.min(chars.len())].iter().map(|c| c.len_utf8()).sum()
+}
+
+/// Does `r`/`br` at `i` open a raw string? Returns the `#` count.
+fn raw_string_opens(chars: &[char], i: usize) -> Option<u32> {
+    let start = if chars[i] == 'r' {
+        i
+    } else if chars[i] == 'b' && chars.get(i + 1) == Some(&'r') {
+        i + 1
+    } else {
+        return None;
+    };
+    // `r` must not be part of a longer identifier (e.g. `for`, `var`).
+    if i > 0 && is_ident_char(chars[i - 1]) {
+        return None;
+    }
+    let mut j = start + 1;
+    let mut hashes = 0u32;
+    while chars.get(j) == Some(&'#') {
+        hashes += 1;
+        j += 1;
+    }
+    (chars.get(j) == Some(&'"')).then_some(hashes)
+}
+
+/// Length of the `r` / `br` prefix for a raw string opening at `i`.
+fn raw_prefix_len(chars: &[char], i: usize) -> usize {
+    if chars[i] == 'b' {
+        2
+    } else {
+        1
+    }
+}
+
+/// Does the `"` at `i` close a raw string with `hashes` trailing `#`s?
+fn closes_raw(chars: &[char], i: usize, hashes: u32) -> bool {
+    (1..=hashes as usize).all(|k| chars.get(i + k) == Some(&'#'))
+}
+
+/// True for characters that can appear in a Rust identifier.
+pub fn is_ident_char(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Marks lines inside `#[cfg(test)]` items and `#[test]` functions.
+///
+/// Heuristic but reliable for rustfmt'd code: after a test attribute, the
+/// next `{` opens a region that lasts until brace depth returns to the
+/// level where the attribute appeared. A `;` first (e.g. `#[cfg(test)]
+/// mod tests;`) cancels the pending attribute.
+fn mark_test_regions(lines: &mut [CodeLine]) {
+    let mut depth: i64 = 0;
+    let mut pending: Option<i64> = None;
+    let mut test_until: Option<i64> = None;
+    for line in lines.iter_mut() {
+        let started_in_test = test_until.is_some();
+        if line.code.contains("#[cfg(test)]")
+            || line.code.contains("#[test]")
+            || line.code.contains("cfg(test)")
+        {
+            pending.get_or_insert(depth);
+        }
+        let mut entered = false;
+        for c in line.code.chars() {
+            match c {
+                '{' => {
+                    if let Some(d) = pending {
+                        if test_until.is_none() && depth == d {
+                            test_until = Some(d);
+                            entered = true;
+                        }
+                        pending = None;
+                    }
+                    depth += 1;
+                }
+                '}' => {
+                    depth -= 1;
+                    if test_until == Some(depth) {
+                        test_until = None;
+                    }
+                }
+                ';' => {
+                    if let Some(d) = pending {
+                        if depth == d {
+                            pending = None;
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+        line.in_test = started_in_test || test_until.is_some() || entered;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strips_line_comments_and_keeps_text() {
+        let l = lex("let x = 1; // note .unwrap() here");
+        assert!(!l[0].code.contains("unwrap"));
+        assert!(l[0].comment.contains("unwrap"));
+    }
+
+    #[test]
+    fn blanks_string_contents() {
+        let l = lex("let s = \"call .unwrap() now\";");
+        assert!(!l[0].code.contains("unwrap"));
+        assert!(l[0].code.contains('"'));
+    }
+
+    #[test]
+    fn block_comments_span_lines() {
+        let l = lex("/* start\n .unwrap()\n end */ let x = 1;");
+        assert!(!l[1].code.contains("unwrap"));
+        assert!(l[1].comment.contains("unwrap"));
+        assert!(l[2].code.contains("let x"));
+    }
+
+    #[test]
+    fn raw_strings_are_blanked() {
+        let l = lex("let s = r#\"a \"quoted\" .unwrap()\"#;");
+        assert!(!l[0].code.contains("unwrap"), "{}", l[0].code);
+    }
+
+    #[test]
+    fn char_literals_and_lifetimes() {
+        let l = lex("fn f<'a>(c: char) -> bool { c == '\"' || c == 'x' }");
+        assert!(l[0].code.contains("'a"));
+        assert!(!l[0].code.contains("'x'"));
+        // The quote char literal must not open a string.
+        assert!(l[0].code.contains("bool"));
+    }
+
+    #[test]
+    fn cfg_test_module_is_marked() {
+        let src =
+            "fn lib() {}\n#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); }\n}\nfn more() {}\n";
+        let l = lex(src);
+        assert!(!l[0].in_test);
+        assert!(l[3].in_test, "inside test mod");
+        assert!(!l[5].in_test, "after test mod");
+    }
+
+    #[test]
+    fn cfg_test_on_use_does_not_open_region() {
+        let src = "#[cfg(test)]\nuse std::x;\nfn real() {\n    body();\n}\n";
+        let l = lex(src);
+        assert!(!l[3].in_test);
+    }
+}

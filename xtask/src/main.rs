@@ -1,0 +1,121 @@
+//! Workspace automation tasks. Run as `cargo xtask <task>`.
+//!
+//! The only task today is `lint`: the tiersim determinism lint pass (see
+//! DESIGN.md §9). It is dependency-free on purpose — CI runs it before
+//! anything else, on an offline toolchain.
+
+mod lexer;
+mod rules;
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint") => lint(&args[1..]),
+        Some("--help") | Some("-h") | None => {
+            print_usage();
+            ExitCode::SUCCESS
+        }
+        Some(other) => {
+            eprintln!("xtask: unknown task `{other}`");
+            print_usage();
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn print_usage() {
+    eprintln!("usage: cargo xtask lint [--list]");
+    eprintln!();
+    eprintln!("tasks:");
+    eprintln!("  lint          run the determinism lint pass over the workspace");
+    eprintln!("  lint --list   print the lint rule ids and exit");
+}
+
+fn lint(args: &[String]) -> ExitCode {
+    if args.iter().any(|a| a == "--list") {
+        for id in rules::rule_ids() {
+            println!("{id}");
+        }
+        return ExitCode::SUCCESS;
+    }
+    if let Some(bad) = args.iter().find(|a| *a != "--list") {
+        eprintln!("xtask lint: unknown flag `{bad}`");
+        return ExitCode::FAILURE;
+    }
+    let root = workspace_root();
+    let files = collect_sources(&root);
+    let mut total = 0usize;
+    for file in &files {
+        let rel = relative(file, &root);
+        let src = match std::fs::read_to_string(file) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("xtask lint: cannot read {rel}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let lines = lexer::lex(&src);
+        for v in rules::lint_file(&rel, &lines) {
+            total += 1;
+            println!("{}:{}: [{}] `{}` — {}", v.path, v.line, v.rule, v.token, v.hint);
+        }
+    }
+    if total == 0 {
+        println!("xtask lint: {} files clean", files.len());
+        ExitCode::SUCCESS
+    } else {
+        println!("xtask lint: {total} violation(s)");
+        ExitCode::FAILURE
+    }
+}
+
+/// The workspace root is xtask's parent directory, regardless of cwd.
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .map(Path::to_path_buf)
+        .unwrap_or_else(|| PathBuf::from("."))
+}
+
+/// All lintable `.rs` files: `crates/*/src`, root `src/`, and root `tests/`
+/// (tests are scanned so the wall-clock rule covers them; per-rule scopes
+/// narrow further). `vendor/` and `target/` are never scanned.
+fn collect_sources(root: &Path) -> Vec<PathBuf> {
+    let mut files = Vec::new();
+    let crates = root.join("crates");
+    if let Ok(entries) = std::fs::read_dir(&crates) {
+        let mut dirs: Vec<PathBuf> = entries.filter_map(|e| e.ok()).map(|e| e.path()).collect();
+        dirs.sort();
+        for dir in dirs {
+            walk(&dir.join("src"), &mut files);
+        }
+    }
+    walk(&root.join("src"), &mut files);
+    walk(&root.join("tests"), &mut files);
+    files.sort();
+    files
+}
+
+/// Recursively gathers `.rs` files under `dir`, depth-first, sorted.
+fn walk(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else { return };
+    let mut paths: Vec<PathBuf> = entries.filter_map(|e| e.ok()).map(|e| e.path()).collect();
+    paths.sort();
+    for path in paths {
+        if path.is_dir() {
+            walk(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}
+
+/// Workspace-relative path with forward slashes (stable lint output on
+/// every platform).
+fn relative(file: &Path, root: &Path) -> String {
+    let rel = file.strip_prefix(root).unwrap_or(file);
+    rel.components().map(|c| c.as_os_str().to_string_lossy()).collect::<Vec<_>>().join("/")
+}
