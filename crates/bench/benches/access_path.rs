@@ -1,11 +1,17 @@
 //! Microbenchmarks of the simulator's hot access path: cache hits, device
-//! misses, TLB walks, and page migration.
+//! misses, TLB walks, and page migration — plus the tracked perf baseline:
+//! streaming throughput through the `access_run` fast lane vs the
+//! per-element path, and experiment-sweep wall time serial vs parallel,
+//! written to `BENCH_access_path.json` at the repo root.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use std::time::Instant;
+use tiersim_core::{run_workload, ExperimentConfig};
 use tiersim_mem::{
     AccessKind, CacheGeometry, DramModel, DramTimings, MemConfig, MemPolicy, MemorySystem,
     NvmModel, NvmTimings, SetAssocCache, Tier, VirtAddr, PAGE_SIZE,
 };
+use tiersim_policy::TieringMode;
 
 fn sys_with_resident(pages: u64, tier: Tier) -> (MemorySystem, VirtAddr) {
     let mut sys = MemorySystem::new(
@@ -107,5 +113,108 @@ fn bench_components(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_access, bench_components);
+/// Elements in the streaming workload: 1M × 8 bytes = 8 MB = 2048 pages,
+/// exactly the resident region below.
+const STREAM_ELEMS: u64 = 1 << 20;
+
+fn stream_system() -> (MemorySystem, VirtAddr) {
+    sys_with_resident(2048, Tier::Dram)
+}
+
+/// Times one sequential 8-byte-stride load stream issued element by
+/// element through `MemorySystem::access`. Returns (seconds, cycles).
+fn time_per_element() -> (f64, u64) {
+    let (mut sys, a) = stream_system();
+    let t = Instant::now();
+    let mut cycles = 0u64;
+    for i in 0..STREAM_ELEMS {
+        cycles += sys.access(a + i * 8, AccessKind::Load, 0).unwrap().cycles;
+    }
+    (t.elapsed().as_secs_f64(), black_box(cycles))
+}
+
+/// Times the same stream through the batched `access_run` fast lane.
+fn time_fast_lane() -> (f64, u64) {
+    let (mut sys, a) = stream_system();
+    let t = Instant::now();
+    let out = sys.access_run(a, 8, STREAM_ELEMS, AccessKind::Load, 0).unwrap();
+    (t.elapsed().as_secs_f64(), black_box(out.cycles))
+}
+
+fn bench_stream(c: &mut Criterion) {
+    let mut g = c.benchmark_group("stream");
+    g.throughput(Throughput::Elements(STREAM_ELEMS));
+    g.bench_function("per_element", |b| b.iter(|| time_per_element().1));
+    g.bench_function("fast_lane", |b| b.iter(|| time_fast_lane().1));
+    g.finish();
+}
+
+/// The six-workload experiment cells at a small scale, as byte-producing
+/// closures for the sweep executor.
+fn sweep_cells() -> Vec<impl FnOnce() -> Vec<u8> + Send> {
+    let cfg = ExperimentConfig { scale: 10, degree: 8, trials: 1, sample_period: 211, jobs: 1 };
+    cfg.workloads()
+        .into_iter()
+        .map(move |w| {
+            let mc = cfg.machine_for(&w, TieringMode::AutoNuma);
+            move || {
+                let report = run_workload(mc, w).expect("sweep cell");
+                let mut bytes = Vec::new();
+                report.write_summary_csv(&mut bytes).expect("csv");
+                bytes
+            }
+        })
+        .collect()
+}
+
+/// Best-of-3 wall time of `f`, with its payload from the last rep.
+fn best_of_3<T>(mut f: impl FnMut() -> (f64, T)) -> (f64, T) {
+    let (mut best, mut payload) = f();
+    for _ in 0..2 {
+        let (secs, p) = f();
+        payload = p;
+        if secs < best {
+            best = secs;
+        }
+    }
+    (best, payload)
+}
+
+/// Measures the tracked perf baseline and writes it to
+/// `BENCH_access_path.json` at the repo root.
+fn bench_baseline(_c: &mut Criterion) {
+    // Access-path throughput: the fast lane must charge bit-equal cycles.
+    let (per_elem_secs, per_elem_cycles) = best_of_3(time_per_element);
+    let (fast_secs, fast_cycles) = best_of_3(time_fast_lane);
+    assert_eq!(per_elem_cycles, fast_cycles, "fast lane diverged from the per-element path");
+    let per_elem_rate = STREAM_ELEMS as f64 / per_elem_secs;
+    let fast_rate = STREAM_ELEMS as f64 / fast_secs;
+
+    // Sweep wall time: serial vs one worker per core.
+    let jobs = tiersim_core::sweep::default_jobs();
+    let (serial_secs, serial_bytes) = best_of_3(|| {
+        let t = Instant::now();
+        let out = tiersim_core::sweep::run_cells(1, sweep_cells());
+        (t.elapsed().as_secs_f64(), out)
+    });
+    let (parallel_secs, parallel_bytes) = best_of_3(|| {
+        let t = Instant::now();
+        let out = tiersim_core::sweep::run_cells(jobs, sweep_cells());
+        (t.elapsed().as_secs_f64(), out)
+    });
+    assert_eq!(serial_bytes, parallel_bytes, "parallel sweep changed result bytes");
+
+    let json = format!(
+        "{{\n  \"bench\": \"access_path\",\n  \"host_cores\": {cores},\n  \"access_path\": {{\n    \"stream_elements\": {elems},\n    \"per_element_secs\": {per_elem_secs:.6},\n    \"per_element_accesses_per_sec\": {per_elem_rate:.0},\n    \"fast_lane_secs\": {fast_secs:.6},\n    \"fast_lane_accesses_per_sec\": {fast_rate:.0},\n    \"fast_lane_speedup\": {lane_speedup:.3}\n  }},\n  \"sweep\": {{\n    \"cells\": 6,\n    \"scale\": 10,\n    \"serial_secs\": {serial_secs:.3},\n    \"jobs\": {jobs},\n    \"parallel_secs\": {parallel_secs:.3},\n    \"sweep_speedup\": {sweep_speedup:.3}\n  }}\n}}\n",
+        cores = std::thread::available_parallelism().map(usize::from).unwrap_or(1),
+        elems = STREAM_ELEMS,
+        lane_speedup = per_elem_secs / fast_secs.max(1e-12),
+        sweep_speedup = serial_secs / parallel_secs.max(1e-12),
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_access_path.json");
+    std::fs::write(path, &json).expect("write BENCH_access_path.json");
+    println!("wrote {path}:\n{json}");
+}
+
+criterion_group!(benches, bench_access, bench_components, bench_stream, bench_baseline);
 criterion_main!(benches);

@@ -5,88 +5,19 @@
 //! Experiments are isolated: a failing (or panicking) experiment is
 //! recorded and the rest still run. A failure summary is printed at the
 //! end and the process exits nonzero if anything failed.
+//!
+//! `--jobs N` runs independent experiment cells on N worker threads; the
+//! printed tables and `--out` bytes are identical for every value (see
+//! DESIGN.md §10).
 
-use tiersim_bench::{banner, Cli, ExperimentSuite};
-use tiersim_core::experiments::{AutonumaTrace, Characterization, Comparison, ObjectAnalysis};
-use tiersim_core::CoreError;
+use tiersim_bench::{banner, run_repro_suite, Cli};
 
 fn main() {
     let cli = Cli::from_env();
     banner("full paper reproduction", &cli);
-    let mut suite = ExperimentSuite::new();
-
-    if cli.inject_failure {
-        // Deliberate failure to exercise the continue-on-failure path:
-        // everything below must still run and the exit code must be 1.
-        suite.attempt("injected failure", || {
-            Err::<(), _>(CoreError::InvalidConfig {
-                what: "injected failure",
-                got: "--inject-failure".to_string(),
-            })
-        });
-    }
-
-    if let Some(c) = suite.attempt("characterization", || Characterization::run(&cli.experiment)) {
-        for (title, body) in [
-            ("Figure 3: sample distribution across levels", c.render_fig3()),
-            ("Figure 4: page touch-count histogram", c.render_fig4()),
-            ("Figure 5: 2-touch reuse intervals (hottest NVM object)", c.render_fig5()),
-            ("Table 1: external access location", c.render_table1()),
-            ("Table 2: external latency cost split", c.render_table2()),
-            ("Table 3: external access cost by TLB outcome", c.render_table3()),
-        ] {
-            println!("{}", suite.section(title, &body));
-        }
-    }
-
-    if let Some(a) = suite.attempt("object analysis", || ObjectAnalysis::run(&cli.experiment)) {
-        println!(
-            "{}",
-            suite
-                .section("Figure 6: top objects by external samples (bc_kron)", &a.render_fig6(10))
-        );
-        if let Some(secs) = a.hottest_nvm_alloc_secs() {
-            let body = format!(
-                "peak live {:.2} MB over {} events; hottest NVM object allocated at t={secs:.4}s\n",
-                a.fig7().peak_bytes() as f64 / (1 << 20) as f64,
-                a.fig7().points.len(),
-            );
-            println!("{}", suite.section("Figure 7: allocation timeline (bc_kron)", &body));
-        }
-        if let Some(p) = a.fig8() {
-            let body = format!(
-                "{} samples, randomness metric {:.3}\n",
-                p.points.len(),
-                p.randomness().unwrap_or(0.0)
-            );
-            println!(
-                "{}",
-                suite.section("Figure 8: hottest NVM object access pattern (bc_kron)", &body)
-            );
-        }
-    }
-
-    if let Some(tr) = suite.attempt("autonuma trace", || AutonumaTrace::run(&cli.experiment)) {
-        println!(
-            "{}",
-            suite.section(
-                "Figure 9: memory usage and counters over time (bc_kron)",
-                &tr.render_fig9()
-            )
-        );
-        println!(
-            "{}",
-            suite.section("Figure 10: DRAM loads vs promotions (bc_kron)", &tr.render_fig10())
-        );
-    }
-
-    if let Some(cmp) = suite.attempt("comparison", || Comparison::run(&cli.experiment)) {
-        println!(
-            "{}",
-            suite.section("Figure 11: object-level static mapping vs AutoNUMA", &cmp.render())
-        );
-    }
-
+    // Stderr only: stdout stays byte-identical across --jobs values.
+    eprintln!("jobs: {}", cli.experiment.jobs);
+    let suite = run_repro_suite(&cli.experiment, cli.inject_failure);
     print!("{}", suite.summary());
     cli.maybe_write_out(suite.output());
     std::process::exit(suite.exit_code());

@@ -11,6 +11,9 @@
 //! --scale N     graph scale (default 16; paper used 30/31)
 //! --degree N    average degree (default 16)
 //! --trials N    kernel trials (default 4)
+//! --jobs N      worker threads for independent experiment cells
+//!               (default: available parallelism; output bytes are
+//!               identical for every value)
 //! --out PATH    also write the printed output to a file
 //! ```
 
@@ -58,6 +61,10 @@ impl Cli {
                     cli.experiment.trials =
                         value("--trials")?.parse().map_err(|e| format!("bad --trials: {e}"))?;
                 }
+                "--jobs" => {
+                    cli.experiment.jobs =
+                        value("--jobs")?.parse().map_err(|e| format!("bad --jobs: {e}"))?;
+                }
                 "--out" => cli.out = Some(PathBuf::from(value("--out")?)),
                 "--inject-failure" => cli.inject_failure = true,
                 "--help" | "-h" => return Err(USAGE.to_string()),
@@ -66,6 +73,9 @@ impl Cli {
         }
         if cli.experiment.scale < 4 || cli.experiment.scale > 28 {
             return Err("--scale must be in 4..=28".to_string());
+        }
+        if cli.experiment.jobs == 0 {
+            return Err("--jobs must be at least 1".to_string());
         }
         Ok(cli)
     }
@@ -95,7 +105,7 @@ impl Cli {
 
 /// Usage text shared by the binaries.
 pub const USAGE: &str =
-    "usage: <bin> [--scale N] [--degree N] [--trials N] [--out PATH] [--inject-failure]";
+    "usage: <bin> [--scale N] [--degree N] [--trials N] [--jobs N] [--out PATH] [--inject-failure]";
 
 /// Runs a set of experiments where each may fail without killing the
 /// rest: `repro_all`'s continue-on-failure harness.
@@ -105,17 +115,43 @@ pub const USAGE: &str =
 /// on. At the end, [`summary`](ExperimentSuite::summary) reports what
 /// failed and [`exit_code`](ExperimentSuite::exit_code) is nonzero if
 /// anything did.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct ExperimentSuite {
     output: String,
     attempted: usize,
     failures: Vec<(String, String)>,
+    jobs: usize,
+}
+
+impl Default for ExperimentSuite {
+    fn default() -> Self {
+        ExperimentSuite {
+            output: String::new(),
+            attempted: 0,
+            failures: Vec::new(),
+            jobs: tiersim_core::sweep::default_jobs(),
+        }
+    }
 }
 
 impl ExperimentSuite {
-    /// An empty suite.
+    /// An empty suite with the default worker count.
     pub fn new() -> ExperimentSuite {
         ExperimentSuite::default()
+    }
+
+    /// Returns a copy with `jobs` worker threads for the experiments it
+    /// hosts. The suite only carries the knob (experiments read it from
+    /// their `ExperimentConfig`); recorded output never depends on it.
+    #[must_use]
+    pub fn with_jobs(mut self, jobs: usize) -> Self {
+        self.jobs = jobs.max(1);
+        self
+    }
+
+    /// Worker threads this suite was configured with.
+    pub fn jobs(&self) -> usize {
+        self.jobs
     }
 
     /// Records one rendered section and returns the text to display.
@@ -188,6 +224,95 @@ pub fn banner(what: &str, cli: &Cli) {
     );
 }
 
+/// Runs the full `repro_all` experiment suite: every reproduction
+/// experiment, sharing the six characterization runs across Tables 1–3
+/// and Figures 3–5, isolated so one failure never kills the rest.
+///
+/// Sections print to stdout as they complete and accumulate in the
+/// returned suite ([`ExperimentSuite::output`]). The recorded bytes are
+/// identical for every `experiment.jobs` value — the byte-identity test
+/// in `tests/parallel_sweep.rs` holds this function to that contract.
+pub fn run_repro_suite(experiment: &ExperimentConfig, inject_failure: bool) -> ExperimentSuite {
+    use tiersim_core::experiments::{AutonumaTrace, Characterization, Comparison, ObjectAnalysis};
+    use tiersim_core::CoreError;
+
+    let mut suite = ExperimentSuite::new().with_jobs(experiment.jobs);
+
+    if inject_failure {
+        // Deliberate failure to exercise the continue-on-failure path:
+        // everything below must still run and the exit code must be 1.
+        suite.attempt("injected failure", || {
+            Err::<(), _>(CoreError::InvalidConfig {
+                what: "injected failure",
+                got: "--inject-failure".to_string(),
+            })
+        });
+    }
+
+    if let Some(c) = suite.attempt("characterization", || Characterization::run(experiment)) {
+        for (title, body) in [
+            ("Figure 3: sample distribution across levels", c.render_fig3()),
+            ("Figure 4: page touch-count histogram", c.render_fig4()),
+            ("Figure 5: 2-touch reuse intervals (hottest NVM object)", c.render_fig5()),
+            ("Table 1: external access location", c.render_table1()),
+            ("Table 2: external latency cost split", c.render_table2()),
+            ("Table 3: external access cost by TLB outcome", c.render_table3()),
+        ] {
+            println!("{}", suite.section(title, &body));
+        }
+    }
+
+    if let Some(a) = suite.attempt("object analysis", || ObjectAnalysis::run(experiment)) {
+        println!(
+            "{}",
+            suite
+                .section("Figure 6: top objects by external samples (bc_kron)", &a.render_fig6(10))
+        );
+        if let Some(secs) = a.hottest_nvm_alloc_secs() {
+            let body = format!(
+                "peak live {:.2} MB over {} events; hottest NVM object allocated at t={secs:.4}s\n",
+                a.fig7().peak_bytes() as f64 / (1 << 20) as f64,
+                a.fig7().points.len(),
+            );
+            println!("{}", suite.section("Figure 7: allocation timeline (bc_kron)", &body));
+        }
+        if let Some(p) = a.fig8() {
+            let body = format!(
+                "{} samples, randomness metric {:.3}\n",
+                p.points.len(),
+                p.randomness().unwrap_or(0.0)
+            );
+            println!(
+                "{}",
+                suite.section("Figure 8: hottest NVM object access pattern (bc_kron)", &body)
+            );
+        }
+    }
+
+    if let Some(tr) = suite.attempt("autonuma trace", || AutonumaTrace::run(experiment)) {
+        println!(
+            "{}",
+            suite.section(
+                "Figure 9: memory usage and counters over time (bc_kron)",
+                &tr.render_fig9()
+            )
+        );
+        println!(
+            "{}",
+            suite.section("Figure 10: DRAM loads vs promotions (bc_kron)", &tr.render_fig10())
+        );
+    }
+
+    if let Some(cmp) = suite.attempt("comparison", || Comparison::run(experiment)) {
+        println!(
+            "{}",
+            suite.section("Figure 11: object-level static mapping vs AutoNUMA", &cmp.render())
+        );
+    }
+
+    suite
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -227,6 +352,22 @@ mod tests {
     fn parses_inject_failure_flag() {
         assert!(!parse(&[]).unwrap().inject_failure);
         assert!(parse(&["--inject-failure"]).unwrap().inject_failure);
+    }
+
+    #[test]
+    fn parses_and_validates_jobs() {
+        assert_eq!(parse(&["--jobs", "4"]).unwrap().experiment.jobs, 4);
+        assert_eq!(parse(&[]).unwrap().experiment.jobs, tiersim_core::sweep::default_jobs());
+        assert!(parse(&["--jobs", "0"]).is_err());
+        assert!(parse(&["--jobs", "many"]).is_err());
+        assert!(parse(&["--jobs"]).is_err());
+    }
+
+    #[test]
+    fn suite_carries_jobs_knob() {
+        assert_eq!(ExperimentSuite::new().jobs(), tiersim_core::sweep::default_jobs());
+        assert_eq!(ExperimentSuite::new().with_jobs(3).jobs(), 3);
+        assert_eq!(ExperimentSuite::new().with_jobs(0).jobs(), 1, "clamped to at least one worker");
     }
 
     #[test]

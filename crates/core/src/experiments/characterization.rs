@@ -106,13 +106,20 @@ impl Characterization {
     ///
     /// Propagates the first run error.
     pub fn run(cfg: &ExperimentConfig) -> Result<Characterization, CoreError> {
-        let mut reports = Vec::new();
-        let mut freq_hz = 0;
-        for w in cfg.workloads() {
-            let mc = cfg.machine_for(&w, TieringMode::AutoNuma);
-            freq_hz = mc.mem.freq_hz;
-            reports.push(crate::runner::run_workload(mc, w)?);
-        }
+        let freq_hz = cfg.machine(TieringMode::AutoNuma).mem.freq_hz;
+        // Each workload is an independent deterministic cell; run them on
+        // the sweep executor. Results come back in grid order, so error
+        // propagation picks the same (first) failure a serial loop would.
+        let cells: Vec<_> = cfg
+            .workloads()
+            .into_iter()
+            .map(|w| {
+                let mc = cfg.machine_for(&w, TieringMode::AutoNuma);
+                move || crate::runner::run_workload(mc, w)
+            })
+            .collect();
+        let reports =
+            crate::sweep::run_cells(cfg.jobs, cells).into_iter().collect::<Result<Vec<_>, _>>()?;
         Ok(Characterization { reports, freq_hz })
     }
 

@@ -64,13 +64,26 @@ impl Comparison {
     ///
     /// Propagates the first run error.
     pub fn run(cfg: &ExperimentConfig) -> Result<Comparison, CoreError> {
-        let mut rows = Vec::new();
+        // Expand the workload grid into (workload, spill) cells up front
+        // so the sweep executor can run each AutoNUMA/static pair
+        // concurrently; row order (and first-error choice) matches the
+        // old serial loop exactly.
+        let mut specs = Vec::new();
         for w in cfg.workloads() {
-            rows.push(Self::compare(cfg, w, false)?);
+            specs.push((w, false));
             if w.kernel == Kernel::Cc {
-                rows.push(Self::compare(cfg, w, true)?);
+                specs.push((w, true));
             }
         }
+        let cells: Vec<_> = specs
+            .into_iter()
+            .map(|(w, spill)| {
+                let cfg = *cfg;
+                move || Self::compare(&cfg, w, spill)
+            })
+            .collect();
+        let rows =
+            crate::sweep::run_cells(cfg.jobs, cells).into_iter().collect::<Result<Vec<_>, _>>()?;
         Ok(Comparison { rows })
     }
 

@@ -38,11 +38,21 @@ pub struct ExperimentConfig {
     pub trials: usize,
     /// Sampling period.
     pub sample_period: u64,
+    /// Worker threads for independent experiment cells (workload runs).
+    /// Output bytes are identical for every value — see
+    /// [`crate::sweep::run_cells`] and DESIGN.md §10.
+    pub jobs: usize,
 }
 
 impl Default for ExperimentConfig {
     fn default() -> Self {
-        ExperimentConfig { scale: 16, degree: 16, trials: 4, sample_period: 9973 }
+        ExperimentConfig {
+            scale: 16,
+            degree: 16,
+            trials: 4,
+            sample_period: 9973,
+            jobs: crate::sweep::default_jobs(),
+        }
     }
 }
 
@@ -85,6 +95,7 @@ impl ExperimentConfig {
         let reference = self.workload(Kernel::Bc, Dataset::Kron);
         let mut cfg = MachineConfig::scaled_default(reference.steady_app_bytes(), mode);
         cfg.sample_period = self.sample_period;
+        cfg.jobs = self.jobs;
         cfg
     }
 
@@ -109,7 +120,7 @@ impl ExperimentConfig {
 pub(crate) fn tiny_config() -> ExperimentConfig {
     // Scale 12 keeps tests fast while still putting the footprint well
     // above the scaled DRAM capacity (the paper's premise).
-    ExperimentConfig { scale: 12, degree: 8, trials: 1, sample_period: 97 }
+    ExperimentConfig { scale: 12, degree: 8, trials: 1, sample_period: 97, jobs: 1 }
 }
 
 #[cfg(test)]
@@ -118,7 +129,7 @@ mod tests {
 
     #[test]
     fn workload_grid_is_configured() {
-        let cfg = ExperimentConfig { scale: 12, degree: 8, trials: 3, sample_period: 101 };
+        let cfg = ExperimentConfig { scale: 12, degree: 8, trials: 3, sample_period: 101, jobs: 1 };
         let ws = cfg.workloads();
         assert_eq!(ws.len(), 6);
         assert!(ws.iter().all(|w| w.degree == 8));

@@ -38,6 +38,7 @@ mod machine;
 pub mod render;
 mod report;
 mod runner;
+pub mod sweep;
 mod timeline;
 mod workload;
 

@@ -1,0 +1,160 @@
+//! Deterministic parallel execution of independent experiment cells.
+//!
+//! Experiment cells (one `run_workload` invocation, one AutoNUMA/static
+//! pair, …) are independent deterministic simulations: they share no
+//! mutable state and each produces the same bytes no matter when or where
+//! it runs. [`run_cells`] exploits that: a fixed-size pool of scoped
+//! workers drains the cells in whatever order scheduling dictates, but
+//! every result lands in a slot keyed by its *cell index*, so callers
+//! render reports and CSVs in exactly the serial order. The determinism
+//! contract (DESIGN.md §10) follows: output bytes are a function of the
+//! cells alone, never of `jobs`.
+//!
+//! This module is the **only** place in the workspace allowed to start
+//! threads — the `thread-spawn` lint rule (`cargo xtask lint`) enforces
+//! that, and `std::thread::scope` guarantees every worker is joined
+//! before `run_cells` returns, so no simulation ever outlives the sweep
+//! that launched it.
+
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+/// The default worker count: the host's available parallelism, falling
+/// back to 1 when it cannot be determined.
+pub fn default_jobs() -> usize {
+    std::thread::available_parallelism().map(usize::from).unwrap_or(1)
+}
+
+/// Mutex lock that shrugs off poisoning: a poisoned cell slot only means
+/// another worker panicked, and panics are re-raised deterministically
+/// after the sweep — the data under the lock is still valid.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Runs every cell and returns the results in cell-index order.
+///
+/// With `jobs <= 1` (or fewer than two cells) the cells run serially on
+/// the calling thread in index order — the exact pre-parallelism
+/// behavior, with zero thread overhead. Otherwise `min(jobs, cells)`
+/// scoped workers claim cell indices from an atomic counter; results are
+/// written to per-cell slots, so the returned vector is identical to the
+/// serial one regardless of scheduling.
+///
+/// # Panics
+///
+/// If any cell panics, the payload of the **lowest-index** panicking cell
+/// is re-raised once all workers have finished — the same cell a serial
+/// run would have panicked at, keeping even failure behavior independent
+/// of `jobs`.
+pub fn run_cells<T, F>(jobs: usize, cells: Vec<F>) -> Vec<T>
+where
+    T: Send,
+    F: FnOnce() -> T + Send,
+{
+    if jobs <= 1 || cells.len() <= 1 {
+        return cells.into_iter().map(|f| f()).collect();
+    }
+    let n = cells.len();
+    let work: Vec<Mutex<Option<F>>> = cells.into_iter().map(|f| Mutex::new(Some(f))).collect();
+    let results: Vec<Mutex<Option<std::thread::Result<T>>>> =
+        (0..n).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    let workers = jobs.min(n);
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                // Run the cell *outside* the slot locks so a panicking
+                // cell can never poison them mid-execution.
+                let Some(cell) = lock(&work[i]).take() else { continue };
+                let outcome = catch_unwind(AssertUnwindSafe(cell));
+                *lock(&results[i]) = Some(outcome);
+            });
+        }
+    });
+    let mut out = Vec::with_capacity(n);
+    let mut first_panic = None;
+    for slot in results {
+        match slot.into_inner().unwrap_or_else(PoisonError::into_inner) {
+            Some(Ok(value)) => out.push(value),
+            Some(Err(payload)) => {
+                if first_panic.is_none() {
+                    first_panic = Some(payload);
+                }
+            }
+            // Unreachable: the atomic counter hands every index < n to
+            // exactly one worker, and scope() joins them all.
+            None => unreachable!("sweep cell was never executed"),
+        }
+    }
+    if let Some(payload) = first_panic {
+        resume_unwind(payload);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serial_and_parallel_results_are_identical() {
+        let make = || (0..64).map(|i| move || i * i).collect::<Vec<_>>();
+        let serial = run_cells(1, make());
+        for jobs in [2, 3, 4, 8, 64, 1000] {
+            assert_eq!(run_cells(jobs, make()), serial, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn empty_and_single_cell_sweeps_work() {
+        let empty: Vec<fn() -> u32> = Vec::new();
+        assert!(run_cells(8, empty).is_empty());
+        assert_eq!(run_cells(8, vec![|| 41 + 1]), vec![42]);
+    }
+
+    #[test]
+    fn results_preserve_index_order_under_skewed_cell_costs() {
+        // Early cells are the slowest, so parallel completion order is
+        // roughly reversed — results must still come back by index.
+        let cells: Vec<_> = (0..16u64)
+            .map(|i| {
+                move || {
+                    let mut acc = 0u64;
+                    for k in 0..(16 - i) * 20_000 {
+                        acc = acc.wrapping_mul(31).wrapping_add(k);
+                    }
+                    (i, acc)
+                }
+            })
+            .collect();
+        let got = run_cells(4, cells);
+        let idx: Vec<u64> = got.iter().map(|(i, _)| *i).collect();
+        assert_eq!(idx, (0..16).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn lowest_index_panic_wins() {
+        for jobs in [1, 4] {
+            let cells: Vec<Box<dyn FnOnce() -> u32 + Send>> = vec![
+                Box::new(|| 0),
+                Box::new(|| panic!("cell one")),
+                Box::new(|| 2),
+                Box::new(|| panic!("cell three")),
+            ];
+            let err = catch_unwind(AssertUnwindSafe(|| run_cells(jobs, cells))).unwrap_err();
+            let msg = err.downcast_ref::<&str>().copied().unwrap_or("");
+            assert_eq!(msg, "cell one", "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn default_jobs_is_positive() {
+        assert!(default_jobs() >= 1);
+    }
+}

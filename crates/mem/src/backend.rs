@@ -29,6 +29,27 @@ pub trait MemBackend {
     /// Issues a store of `bytes` bytes at `addr`.
     fn store(&mut self, addr: VirtAddr, bytes: u32);
 
+    /// Issues `count` sequential loads of one `stride`-byte element each,
+    /// element `i` at `addr + i * stride`.
+    ///
+    /// The default implementation is the plain per-element loop, so every
+    /// backend behaves identically by construction; backends with a
+    /// batched fast path may override it, but must keep all observable
+    /// behavior bit-equal to the loop.
+    fn load_run(&mut self, addr: VirtAddr, stride: u32, count: u64) {
+        for i in 0..count {
+            self.load(addr + i * u64::from(stride), stride);
+        }
+    }
+
+    /// Issues `count` sequential stores of one `stride`-byte element
+    /// each; the batched dual of [`MemBackend::load_run`].
+    fn store_run(&mut self, addr: VirtAddr, stride: u32, count: u64) {
+        for i in 0..count {
+            self.store(addr + i * u64::from(stride), stride);
+        }
+    }
+
     /// Sets the logical thread subsequent operations are attributed to.
     fn set_thread(&mut self, _tid: ThreadId) {}
 
@@ -107,6 +128,14 @@ impl MemBackend for NullBackend {
     fn store(&mut self, _addr: VirtAddr, _bytes: u32) {
         self.stores += 1;
     }
+
+    fn load_run(&mut self, _addr: VirtAddr, _stride: u32, count: u64) {
+        self.loads += count;
+    }
+
+    fn store_run(&mut self, _addr: VirtAddr, _stride: u32, count: u64) {
+        self.stores += count;
+    }
 }
 
 impl<B: MemBackend + ?Sized> MemBackend for &mut B {
@@ -121,6 +150,12 @@ impl<B: MemBackend + ?Sized> MemBackend for &mut B {
     }
     fn store(&mut self, addr: VirtAddr, bytes: u32) {
         (**self).store(addr, bytes)
+    }
+    fn load_run(&mut self, addr: VirtAddr, stride: u32, count: u64) {
+        (**self).load_run(addr, stride, count)
+    }
+    fn store_run(&mut self, addr: VirtAddr, stride: u32, count: u64) {
+        (**self).store_run(addr, stride, count)
     }
     fn set_thread(&mut self, tid: ThreadId) {
         (**self).set_thread(tid)
@@ -144,6 +179,57 @@ mod tests {
         let c = b.mmap(1, "b");
         assert!(c.raw() >= a.raw() + 8192);
         assert_eq!(b.mmaps(), 2);
+    }
+
+    #[test]
+    fn run_defaults_match_per_element_loop() {
+        /// Override-free backend: exercises the default `*_run` loops.
+        #[derive(Default)]
+        struct Plain {
+            log: Vec<(u64, u32, bool)>,
+        }
+        impl MemBackend for Plain {
+            fn mmap(&mut self, _len: u64, _label: &str) -> VirtAddr {
+                VirtAddr::new(crate::vma::MMAP_BASE)
+            }
+            fn munmap(&mut self, _addr: VirtAddr) {}
+            fn load(&mut self, addr: VirtAddr, bytes: u32) {
+                self.log.push((addr.raw(), bytes, false));
+            }
+            fn store(&mut self, addr: VirtAddr, bytes: u32) {
+                self.log.push((addr.raw(), bytes, true));
+            }
+        }
+        let mut a = Plain::default();
+        let mut b = Plain::default();
+        let base = a.mmap(64, "x");
+        a.load_run(base, 8, 5);
+        a.store_run(base + 64, 4, 3);
+        for i in 0..5 {
+            b.load(base + i * 8, 8);
+        }
+        for i in 0..3 {
+            b.store(base + 64 + i * 4, 4);
+        }
+        assert_eq!(a.log, b.log);
+    }
+
+    #[test]
+    fn null_backend_bulk_counts_match_loop() {
+        let mut bulk = NullBackend::new();
+        let mut looped = NullBackend::new();
+        let a = bulk.mmap(4096, "a");
+        looped.mmap(4096, "a");
+        bulk.load_run(a, 8, 100);
+        bulk.store_run(a, 8, 40);
+        for i in 0..100 {
+            looped.load(a + i * 8, 8);
+        }
+        for i in 0..40 {
+            looped.store(a + i * 8, 8);
+        }
+        assert_eq!(bulk.loads(), looped.loads());
+        assert_eq!(bulk.stores(), looped.stores());
     }
 
     #[test]

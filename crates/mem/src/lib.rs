@@ -81,7 +81,7 @@ pub use page::{PageFlags, PageInfo};
 pub use page_table::PageTable;
 pub use simvec::SimVec;
 pub use stats::AccessStats;
-pub use system::{MemorySystem, UnmapReport};
+pub use system::{MemorySystem, RunFault, RunOutcome, UnmapReport};
 pub use tier::{MemLevel, Tier};
 pub use tlb::{Tlb, TlbOutcome, TlbStats};
 pub use vma::{MemPolicy, Vma, VmaId, VmaTable, MMAP_BASE};

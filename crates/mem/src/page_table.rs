@@ -15,6 +15,13 @@ use crate::vma::MMAP_BASE;
 pub struct PageTable {
     entries: Vec<Option<PageInfo>>,
     resident: [u64; 2],
+    /// One-entry last-translation cache: `(page index, slot)` of the most
+    /// recent successful slot computation. The page→slot mapping is pure
+    /// arithmetic (never remapped), so the entry can never go stale; it
+    /// only short-circuits the checked subtraction + narrowing on the
+    /// access fast path, where consecutive lookups overwhelmingly target
+    /// the same page.
+    last: Option<(u64, usize)>,
 }
 
 impl PageTable {
@@ -28,6 +35,19 @@ impl PageTable {
         pn.index().checked_sub(MMAP_BASE >> PAGE_SHIFT).and_then(|i| usize::try_from(i).ok())
     }
 
+    /// [`PageTable::slot`] through the one-entry last-translation cache.
+    #[inline]
+    fn slot_cached(&mut self, pn: PageNum) -> Option<usize> {
+        if let Some((last_pn, slot)) = self.last {
+            if last_pn == pn.index() {
+                return Some(slot);
+            }
+        }
+        let slot = Self::slot(pn)?;
+        self.last = Some((pn.index(), slot));
+        Some(slot)
+    }
+
     /// Returns the metadata of a resident page.
     #[inline]
     pub fn get(&self, pn: PageNum) -> Option<&PageInfo> {
@@ -38,7 +58,7 @@ impl PageTable {
     /// Returns mutable metadata of a resident page.
     #[inline]
     pub fn get_mut(&mut self, pn: PageNum) -> Option<&mut PageInfo> {
-        let slot = Self::slot(pn)?;
+        let slot = self.slot_cached(pn)?;
         self.entries.get_mut(slot)?.as_mut()
     }
 
@@ -160,6 +180,23 @@ mod tests {
         let pt = PageTable::new();
         assert!(pt.get(PageNum::new(0)).is_none());
         assert!(!pt.is_resident(PageNum::new(1)));
+    }
+
+    #[test]
+    fn last_translation_cache_is_transparent() {
+        let mut pt = PageTable::new();
+        pt.insert(pn(4), PageInfo::new(Tier::Dram, 0));
+        pt.insert(pn(9), PageInfo::new(Tier::Nvm, 0));
+        // Repeated and alternating mutable lookups resolve through the
+        // one-entry cache without ever returning the wrong slot.
+        for _ in 0..3 {
+            assert_eq!(pt.get_mut(pn(4)).unwrap().tier, Tier::Dram);
+            assert_eq!(pt.get_mut(pn(9)).unwrap().tier, Tier::Nvm);
+            assert!(pt.get_mut(PageNum::new(1)).is_none());
+        }
+        // Removal is visible through the cached slot immediately.
+        pt.remove(pn(4));
+        assert!(pt.get_mut(pn(4)).is_none());
     }
 
     #[test]

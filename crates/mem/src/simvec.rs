@@ -113,10 +113,24 @@ impl<T: Copy> SimVec<T> {
         new
     }
 
-    /// Fills the whole vector, charging a sequential store stream.
+    /// Fills the whole vector, charging a sequential store stream (the
+    /// backend may batch it; equivalent to [`SimVec::set`] in a loop).
     pub fn fill<B: MemBackend>(&mut self, backend: &mut B, value: T) {
-        for i in 0..self.data.len() {
-            self.set(backend, i, value);
+        self.data.fill(value);
+        backend.store_run(self.base, size_of::<T>() as u32, self.data.len() as u64);
+    }
+
+    /// Visits every element in index order, charging one sequential load
+    /// stream (the backend may batch it).
+    ///
+    /// Equivalent to calling [`SimVec::get`] for `0..len()`; use it for
+    /// pure read sweeps — index scans, reduction passes — so backends
+    /// with a fast lane can charge the stream per cache line instead of
+    /// per element. The visitor must not touch the backend.
+    pub fn scan<B: MemBackend>(&self, backend: &mut B, mut f: impl FnMut(usize, T)) {
+        backend.load_run(self.base, size_of::<T>() as u32, self.data.len() as u64);
+        for (i, &v) in self.data.iter().enumerate() {
+            f(i, v);
         }
     }
 
@@ -183,6 +197,29 @@ mod tests {
         assert_eq!(new, 6);
         assert_eq!(m.loads(), 1);
         assert_eq!(m.stores(), 1);
+    }
+
+    #[test]
+    fn scan_visits_all_elements_and_charges_loads() {
+        let mut m = NullBackend::new();
+        let mut v = SimVec::new(&mut m, "v", 6, 0u64);
+        for i in 0..6 {
+            v.set(&mut m, i, i as u64 * 2);
+        }
+        let loads_before = m.loads();
+        let mut seen = Vec::new();
+        v.scan(&mut m, |i, x| seen.push((i, x)));
+        assert_eq!(m.loads() - loads_before, 6);
+        assert_eq!(seen, vec![(0, 0), (1, 2), (2, 4), (3, 6), (4, 8), (5, 10)]);
+    }
+
+    #[test]
+    fn fill_charges_one_store_per_element() {
+        let mut m = NullBackend::new();
+        let mut v = SimVec::new(&mut m, "v", 9, 0u32);
+        v.fill(&mut m, 7);
+        assert_eq!(m.stores(), 9);
+        assert!(v.host().iter().all(|&x| x == 7));
     }
 
     #[test]

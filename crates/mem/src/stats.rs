@@ -32,28 +32,47 @@ pub struct AccessStats {
 
 impl AccessStats {
     /// Records one completed access.
+    ///
+    /// Branch-free on the hot path: every counter update is unconditional
+    /// arithmetic on 0/1 masks, so the data-dependent mix of loads/stores,
+    /// TLB misses and hint faults never perturbs the branch predictor.
     #[inline]
     pub fn record(&mut self, kind: crate::access::AccessKind, outcome: &AccessOutcome) {
-        if kind.is_store() {
-            self.stores += 1;
-        } else {
-            self.loads += 1;
-        }
+        let is_store = u64::from(kind.is_store());
+        self.stores += is_store;
+        self.loads += 1 - is_store;
         let li = outcome.level.index();
         self.level_counts[li] += 1;
         self.level_cycles[li] += outcome.cycles;
-        if outcome.tlb_miss {
-            self.tlb_misses += 1;
-        }
-        if outcome.hint_fault {
-            self.hint_faults += 1;
-        }
-        if let Some(tier) = outcome.level.tier() {
-            let ti = tier.index();
-            let mi = outcome.tlb_miss as usize;
-            self.external_counts[ti][mi] += 1;
-            self.external_cycles[ti][mi] += outcome.cycles;
-        }
+        self.tlb_misses += u64::from(outcome.tlb_miss);
+        self.hint_faults += u64::from(outcome.hint_fault);
+        // External accesses: fold the Option into an 0/1 multiplier so the
+        // bucket update is unconditional (index 0 is written with +0 for
+        // cache-level accesses).
+        let (ti, ext) = match outcome.level.tier() {
+            Some(tier) => (tier.index(), 1u64),
+            None => (0, 0),
+        };
+        let mi = usize::from(outcome.tlb_miss);
+        self.external_counts[ti][mi] += ext;
+        self.external_cycles[ti][mi] += ext * outcome.cycles;
+    }
+
+    /// Records `n` repeat accesses that hit L1 with latency `l1_latency`
+    /// each and neither missed the TLB nor raised a hint fault.
+    ///
+    /// This is the bulk half of the sequential fast lane
+    /// ([`MemorySystem::access_run`](crate::MemorySystem::access_run)): it
+    /// is exactly equivalent to calling [`AccessStats::record`] `n` times
+    /// with an L1-hit outcome of `l1_latency` cycles.
+    #[inline]
+    pub fn record_l1_run(&mut self, kind: crate::access::AccessKind, n: u64, l1_latency: u64) {
+        let is_store = u64::from(kind.is_store());
+        self.stores += is_store * n;
+        self.loads += (1 - is_store) * n;
+        let li = MemLevel::L1.index();
+        self.level_counts[li] += n;
+        self.level_cycles[li] += n * l1_latency;
     }
 
     /// Total accesses.
@@ -121,6 +140,21 @@ mod tests {
         assert!((s.external_fraction() - 2.0 / 3.0).abs() < 1e-12);
         assert_eq!(s.external_on(Tier::Nvm), 1);
         assert_eq!(s.tlb_misses, 1);
+    }
+
+    #[test]
+    fn record_l1_run_matches_repeated_record() {
+        let mut bulk = AccessStats::default();
+        let mut looped = AccessStats::default();
+        bulk.record_l1_run(AccessKind::Load, 7, 4);
+        bulk.record_l1_run(AccessKind::Store, 3, 4);
+        for _ in 0..7 {
+            looped.record(AccessKind::Load, &outcome(MemLevel::L1, 4, false));
+        }
+        for _ in 0..3 {
+            looped.record(AccessKind::Store, &outcome(MemLevel::L1, 4, false));
+        }
+        assert_eq!(bulk, looped);
     }
 
     #[test]

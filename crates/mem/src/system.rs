@@ -27,6 +27,34 @@ const PTE_BASE: u64 = 1 << 46;
 /// Lines per page (4096 / 64).
 const LINES_PER_PAGE: u64 = PAGE_SIZE >> LINE_SHIFT;
 
+/// Totals of a completed sequential run (see
+/// [`MemorySystem::access_run`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RunOutcome {
+    /// Elements accessed.
+    pub elems: u64,
+    /// Total latency cycles charged across the run.
+    pub cycles: u64,
+    /// Distinct cache lines entered (full-path accesses).
+    pub lines: u64,
+    /// Page walks performed.
+    pub tlb_misses: u64,
+    /// Hint faults raised.
+    pub hint_faults: u64,
+}
+
+/// A fault partway through a sequential run: `done` elements completed
+/// (and stay charged) before `error` was raised at element `done`.
+#[derive(Debug)]
+pub struct RunFault {
+    /// Elements fully charged before the fault.
+    pub done: u64,
+    /// Cycles charged for the completed prefix.
+    pub cycles: u64,
+    /// The fault itself, exactly as the per-element path reports it.
+    pub error: AccessError,
+}
+
 /// Summary of an `munmap` call.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct UnmapReport {
@@ -462,6 +490,97 @@ impl MemorySystem {
         Ok(outcome)
     }
 
+    /// Performs `count` sequential accesses of one `stride`-byte element
+    /// each, element `i` at `addr + i * stride` — the batched fast lane
+    /// for streaming loops.
+    ///
+    /// The first element of every cache line takes the full
+    /// [`MemorySystem::access`] path. The remaining elements of that line
+    /// are *provably* free DTLB hits plus L1 hits that leave all
+    /// replacement state untouched (re-touching a set's MRU way is a
+    /// no-op, and a store re-marks an already-dirty line), so they are
+    /// charged in bulk: every observable counter — [`AccessStats`], TLB,
+    /// cache and device statistics — and the total cycle count are
+    /// bit-equal to the per-element loop. The equivalence is enforced by
+    /// a property test against the retained reference path.
+    ///
+    /// # Errors
+    ///
+    /// On a page fault or segfault the completed prefix stays charged and
+    /// [`RunFault`] reports how far the run got; the caller services the
+    /// fault and resumes from `done`, exactly as it would retry a single
+    /// [`MemorySystem::access`].
+    pub fn access_run(
+        &mut self,
+        addr: VirtAddr,
+        stride: u32,
+        count: u64,
+        kind: AccessKind,
+        now: u64,
+    ) -> Result<RunOutcome, RunFault> {
+        let stride = u64::from(stride.max(1));
+        let mut out = RunOutcome::default();
+        let mut i = 0u64;
+        while i < count {
+            let a = addr + i * stride;
+            let first = match self.access(a, kind, now) {
+                Ok(o) => o,
+                Err(error) => return Err(RunFault { done: i, cycles: out.cycles, error }),
+            };
+            out.lines += 1;
+            out.cycles += first.cycles;
+            out.tlb_misses += u64::from(first.tlb_miss);
+            out.hint_faults += u64::from(first.hint_fault);
+            // Index of the last element still on this cache line.
+            let line_end = (a.line() + 1) << LINE_SHIFT;
+            let j_last = ((line_end - 1 - addr.raw()) / stride).min(count - 1);
+            let bulk = j_last - i;
+            if bulk > 0 {
+                let lat = self.l1.latency();
+                self.tlb.record_l1_hit_run(bulk);
+                self.l1.record_hit_run(bulk);
+                self.stats.record_l1_run(kind, bulk, lat);
+                out.cycles += bulk * lat;
+            }
+            out.elems += bulk + 1;
+            i = j_last + 1;
+        }
+        Ok(out)
+    }
+
+    /// The pre-fast-lane reference path: the same run issued strictly
+    /// element by element through [`MemorySystem::access`]. Retained only
+    /// to pin `access_run` equivalence in the property tests.
+    #[cfg(test)]
+    pub(crate) fn access_run_ref(
+        &mut self,
+        addr: VirtAddr,
+        stride: u32,
+        count: u64,
+        kind: AccessKind,
+        now: u64,
+    ) -> Result<RunOutcome, RunFault> {
+        let stride = u64::from(stride.max(1));
+        let mut out = RunOutcome::default();
+        let mut prev_line = None;
+        for i in 0..count {
+            let a = addr + i * stride;
+            let o = match self.access(a, kind, now) {
+                Ok(o) => o,
+                Err(error) => return Err(RunFault { done: i, cycles: out.cycles, error }),
+            };
+            out.elems += 1;
+            out.cycles += o.cycles;
+            out.tlb_misses += u64::from(o.tlb_miss);
+            out.hint_faults += u64::from(o.hint_fault);
+            if prev_line != Some(a.line()) {
+                out.lines += 1;
+                prev_line = Some(a.line());
+            }
+        }
+        Ok(out)
+    }
+
     // ----- statistics ----------------------------------------------------
 
     /// Aggregate access statistics.
@@ -714,6 +833,152 @@ mod tests {
         }
         assert!(ext > lines / 2, "cold pass should be mostly external");
         cycles as f64 / ext as f64
+    }
+
+    /// Every observable number of a system, for fast-lane equivalence
+    /// checks.
+    fn fingerprint(s: &MemorySystem) -> String {
+        format!(
+            "{:?}|{:?}|{:?}|{:?}|{:?}|{:?}|{:?}",
+            s.stats(),
+            s.tlb_stats(),
+            s.cache_stats(),
+            s.dram_stats(),
+            s.nvm_stats(),
+            s.fault_stats(),
+            s.resident_pages().map(|(p, i)| (p, *i)).collect::<Vec<_>>(),
+        )
+    }
+
+    /// Drives `runs` through either the fast lane or the reference path,
+    /// servicing page faults with a tier chosen from the page number, and
+    /// logs everything observable along the way.
+    fn drive_runs(
+        mut s: MemorySystem,
+        base: VirtAddr,
+        runs: &[(u64, u32, u64, bool)],
+        fast: bool,
+    ) -> (Vec<String>, MemorySystem) {
+        let mut log = Vec::new();
+        for (ri, &(off, stride, count, is_store)) in runs.iter().enumerate() {
+            let kind = if is_store { AccessKind::Store } else { AccessKind::Load };
+            let now = ri as u64 * 1000;
+            let stride64 = u64::from(stride.max(1));
+            let mut start = 0u64;
+            while start <= count {
+                let addr = base + off + start * stride64;
+                let remaining = count - start;
+                let res = if fast {
+                    s.access_run(addr, stride, remaining, kind, now)
+                } else {
+                    s.access_run_ref(addr, stride, remaining, kind, now)
+                };
+                match res {
+                    Ok(out) => {
+                        log.push(format!("{ri}@{start}: {out:?}"));
+                        break;
+                    }
+                    Err(rf) => {
+                        log.push(format!("{ri}@{start}: fault after {} ({:?})", rf.done, rf.error));
+                        let AccessError::Fault(pf) = rf.error else { break };
+                        let tier = if pf.page.index() % 2 == 0 { Tier::Dram } else { Tier::Nvm };
+                        s.map_page(pf.page, tier, now).unwrap();
+                        start += rf.done;
+                    }
+                }
+            }
+        }
+        (log, s)
+    }
+
+    proptest::proptest! {
+        /// The batched fast lane is observation-equivalent to the
+        /// per-element reference path: identical run outcomes, identical
+        /// fault sequences, and bit-equal access/TLB/cache/device stats.
+        #[test]
+        fn prop_access_run_matches_reference(
+            maps in proptest::collection::vec(0u8..3, 32),
+            hints in proptest::collection::vec(proptest::bool::ANY, 32),
+            raw_runs in proptest::collection::vec(
+                (0u64..32 * PAGE_SIZE, 1u32..130, 0u64..300, proptest::bool::ANY),
+                1..10,
+            ),
+        ) {
+            let mut s = MemorySystem::new(
+                MemConfig::builder()
+                    .dram_capacity(128 * PAGE_SIZE)
+                    .nvm_capacity(128 * PAGE_SIZE)
+                    .build()
+                    .unwrap(),
+            )
+            .unwrap();
+            let base = s.mmap(32 * PAGE_SIZE, MemPolicy::Default, "run").unwrap();
+            for (i, &m) in maps.iter().enumerate() {
+                let pn = (base + i as u64 * PAGE_SIZE).page();
+                match m {
+                    1 => s.map_page(pn, Tier::Dram, 0).unwrap(),
+                    2 => s.map_page(pn, Tier::Nvm, 0).unwrap(),
+                    _ => continue,
+                }
+                if hints[i] {
+                    s.mark_hint(pn, 7);
+                }
+            }
+            // Clamp each run inside the region so only first-touch faults
+            // (never segfaults) occur.
+            let runs: Vec<(u64, u32, u64, bool)> = raw_runs
+                .into_iter()
+                .map(|(off, stride, count, st)| {
+                    let max = (32 * PAGE_SIZE - off) / u64::from(stride.max(1));
+                    (off, stride, count.min(max), st)
+                })
+                .collect();
+            let twin = s.clone();
+            let (log_fast, s_fast) = drive_runs(s, base, &runs, true);
+            let (log_ref, s_ref) = drive_runs(twin, base, &runs, false);
+            proptest::prop_assert_eq!(log_fast, log_ref);
+            proptest::prop_assert_eq!(fingerprint(&s_fast), fingerprint(&s_ref));
+        }
+    }
+
+    #[test]
+    fn access_run_segfault_reports_progress() {
+        let mut s = sys();
+        let a = s.mmap(PAGE_SIZE, MemPolicy::Default, "one").unwrap();
+        s.map_page(a.page(), Tier::Dram, 0).unwrap();
+        // 8-byte elements: the run walks off the end of the single-page
+        // VMA after 512 elements.
+        let rf = s.access_run(a, 8, 600, AccessKind::Load, 0).unwrap_err();
+        assert_eq!(rf.done, 512);
+        assert!(rf.cycles > 0);
+        assert!(matches!(rf.error, AccessError::Segfault { .. }));
+    }
+
+    #[test]
+    fn access_run_memory_mode_matches_reference() {
+        let build = || {
+            let mut s = MemorySystem::new(
+                MemConfig::builder()
+                    .dram_capacity(16 * PAGE_SIZE)
+                    .nvm_capacity(64 * PAGE_SIZE)
+                    .memory_mode(true)
+                    .build()
+                    .unwrap(),
+            )
+            .unwrap();
+            let a = s.mmap(8 * PAGE_SIZE, MemPolicy::Default, "mm").unwrap();
+            for i in 0..8 {
+                s.map_page((a + i * PAGE_SIZE).page(), Tier::Nvm, 0).unwrap();
+            }
+            (s, a)
+        };
+        let (mut f, a) = build();
+        let (mut r, _) = build();
+        let out_f = f.access_run(a, 4, 4096, AccessKind::Store, 5).unwrap();
+        let out_r = r.access_run_ref(a, 4, 4096, AccessKind::Store, 5).unwrap();
+        assert_eq!(out_f, out_r);
+        assert_eq!(fingerprint(&f), fingerprint(&r));
+        assert_eq!(f.memory_mode_stats(), r.memory_mode_stats());
     }
 
     #[test]

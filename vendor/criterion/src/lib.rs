@@ -1,7 +1,7 @@
 //! Offline stub of `criterion` covering the API tiersim's benches use:
 //! `Criterion::benchmark_group`, `sample_size`, `bench_function`,
-//! `Bencher::iter`, `black_box`, and the `criterion_group!` /
-//! `criterion_main!` macros.
+//! `Bencher::iter`, `black_box`, `Throughput`/`BenchmarkGroup::throughput`,
+//! and the `criterion_group!` / `criterion_main!` macros.
 //!
 //! Instead of statistical sampling, each benchmark body runs a small
 //! fixed number of iterations and the mean wall time is printed. When
@@ -21,6 +21,16 @@ fn iterations() -> u32 {
     }
 }
 
+/// The amount of work one benchmark iteration performs, for rate
+/// reporting (real criterion's `Throughput`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Each iteration processes this many elements.
+    Elements(u64),
+    /// Each iteration processes this many bytes.
+    Bytes(u64),
+}
+
 /// Top-level benchmark driver.
 #[derive(Debug, Default)]
 pub struct Criterion {}
@@ -28,7 +38,7 @@ pub struct Criterion {}
 impl Criterion {
     /// Starts a named group of related benchmarks.
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
-        BenchmarkGroup { _criterion: self, name: name.into() }
+        BenchmarkGroup { _criterion: self, name: name.into(), throughput: None }
     }
 
     /// Runs a standalone benchmark.
@@ -36,7 +46,7 @@ impl Criterion {
     where
         F: FnMut(&mut Bencher),
     {
-        run_one(&name.into(), f);
+        run_one(&name.into(), None, f);
         self
     }
 }
@@ -46,6 +56,7 @@ impl Criterion {
 pub struct BenchmarkGroup<'a> {
     _criterion: &'a mut Criterion,
     name: String,
+    throughput: Option<Throughput>,
 }
 
 impl BenchmarkGroup<'_> {
@@ -54,12 +65,19 @@ impl BenchmarkGroup<'_> {
         self
     }
 
+    /// Declares the per-iteration work of subsequent benchmarks in this
+    /// group; their reports gain an elements/sec (or bytes/sec) rate.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
     /// Runs one benchmark in this group.
     pub fn bench_function<F>(&mut self, name: impl Into<String>, f: F) -> &mut Self
     where
         F: FnMut(&mut Bencher),
     {
-        run_one(&format!("{}/{}", self.name, name.into()), f);
+        run_one(&format!("{}/{}", self.name, name.into()), self.throughput, f);
         self
     }
 
@@ -67,11 +85,30 @@ impl BenchmarkGroup<'_> {
     pub fn finish(self) {}
 }
 
-fn run_one<F: FnMut(&mut Bencher)>(name: &str, mut f: F) {
+fn run_one<F: FnMut(&mut Bencher)>(name: &str, throughput: Option<Throughput>, mut f: F) {
     let mut b = Bencher { elapsed_ns: 0, timed_iters: 0 };
     f(&mut b);
     let mean = if b.timed_iters == 0 { 0 } else { b.elapsed_ns / u128::from(b.timed_iters) };
-    println!("bench {name}: {mean} ns/iter ({} iters)", b.timed_iters);
+    let rate = throughput_suffix(throughput, mean);
+    println!("bench {name}: {mean} ns/iter ({} iters){rate}", b.timed_iters);
+}
+
+/// Formats the rate suffix for a mean iteration time, e.g.
+/// `", 12345678 elem/s"`. Empty when no throughput was declared or the
+/// iteration was too fast to time.
+fn throughput_suffix(throughput: Option<Throughput>, mean_ns: u128) -> String {
+    if mean_ns == 0 {
+        return String::new();
+    }
+    match throughput {
+        Some(Throughput::Elements(n)) => {
+            format!(", {} elem/s", u128::from(n) * 1_000_000_000 / mean_ns)
+        }
+        Some(Throughput::Bytes(n)) => {
+            format!(", {} B/s", u128::from(n) * 1_000_000_000 / mean_ns)
+        }
+        None => String::new(),
+    }
 }
 
 /// Passed to benchmark closures; times the routine under test.
@@ -123,6 +160,8 @@ mod tests {
         let mut g = c.benchmark_group("stub");
         g.sample_size(10);
         g.bench_function("sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        g.throughput(Throughput::Elements(100));
+        g.bench_function("sum_rated", |b| b.iter(|| (0..100u64).sum::<u64>()));
         g.finish();
     }
 
@@ -131,5 +170,17 @@ mod tests {
     #[test]
     fn group_runs_to_completion() {
         benches();
+    }
+
+    #[test]
+    fn throughput_suffix_reports_rates() {
+        assert_eq!(throughput_suffix(None, 100), "");
+        assert_eq!(throughput_suffix(Some(Throughput::Elements(5)), 0), "");
+        // 1000 elements in 1 µs = 1e9 elem/s.
+        assert_eq!(
+            throughput_suffix(Some(Throughput::Elements(1000)), 1000),
+            ", 1000000000 elem/s"
+        );
+        assert_eq!(throughput_suffix(Some(Throughput::Bytes(64)), 1_000_000_000), ", 64 B/s");
     }
 }

@@ -36,6 +36,11 @@ enum Scope {
     LibraryCode,
     /// Address/page arithmetic modules in `mem`.
     AddrArithmetic,
+    /// Everywhere except the sweep executor (`crates/core/src/sweep.rs`)
+    /// and `xtask/` itself: the one module allowed to start threads, so
+    /// all parallelism funnels through its index-ordered, scope-joined
+    /// pool (the determinism contract, DESIGN.md §10).
+    NoUnscopedThreads,
 }
 
 impl Scope {
@@ -60,6 +65,9 @@ impl Scope {
                 path == "crates/mem/src/addr.rs"
                     || path == "crates/mem/src/page_table.rs"
                     || path == "crates/mem/src/frame.rs"
+            }
+            Scope::NoUnscopedThreads => {
+                path != "crates/core/src/sweep.rs" && !path.starts_with("xtask/")
             }
         }
     }
@@ -116,6 +124,14 @@ const RULES: &[Rule] = &[
         matcher: Matcher::LossyCast,
         exempt_tests: true,
         hint: "narrowing `as` in address/page arithmetic can truncate silently: use try_into or a checked helper",
+    },
+    Rule {
+        id: "thread-spawn",
+        scope: Scope::NoUnscopedThreads,
+        matcher: Matcher::Tokens(&["spawn", "JoinHandle", "Builder"]),
+        // Stray threads break replay determinism even in tests.
+        exempt_tests: false,
+        hint: "threads only via the sweep executor (tiersim_core::sweep::run_cells): scoped, joined, index-ordered",
     },
     Rule {
         id: "println",
@@ -265,6 +281,29 @@ mod tests {
         let lines = lex("use std::collections::HashMap;");
         assert!(!lint_file("crates/policy/src/ranking.rs", &lines).is_empty());
         assert!(lint_file("crates/os/src/engine.rs", &lines).is_empty());
+    }
+
+    #[test]
+    fn thread_spawn_forbidden_outside_sweep_module() {
+        let lines = lex("fn f() { std::thread::spawn(|| {}); }");
+        let v = lint_file("crates/core/src/runner.rs", &lines);
+        assert!(v.iter().any(|v| v.rule == "thread-spawn"));
+        // Root tests and other crates are covered too — even in #[test].
+        let t = lex("#[test]\nfn t() { let h: std::thread::JoinHandle<()> = todo!(); }");
+        assert!(lint_file("tests/pipeline.rs", &t).iter().any(|v| v.rule == "thread-spawn"));
+        assert!(lint_file("crates/os/src/engine.rs", &lines)
+            .iter()
+            .any(|v| v.rule == "thread-spawn"));
+    }
+
+    #[test]
+    fn thread_spawn_allowed_in_sweep_executor_and_xtask() {
+        let lines = lex("fn f() { s.spawn(|| {}); }");
+        assert!(lint_file("crates/core/src/sweep.rs", &lines).is_empty());
+        assert!(lint_file("xtask/src/main.rs", &lines).is_empty());
+        // The allowlist comment works like for every other rule.
+        let allowed = lex("// tiersim-lint: allow(thread-spawn)\nlet h = s.spawn(f);");
+        assert!(lint_file("crates/core/src/runner.rs", &allowed).is_empty());
     }
 
     #[test]
