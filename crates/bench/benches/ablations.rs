@@ -7,7 +7,14 @@ use tiersim_core::{run_workload, Dataset, ExperimentConfig, Kernel, MachineConfi
 use tiersim_policy::TieringMode;
 
 fn cfg() -> ExperimentConfig {
-    ExperimentConfig { scale: 11, degree: 8, trials: 1, sample_period: 211, jobs: 1 }
+    ExperimentConfig {
+        scale: 11,
+        degree: 8,
+        trials: 1,
+        sample_period: 211,
+        jobs: 1,
+        ..ExperimentConfig::default()
+    }
 }
 
 fn machine(f: impl FnOnce(&mut MachineConfig)) -> MachineConfig {

@@ -152,7 +152,14 @@ fn bench_stream(c: &mut Criterion) {
 /// The six-workload experiment cells at a small scale, as byte-producing
 /// closures for the sweep executor.
 fn sweep_cells() -> Vec<impl FnOnce() -> Vec<u8> + Send> {
-    let cfg = ExperimentConfig { scale: 10, degree: 8, trials: 1, sample_period: 211, jobs: 1 };
+    let cfg = ExperimentConfig {
+        scale: 10,
+        degree: 8,
+        trials: 1,
+        sample_period: 211,
+        jobs: 1,
+        ..ExperimentConfig::default()
+    };
     cfg.workloads()
         .into_iter()
         .map(move |w| {

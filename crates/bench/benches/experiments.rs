@@ -9,7 +9,14 @@ use tiersim_core::experiments::{
 use tiersim_core::{Dataset, Kernel};
 
 fn cfg() -> ExperimentConfig {
-    ExperimentConfig { scale: 11, degree: 8, trials: 1, sample_period: 211, jobs: 1 }
+    ExperimentConfig {
+        scale: 11,
+        degree: 8,
+        trials: 1,
+        sample_period: 211,
+        jobs: 1,
+        ..ExperimentConfig::default()
+    }
 }
 
 fn bench_characterization(c: &mut Criterion) {

@@ -20,5 +20,6 @@ fn main() {
     let suite = run_repro_suite(&cli.experiment, cli.inject_failure);
     print!("{}", suite.summary());
     cli.maybe_write_out(suite.output());
+    cli.maybe_write_trace(suite.trace_log());
     std::process::exit(suite.exit_code());
 }

@@ -15,13 +15,15 @@
 //!               (default: available parallelism; output bytes are
 //!               identical for every value)
 //! --out PATH    also write the printed output to a file
+//! --trace PATH  record the AutoNUMA event trace and write it here as
+//!               JSONL (or CSV when PATH ends in .csv); see DESIGN.md §11
 //! ```
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 use std::path::PathBuf;
-use tiersim_core::ExperimentConfig;
+use tiersim_core::{ExperimentConfig, TraceConfig, TraceLog};
 
 /// Parsed command-line options shared by all reproduction binaries.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -30,6 +32,9 @@ pub struct Cli {
     pub experiment: ExperimentConfig,
     /// Optional output-file path.
     pub out: Option<PathBuf>,
+    /// Optional event-trace output path; setting it also enables tracing
+    /// in [`Cli::experiment`].
+    pub trace_out: Option<PathBuf>,
     /// Injects a deliberately failing experiment into `repro_all`, to
     /// exercise the continue-on-failure path end to end.
     pub inject_failure: bool,
@@ -42,8 +47,12 @@ impl Cli {
     ///
     /// Returns a usage string on unknown flags or malformed values.
     pub fn parse(args: impl IntoIterator<Item = String>) -> Result<Cli, String> {
-        let mut cli =
-            Cli { experiment: ExperimentConfig::default(), out: None, inject_failure: false };
+        let mut cli = Cli {
+            experiment: ExperimentConfig::default(),
+            out: None,
+            trace_out: None,
+            inject_failure: false,
+        };
         let mut it = args.into_iter();
         while let Some(arg) = it.next() {
             let mut value =
@@ -66,6 +75,10 @@ impl Cli {
                         value("--jobs")?.parse().map_err(|e| format!("bad --jobs: {e}"))?;
                 }
                 "--out" => cli.out = Some(PathBuf::from(value("--out")?)),
+                "--trace" => {
+                    cli.trace_out = Some(PathBuf::from(value("--trace")?));
+                    cli.experiment.trace = TraceConfig::on();
+                }
                 "--inject-failure" => cli.inject_failure = true,
                 "--help" | "-h" => return Err(USAGE.to_string()),
                 other => return Err(format!("unknown argument: {other}\n{USAGE}")),
@@ -101,11 +114,37 @@ impl Cli {
             eprintln!("wrote {}", path.display());
         }
     }
+
+    /// Writes `log` to the `--trace` path if one was given: JSONL by
+    /// default, CSV when the path ends in `.csv`. A `--trace` flag with
+    /// no log to write (the traced experiment failed) is an error.
+    pub fn maybe_write_trace(&self, log: Option<&TraceLog>) {
+        let Some(path) = &self.trace_out else { return };
+        let Some(log) = log else {
+            eprintln!("--trace given but no trace was recorded (traced experiment failed?)");
+            std::process::exit(1);
+        };
+        let text = if path.extension().is_some_and(|e| e == "csv") {
+            tiersim_core::trace_to_csv(log)
+        } else {
+            tiersim_core::trace_to_jsonl(log)
+        };
+        if let Err(e) = std::fs::write(path, text) {
+            eprintln!("failed to write {}: {e}", path.display());
+            std::process::exit(1);
+        }
+        eprintln!(
+            "wrote {} ({} events recorded, {} dropped)",
+            path.display(),
+            log.recorded,
+            log.dropped
+        );
+    }
 }
 
 /// Usage text shared by the binaries.
-pub const USAGE: &str =
-    "usage: <bin> [--scale N] [--degree N] [--trials N] [--jobs N] [--out PATH] [--inject-failure]";
+pub const USAGE: &str = "usage: <bin> [--scale N] [--degree N] [--trials N] [--jobs N] \
+     [--out PATH] [--trace PATH] [--inject-failure]";
 
 /// Runs a set of experiments where each may fail without killing the
 /// rest: `repro_all`'s continue-on-failure harness.
@@ -121,6 +160,7 @@ pub struct ExperimentSuite {
     attempted: usize,
     failures: Vec<(String, String)>,
     jobs: usize,
+    trace: Option<TraceLog>,
 }
 
 impl Default for ExperimentSuite {
@@ -130,6 +170,7 @@ impl Default for ExperimentSuite {
             attempted: 0,
             failures: Vec::new(),
             jobs: tiersim_core::sweep::default_jobs(),
+            trace: None,
         }
     }
 }
@@ -192,6 +233,17 @@ impl ExperimentSuite {
     /// Accumulated section text (what `--out` writes).
     pub fn output(&self) -> &str {
         &self.output
+    }
+
+    /// Records the event trace of the suite's traced run.
+    pub fn set_trace_log(&mut self, log: TraceLog) {
+        self.trace = Some(log);
+    }
+
+    /// The event trace recorded by the suite's traced run, if any (what
+    /// `--trace` writes).
+    pub fn trace_log(&self) -> Option<&TraceLog> {
+        self.trace.as_ref()
     }
 
     /// The recorded `(experiment, error)` pairs.
@@ -301,6 +353,11 @@ pub fn run_repro_suite(experiment: &ExperimentConfig, inject_failure: bool) -> E
             "{}",
             suite.section("Figure 10: DRAM loads vs promotions (bc_kron)", &tr.render_fig10())
         );
+        // The bc_kron run is the suite's traced run: keep its event log
+        // so `--trace` can export it (empty unless tracing was enabled).
+        if !tr.report.trace.is_empty() {
+            suite.set_trace_log(tr.report.trace.clone());
+        }
     }
 
     if let Some(cmp) = suite.attempt("comparison", || Comparison::run(experiment)) {
@@ -352,6 +409,18 @@ mod tests {
     fn parses_inject_failure_flag() {
         assert!(!parse(&[]).unwrap().inject_failure);
         assert!(parse(&["--inject-failure"]).unwrap().inject_failure);
+    }
+
+    #[test]
+    fn trace_flag_sets_path_and_enables_tracing() {
+        let off = parse(&[]).unwrap();
+        assert!(off.trace_out.is_none());
+        assert_eq!(off.experiment.trace, TraceConfig::off());
+
+        let on = parse(&["--trace", "/tmp/t.jsonl"]).unwrap();
+        assert_eq!(on.trace_out.as_deref(), Some(std::path::Path::new("/tmp/t.jsonl")));
+        assert_eq!(on.experiment.trace, TraceConfig::on());
+        assert!(parse(&["--trace"]).is_err());
     }
 
     #[test]

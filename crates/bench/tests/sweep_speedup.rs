@@ -9,11 +9,18 @@
 
 use std::time::Instant;
 use tiersim_core::sweep;
-use tiersim_core::{run_workload, ExperimentConfig};
+use tiersim_core::{run_workload, ExperimentConfig, TraceConfig};
 use tiersim_policy::TieringMode;
 
 fn cfg() -> ExperimentConfig {
-    ExperimentConfig { scale: 11, degree: 8, trials: 1, sample_period: 211, jobs: 1 }
+    ExperimentConfig {
+        scale: 11,
+        degree: 8,
+        trials: 1,
+        sample_period: 211,
+        jobs: 1,
+        trace: TraceConfig::off(),
+    }
 }
 
 /// Eight equal-shape experiment cells (the six-workload grid plus two

@@ -2,7 +2,7 @@
 //! for one run.
 
 use crate::error::CoreError;
-use tiersim_mem::{CacheGeometry, FaultPlan, MemConfig, TlbGeometry};
+use tiersim_mem::{CacheGeometry, FaultPlan, MemConfig, TlbGeometry, TraceConfig};
 use tiersim_os::OsConfig;
 use tiersim_policy::TieringMode;
 
@@ -123,6 +123,20 @@ impl MachineConfig {
     /// The fault-injection plan this machine runs with.
     pub fn fault(&self) -> &FaultConfig {
         &self.mem.fault
+    }
+
+    /// Returns a copy with `trace` as the event-trace settings. Like the
+    /// fault plan, the recorder lives in [`MemConfig`] because the memory
+    /// system owns it.
+    #[must_use]
+    pub fn with_trace(mut self, trace: TraceConfig) -> Self {
+        self.mem.trace = trace;
+        self
+    }
+
+    /// The event-trace settings this machine runs with.
+    pub fn trace(&self) -> TraceConfig {
+        self.mem.trace
     }
 
     /// Returns a copy with tiersim-audit checkpoints every `ticks` OS

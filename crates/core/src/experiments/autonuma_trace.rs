@@ -30,6 +30,10 @@ pub struct Fig9Row {
     pub promotions: u64,
     /// CPU utilization in `[0, 1]`.
     pub cpu_util: f64,
+    /// Dynamic hot threshold at the snapshot, in cycles.
+    pub threshold_cycles: u64,
+    /// Bytes left in the promotion rate limiter's bucket at the snapshot.
+    pub rate_tokens_bytes: u64,
 }
 
 /// One bin of Figure 10: DRAM load samples vs pages promoted.
@@ -84,6 +88,8 @@ impl AutonumaTrace {
                 demotions: d,
                 promotions: p,
                 cpu_util: s.cpu_util,
+                threshold_cycles: s.threshold_cycles,
+                rate_tokens_bytes: s.rate_tokens_bytes,
             })
             .collect()
     }
@@ -122,6 +128,8 @@ impl AutonumaTrace {
             "demote",
             "promote",
             "CPU%",
+            "thresh(cyc)",
+            "rate(KB)",
         ]);
         let mb = |b: u64| format!("{:.1}MB", b as f64 / (1 << 20) as f64);
         for r in self.fig9() {
@@ -134,6 +142,8 @@ impl AutonumaTrace {
                 r.demotions.to_string(),
                 r.promotions.to_string(),
                 format!("{:.0}%", r.cpu_util * 100.0),
+                r.threshold_cycles.to_string(),
+                (r.rate_tokens_bytes >> 10).to_string(),
             ]);
         }
         t.render()

@@ -21,6 +21,7 @@ use crate::error::CoreError;
 use crate::report::RunReport;
 use crate::runner::run_workload;
 use crate::workload::{Dataset, Kernel, WorkloadConfig};
+use tiersim_mem::TraceConfig;
 use tiersim_policy::TieringMode;
 
 /// Shared experiment parameters.
@@ -42,6 +43,9 @@ pub struct ExperimentConfig {
     /// Output bytes are identical for every value — see
     /// [`crate::sweep::run_cells`] and DESIGN.md §10.
     pub jobs: usize,
+    /// Event-trace settings threaded into every machine this experiment
+    /// builds (off by default; see DESIGN.md §11).
+    pub trace: TraceConfig,
 }
 
 impl Default for ExperimentConfig {
@@ -52,6 +56,7 @@ impl Default for ExperimentConfig {
             trials: 4,
             sample_period: 9973,
             jobs: crate::sweep::default_jobs(),
+            trace: TraceConfig::off(),
         }
     }
 }
@@ -96,6 +101,7 @@ impl ExperimentConfig {
         let mut cfg = MachineConfig::scaled_default(reference.steady_app_bytes(), mode);
         cfg.sample_period = self.sample_period;
         cfg.jobs = self.jobs;
+        cfg.mem.trace = self.trace;
         cfg
     }
 
@@ -120,7 +126,14 @@ impl ExperimentConfig {
 pub(crate) fn tiny_config() -> ExperimentConfig {
     // Scale 12 keeps tests fast while still putting the footprint well
     // above the scaled DRAM capacity (the paper's premise).
-    ExperimentConfig { scale: 12, degree: 8, trials: 1, sample_period: 97, jobs: 1 }
+    ExperimentConfig {
+        scale: 12,
+        degree: 8,
+        trials: 1,
+        sample_period: 97,
+        jobs: 1,
+        trace: TraceConfig::off(),
+    }
 }
 
 #[cfg(test)]
@@ -129,7 +142,14 @@ mod tests {
 
     #[test]
     fn workload_grid_is_configured() {
-        let cfg = ExperimentConfig { scale: 12, degree: 8, trials: 3, sample_period: 101, jobs: 1 };
+        let cfg = ExperimentConfig {
+            scale: 12,
+            degree: 8,
+            trials: 3,
+            sample_period: 101,
+            jobs: 1,
+            trace: TraceConfig::off(),
+        };
         let ws = cfg.workloads();
         assert_eq!(ws.len(), 6);
         assert!(ws.iter().all(|w| w.degree == 8));

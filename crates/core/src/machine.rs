@@ -5,8 +5,8 @@ use crate::config::MachineConfig;
 use crate::error::CoreError;
 use crate::timeline::TimelineSnapshot;
 use tiersim_mem::{
-    AccessError, AccessKind, MemBackend, MemPolicy, MemorySystem, ThreadId, Tier, VirtAddr,
-    PAGE_SIZE,
+    AccessError, AccessKind, MemBackend, MemPolicy, MemorySystem, ThreadId, Tier, TraceLog,
+    VirtAddr, PAGE_SIZE,
 };
 use tiersim_os::{AutoNuma, NumaStat};
 use tiersim_policy::{
@@ -285,13 +285,23 @@ impl Machine {
         let wall = (self.clock_cycles - self.window_start_cycles).max(1);
         let util =
             (self.window_busy_cycles as f64 / (wall as f64 * self.cfg.threads as f64)).min(1.0);
+        let threshold_cycles = self.os.threshold_cycles();
+        let rate_tokens_bytes = self.os.rate_available_bytes(self.clock_cycles);
         self.timeline.push(TimelineSnapshot {
             time_secs: self.cfg.mem.cycles_to_secs(self.clock_cycles),
             numastat: NumaStat::collect(&self.mem),
             counters: self.os.counters(),
             cpu_util: util,
-            threshold_cycles: self.os.threshold_cycles(),
+            threshold_cycles,
+            rate_tokens_bytes,
         });
+        // Mirror the per-interval state into the trace's metrics registry
+        // so exported traces carry the same series as the timeline.
+        let trace = self.mem.trace_mut();
+        trace.set_now(self.clock_cycles);
+        trace.set_gauge("threshold_cycles", threshold_cycles);
+        trace.set_gauge("rate_tokens_bytes", rate_tokens_bytes);
+        trace.snapshot_metrics();
         self.window_busy_cycles = 0;
         self.window_start_cycles = self.clock_cycles;
     }
@@ -390,11 +400,11 @@ impl Machine {
     }
 
     /// Decomposes the machine into its profiling artifacts:
-    /// `(samples, tracker, timeline)`.
+    /// `(samples, tracker, timeline, trace)`.
     pub fn into_artifacts(
         self,
-    ) -> (Vec<tiersim_profile::MemSample>, AllocTracker, Vec<TimelineSnapshot>) {
-        (self.sampler.into_samples(), self.tracker, self.timeline)
+    ) -> (Vec<tiersim_profile::MemSample>, AllocTracker, Vec<TimelineSnapshot>, TraceLog) {
+        (self.sampler.into_samples(), self.tracker, self.timeline, self.mem.trace().log())
     }
 }
 

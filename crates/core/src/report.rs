@@ -3,7 +3,7 @@
 use crate::timeline::TimelineSnapshot;
 use crate::workload::WorkloadConfig;
 use std::io::{self, Write};
-use tiersim_mem::{AccessStats, FaultStats, Tier};
+use tiersim_mem::{AccessStats, FaultStats, Tier, TraceLog};
 use tiersim_os::VmCounters;
 use tiersim_profile::{map_samples, AllocTracker, MappedProfile, MemSample};
 
@@ -36,6 +36,9 @@ pub struct RunReport {
     pub fault_stats: FaultStats,
     /// NVM write-amplification factor over the run.
     pub nvm_write_amplification: f64,
+    /// Event trace and metrics snapshots (empty unless the machine ran
+    /// with tracing enabled).
+    pub trace: TraceLog,
 }
 
 impl RunReport {
@@ -82,12 +85,13 @@ impl RunReport {
         writeln!(
             out,
             "time_secs,dram_app_pages,dram_file_pages,nvm_app_pages,nvm_file_pages,\
-             pgpromote_success,pgdemote_kswapd,pgdemote_direct,cpu_util,threshold_cycles"
+             pgpromote_success,pgdemote_kswapd,pgdemote_direct,cpu_util,threshold_cycles,\
+             rate_tokens_bytes"
         )?;
         for s in &self.timeline {
             writeln!(
                 out,
-                "{:.6},{},{},{},{},{},{},{},{:.4},{}",
+                "{:.6},{},{},{},{},{},{},{},{:.4},{},{}",
                 s.time_secs,
                 s.numastat.anon_pages[Tier::Dram.index()],
                 s.numastat.file_pages[Tier::Dram.index()],
@@ -98,6 +102,7 @@ impl RunReport {
                 s.counters.pgdemote_direct,
                 s.cpu_util,
                 s.threshold_cycles,
+                s.rate_tokens_bytes,
             )?;
         }
         Ok(())
@@ -161,6 +166,7 @@ mod tests {
             mem_stats: AccessStats::default(),
             fault_stats: FaultStats::default(),
             nvm_write_amplification: 0.0,
+            trace: TraceLog::default(),
         }
     }
 

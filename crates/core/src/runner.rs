@@ -173,7 +173,7 @@ pub fn run_workload(
     let mem_stats = *m.mem().stats();
     let fault_stats = m.mem().fault_stats();
     let nvm_write_amplification = m.mem().nvm_write_amplification();
-    let (samples, tracker, timeline) = m.into_artifacts();
+    let (samples, tracker, timeline, trace) = m.into_artifacts();
     Ok(RunReport {
         workload,
         mode_name,
@@ -188,6 +188,7 @@ pub fn run_workload(
         mem_stats,
         fault_stats,
         nvm_write_amplification,
+        trace,
     })
 }
 
@@ -385,6 +386,29 @@ mod tests {
         assert_eq!(plain.mem_stats, with_none.mem_stats);
         assert_eq!(plain.fault_stats, with_none.fault_stats);
         assert_eq!(plain.fault_stats, Default::default());
+    }
+
+    #[test]
+    fn tracing_does_not_change_simulation() {
+        use tiersim_mem::TraceConfig;
+        let w = tiny(Kernel::Cc, Dataset::Kron).trials(1);
+        let plain = run_workload(cfg(&w, TieringMode::AutoNuma), w).unwrap();
+        let traced =
+            run_workload(cfg(&w, TieringMode::AutoNuma).with_trace(TraceConfig::on()), w).unwrap();
+        // Observer effect must be zero: tracing records, never perturbs.
+        assert_eq!(plain.total_secs, traced.total_secs);
+        assert_eq!(plain.counters, traced.counters);
+        assert_eq!(plain.mem_stats, traced.mem_stats);
+        assert!(plain.trace.is_empty(), "tracing off records nothing");
+        assert!(!traced.trace.is_empty(), "tracing on records the run");
+        assert!(traced.trace.recorded > 0);
+        // Every counter the trace covers is conserved (nothing dropped at
+        // this scale: the default ring outlives the tiny run).
+        assert_eq!(traced.trace.dropped, 0);
+        assert!(
+            tiersim_os::replay_matches(&traced.trace.records, &traced.counters),
+            "trace replay must reproduce the counters"
+        );
     }
 
     #[test]

@@ -17,6 +17,8 @@ pub struct TimelineSnapshot {
     pub cpu_util: f64,
     /// Current dynamic hot threshold in cycles.
     pub threshold_cycles: u64,
+    /// Whole bytes left in the promotion rate limiter's token bucket.
+    pub rate_tokens_bytes: u64,
 }
 
 /// Helpers over a snapshot series.
@@ -52,6 +54,7 @@ mod tests {
             counters,
             cpu_util: 0.5,
             threshold_cycles: 0,
+            rate_tokens_bytes: 0,
         }
     }
 

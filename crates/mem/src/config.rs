@@ -2,6 +2,7 @@
 
 use crate::error::MemError;
 use crate::fault::FaultPlan;
+use tiersim_trace::TraceConfig;
 
 /// Geometry of one set-associative cache level.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -157,6 +158,9 @@ pub struct MemConfig {
     /// Deterministic fault-injection plan; [`FaultPlan::none`] (the
     /// default) injects nothing and costs nothing.
     pub fault: FaultPlan,
+    /// Event-trace settings; [`TraceConfig::off`] (the default) records
+    /// nothing and costs one branch per hook.
+    pub trace: TraceConfig,
 }
 
 impl MemConfig {
@@ -252,6 +256,7 @@ impl Default for MemConfig {
             freq_hz: 2_600_000_000,
             memory_mode: false,
             fault: FaultPlan::none(),
+            trace: TraceConfig::off(),
         }
     }
 }
@@ -332,6 +337,12 @@ impl MemConfigBuilder {
     /// Sets the fault-injection plan.
     pub fn fault(mut self, plan: FaultPlan) -> Self {
         self.cfg.fault = plan;
+        self
+    }
+
+    /// Sets the event-trace settings.
+    pub fn trace(mut self, trace: TraceConfig) -> Self {
+        self.cfg.trace = trace;
         self
     }
 

@@ -83,5 +83,8 @@ pub use simvec::SimVec;
 pub use stats::AccessStats;
 pub use system::{MemorySystem, RunFault, RunOutcome, UnmapReport};
 pub use tier::{MemLevel, Tier};
+pub use tiersim_trace::{
+    FaultSite, RejectReason, TraceConfig, TraceEvent, TraceLog, TraceRecord, TraceState,
+};
 pub use tlb::{Tlb, TlbOutcome, TlbStats};
 pub use vma::{MemPolicy, Vma, VmaId, VmaTable, MMAP_BASE};

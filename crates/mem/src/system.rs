@@ -17,6 +17,7 @@ use crate::tier::{MemLevel, Tier};
 use crate::tlb::{Tlb, TlbOutcome};
 use crate::vma::{MemPolicy, Vma, VmaTable};
 use std::sync::Arc;
+use tiersim_trace::{FaultSite, TraceEvent, TraceState};
 
 /// Base virtual address of the simulated page-table (PTE) region.
 ///
@@ -103,6 +104,7 @@ pub struct MemorySystem {
     mm_cache: Option<MemoryModeCache>,
     stats: AccessStats,
     faults: FaultState,
+    trace: TraceState,
 }
 
 impl MemorySystem {
@@ -130,6 +132,7 @@ impl MemorySystem {
             nvm: NvmModel::new(cfg.nvm),
             stats: AccessStats::default(),
             faults: FaultState::new(cfg.fault),
+            trace: TraceState::new(cfg.trace),
             cfg,
         })
     }
@@ -218,7 +221,9 @@ impl MemorySystem {
             return Err(MemError::PageAlreadyResident { page: pn });
         }
         self.faults.set_now(now);
+        self.trace.set_now(now);
         if self.faults.dram_alloc_fails(tier) {
+            self.trace.record(TraceEvent::FaultInjected { site: FaultSite::DramAlloc });
             return Err(MemError::AllocTransient { tier });
         }
         self.frames[tier.index()].alloc()?;
@@ -255,6 +260,7 @@ impl MemorySystem {
             return Err(MemError::PageAlreadyResident { page: pn });
         }
         if self.faults.migrate_busy(pn) {
+            self.trace.record(TraceEvent::FaultInjected { site: FaultSite::MigrateBusy });
             return Err(MemError::MigrateBusy { page: pn });
         }
         self.frames[to.index()].alloc()?;
@@ -634,6 +640,17 @@ impl MemorySystem {
     /// Counts of faults injected so far.
     pub fn fault_stats(&self) -> FaultStats {
         self.faults.stats()
+    }
+
+    /// The event recorder (read-only observability).
+    pub fn trace(&self) -> &TraceState {
+        &self.trace
+    }
+
+    /// The event recorder, mutable: the OS model records control-loop
+    /// events into it and feeds it the clock.
+    pub fn trace_mut(&mut self) -> &mut TraceState {
+        &mut self.trace
     }
 
     /// Resets all statistics (state — caches, TLB, placements — is kept).

@@ -235,6 +235,19 @@ impl OsConfig {
                 ),
             });
         }
+        // The token bucket's burst capacity is one second of rate, so a
+        // page-sized promotion can never succeed below one page per
+        // second: every promotion would be silently denied forever.
+        if self.promo_rate_limit_bytes_per_sec < tiersim_mem::PAGE_SIZE {
+            return Err(OsError::InvalidConfig {
+                what: "promotion rate limit",
+                got: format!(
+                    "{} B/s (burst capacity below one page, {} B: every promotion would stall)",
+                    self.promo_rate_limit_bytes_per_sec,
+                    tiersim_mem::PAGE_SIZE
+                ),
+            });
+        }
         if self.freq_hz == 0 {
             return Err(OsError::InvalidConfig { what: "frequency", got: "0 Hz".to_string() });
         }
@@ -362,5 +375,17 @@ mod tests {
     #[should_panic(expected = "dilation must be positive")]
     fn dilation_rejects_nonpositive() {
         let _ = OsConfig::default().with_time_dilation(0.0);
+    }
+
+    #[test]
+    fn builder_rejects_sub_page_rate_limit() {
+        // Regression: a rate below one page per second meant the token
+        // bucket's burst capacity could never cover a single page-sized
+        // promotion, stalling all promotions forever with no error.
+        let err = OsConfig::builder().promo_rate_limit_bytes_per_sec(100).build().unwrap_err();
+        assert!(matches!(err, OsError::InvalidConfig { what: "promotion rate limit", .. }));
+        assert!(err.to_string().contains("100"), "error carries the offending value: {err}");
+        // One page per second is the smallest workable rate.
+        OsConfig::builder().promo_rate_limit_bytes_per_sec(tiersim_mem::PAGE_SIZE).build().unwrap();
     }
 }

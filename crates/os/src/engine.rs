@@ -10,8 +10,8 @@ use crate::scanner::Scanner;
 use crate::threshold::ThresholdController;
 use crate::OsError;
 use tiersim_mem::{
-    AccessOutcome, MemError, MemPolicy, MemorySystem, PageFault, PageFlags, Tier, VirtAddr,
-    PAGE_SIZE,
+    AccessOutcome, MemError, MemPolicy, MemorySystem, PageFault, PageFlags, RejectReason, Tier,
+    TraceEvent, VirtAddr, PAGE_SIZE,
 };
 
 /// How a page fault was resolved.
@@ -131,6 +131,13 @@ impl AutoNuma {
     /// Total background (kernel-thread) cycles spent so far.
     pub fn background_cycles(&self) -> u64 {
         self.background_cycles
+    }
+
+    /// Whole bytes currently available in the promotion token bucket at
+    /// `now` (refills the bucket as a side effect, which is idempotent
+    /// for a fixed `now`).
+    pub fn rate_available_bytes(&mut self, now: u64) -> u64 {
+        self.rate.available(now)
     }
 
     /// The earliest cycle time at which [`AutoNuma::tick`] has work to do.
@@ -317,6 +324,8 @@ impl AutoNuma {
             return 0;
         }
         self.counters.numa_hint_faults += 1;
+        mem.trace_mut().set_now(now);
+        mem.trace_mut().record(TraceEvent::HintFault { page: outcome.page.index() });
         let mut cost = self.cfg.hint_fault_cost_cycles;
         if outcome.tier != Tier::Nvm {
             return cost;
@@ -333,16 +342,33 @@ impl AutoNuma {
         let latency = now.saturating_sub(outcome.hint_scan_time);
         if !self.threshold.is_hot(latency) {
             self.counters.promo_threshold_rejected += 1;
+            mem.trace_mut().record(TraceEvent::PromoteReject {
+                page: outcome.page.index(),
+                reason: RejectReason::Threshold,
+            });
             return cost;
         }
         self.counters.pgpromote_candidate += 1;
         self.candidate_bytes_interval += PAGE_SIZE;
+        mem.trace_mut()
+            .record(TraceEvent::PromoteCandidate { page: outcome.page.index(), latency });
         if !self.rate.try_consume(PAGE_SIZE, now) {
             self.counters.promo_rate_limited += 1;
+            let available = self.rate.available(now);
+            mem.trace_mut().record(TraceEvent::RateLimitDeny { bytes: PAGE_SIZE, available });
+            mem.trace_mut().record(TraceEvent::PromoteReject {
+                page: outcome.page.index(),
+                reason: RejectReason::RateLimited,
+            });
             return cost;
         }
+        mem.trace_mut().record(TraceEvent::RateLimitConsume { bytes: PAGE_SIZE });
         if free == 0 {
             self.counters.promo_no_space += 1;
+            mem.trace_mut().record(TraceEvent::PromoteReject {
+                page: outcome.page.index(),
+                reason: RejectReason::NoSpace,
+            });
             self.kswapd_pending = true;
             return cost;
         }
@@ -364,6 +390,7 @@ impl AutoNuma {
                     *cost += copy_cycles + self.cfg.migration_overhead_cycles;
                     self.counters.pgpromote_success += 1;
                     self.counters.pgmigrate_success += 1;
+                    mem.trace_mut().record(TraceEvent::PromoteAccept { page: page.index() });
                     if let Some(p) = mem.page_mut(page) {
                         p.flags.insert(PageFlags::WAS_PROMOTED);
                     }
@@ -376,6 +403,7 @@ impl AutoNuma {
                         // migrate_pages().
                         attempts += 1;
                         self.counters.pgmigrate_retry += 1;
+                        mem.trace_mut().record(TraceEvent::MigrateRetry { page: page.index() });
                         *cost += self.cfg.migrate_retry_backoff_cycles;
                     } else {
                         // Gave up (the kernel's pgmigrate_fail). Degrade
@@ -383,12 +411,17 @@ impl AutoNuma {
                         // requeued by re-marking its hint, so a later
                         // access retries the promotion.
                         self.counters.pgmigrate_fail += 1;
+                        mem.trace_mut().record(TraceEvent::MigrateFail { page: page.index() });
                         mem.mark_hint(page, now);
                         return;
                     }
                 }
                 Err(_) => {
                     self.counters.promo_no_space += 1;
+                    mem.trace_mut().record(TraceEvent::PromoteReject {
+                        page: page.index(),
+                        reason: RejectReason::NoSpace,
+                    });
                     self.kswapd_pending = true;
                     return;
                 }
@@ -403,6 +436,7 @@ impl AutoNuma {
     /// cycles spent (kernel threads, not charged to the app).
     pub fn tick(&mut self, mem: &mut MemorySystem, now: u64) -> u64 {
         let mut bg = 0;
+        mem.trace_mut().set_now(now);
         if self.cfg.autonuma_enabled {
             if now >= self.next_scan {
                 let report = self.scanner.scan(mem, self.cfg.scan_size_pages, now);
@@ -427,7 +461,14 @@ impl AutoNuma {
                     self.cfg.threshold_adjust_period_cycles as f64 / self.cfg.freq_hz as f64;
                 let limit_bytes =
                     (self.cfg.promo_rate_limit_bytes_per_sec as f64 * interval_secs) as u64;
+                let before = self.threshold.threshold_cycles();
                 self.threshold.adjust(self.candidate_bytes_interval, limit_bytes);
+                mem.trace_mut().record(TraceEvent::ThresholdAdjust {
+                    before,
+                    after: self.threshold.threshold_cycles(),
+                    candidate_bytes: self.candidate_bytes_interval,
+                    limit_bytes,
+                });
                 self.candidate_bytes_interval = 0;
                 self.next_adjust = now + self.cfg.threshold_adjust_period_cycles;
                 bg += 200;

@@ -38,6 +38,7 @@ mod engine;
 mod error;
 mod rate_limit;
 mod reclaim;
+mod replay;
 mod scanner;
 mod threshold;
 
@@ -50,5 +51,6 @@ pub use rate_limit::TokenBucket;
 pub use reclaim::{
     coldest_dram_pages, direct_reclaim_one, drop_page_cache, kswapd_reclaim, ReclaimOutcome,
 };
+pub use replay::{replay_counters, replay_matches};
 pub use scanner::{ScanReport, Scanner};
 pub use threshold::ThresholdController;

@@ -56,6 +56,12 @@ impl TokenBucket {
 
     /// Attempts to consume `bytes`; returns `false` (consuming nothing) if
     /// insufficient tokens are available at `now_cycles`.
+    ///
+    /// A request larger than one second of rate (the burst capacity) can
+    /// *never* succeed, no matter how long the bucket refills — which is
+    /// why `OsConfig` rejects rates below the page size at build time:
+    /// with a sub-page budget every page-sized promotion would be denied
+    /// forever, silently.
     pub fn try_consume(&mut self, bytes: u64, now_cycles: u64) -> bool {
         self.refill(now_cycles);
         if self.tokens >= bytes as f64 {
@@ -69,7 +75,9 @@ impl TokenBucket {
     /// Tokens currently available, in bytes.
     pub fn available(&mut self, now_cycles: u64) -> u64 {
         self.refill(now_cycles);
-        self.tokens as u64
+        // Round down explicitly: a fractional token is not a spendable
+        // byte, and the bare `as u64` truncation reads like an accident.
+        self.tokens.floor() as u64
     }
 }
 
@@ -97,6 +105,26 @@ mod tests {
     fn never_exceeds_burst() {
         let mut tb = TokenBucket::new(100, 1000);
         assert_eq!(tb.available(1_000_000), 100);
+    }
+
+    #[test]
+    fn available_rounds_down_fractional_tokens() {
+        let mut tb = TokenBucket::new(100, 1000);
+        assert!(tb.try_consume(100, 0));
+        // 5 cycles = 5 ms → 0.5 tokens: not a spendable byte yet.
+        assert_eq!(tb.available(5), 0);
+        assert_eq!(tb.available(15), 1, "1.5 tokens floors to 1");
+    }
+
+    #[test]
+    fn request_above_burst_capacity_never_succeeds() {
+        // The stall hazard behind the config-time rate check: burst is one
+        // second of rate, so an oversized request fails at every horizon.
+        let mut tb = TokenBucket::new(100, 1000);
+        for t in [0, 1_000, 100_000, 10_000_000] {
+            assert!(!tb.try_consume(101, t), "t={t}");
+            assert_eq!(tb.available(t), 100, "denied requests consume nothing");
+        }
     }
 
     #[test]

@@ -2,7 +2,7 @@
 
 use crate::config::OsConfig;
 use crate::counters::VmCounters;
-use tiersim_mem::{MemError, MemorySystem, PageFlags, PageNum, Tier};
+use tiersim_mem::{MemError, MemorySystem, PageFlags, PageNum, Tier, TraceEvent};
 
 /// Result of one reclaim pass.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -52,12 +52,14 @@ fn reclaim_one(
                 if attempts < cfg.migrate_max_retries {
                     attempts += 1;
                     counters.pgmigrate_retry += 1;
+                    mem.trace_mut().record(TraceEvent::MigrateRetry { page: pn.index() });
                     retry_cost += cfg.migrate_retry_backoff_cycles;
                 } else {
                     // Busy page that outlived its retries (the kernel's
                     // pgmigrate_fail): skip this victim, it stays on
                     // DRAM and a later pass may reclaim it.
                     counters.pgmigrate_fail += 1;
+                    mem.trace_mut().record(TraceEvent::MigrateFail { page: pn.index() });
                     return None;
                 }
             }
@@ -68,12 +70,15 @@ fn reclaim_one(
         Ok(copy_cycles) => {
             if kswapd {
                 counters.pgdemote_kswapd += 1;
+                mem.trace_mut().record(TraceEvent::DemoteKswapd { page: pn.index() });
             } else {
                 counters.pgdemote_direct += 1;
+                mem.trace_mut().record(TraceEvent::DemoteDirect { page: pn.index() });
             }
             counters.pgmigrate_success += 1;
             if info.flags.contains(PageFlags::WAS_PROMOTED) {
                 counters.pgpromote_demoted += 1;
+                mem.trace_mut().record(TraceEvent::PromoteDemoted { page: pn.index() });
                 if let Some(p) = mem.page_mut(pn) {
                     p.flags.remove(PageFlags::WAS_PROMOTED);
                 }
@@ -85,6 +90,7 @@ fn reclaim_one(
             if info.flags.contains(PageFlags::PAGE_CACHE) {
                 mem.unmap_page(pn).ok()?;
                 counters.page_cache_dropped += 1;
+                mem.trace_mut().record(TraceEvent::PageCacheDrop { page: pn.index() });
                 Some(cfg.migration_overhead_cycles / 2)
             } else {
                 None
@@ -110,7 +116,11 @@ pub fn kswapd_reclaim(
     let need = (high - mem.free_pages(Tier::Dram)).min(cfg.kswapd_batch_pages);
     // Injected reclaim stall (writeback/lock contention): one draw per
     // reclaim pass, charged to the kswapd thread.
-    out.cost_cycles += mem.faults_mut().reclaim_stall_cycles();
+    let stall = mem.faults_mut().reclaim_stall_cycles();
+    if stall > 0 {
+        mem.trace_mut().record(TraceEvent::ReclaimStall { cycles: stall });
+    }
+    out.cost_cycles += stall;
     let victims = coldest_dram_pages(mem, need as usize, cfg.lru_quantum_cycles);
     for pn in victims {
         if mem.free_pages(Tier::Dram) >= high {
@@ -141,6 +151,9 @@ pub fn direct_reclaim_one(
 ) -> Option<u64> {
     // Injected reclaim stall: the allocating thread eats it directly.
     let stall = mem.faults_mut().reclaim_stall_cycles();
+    if stall > 0 {
+        mem.trace_mut().record(TraceEvent::ReclaimStall { cycles: stall });
+    }
     for pn in coldest_dram_pages(mem, 8, cfg.lru_quantum_cycles) {
         if let Some(cycles) = reclaim_one(mem, counters, cfg, pn, false) {
             return Some(cycles + stall);
@@ -168,6 +181,7 @@ pub fn drop_page_cache(
     for (_, pn) in candidates.into_iter().take(max_pages as usize) {
         if mem.unmap_page(pn).is_ok() {
             counters.page_cache_dropped += 1;
+            mem.trace_mut().record(TraceEvent::PageCacheDrop { page: pn.index() });
             out.dropped += 1;
             out.cost_cycles += 1_000;
         }

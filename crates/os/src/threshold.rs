@@ -56,10 +56,16 @@ impl ThresholdController {
     pub fn adjust(&mut self, candidate_bytes: u64, limit_bytes: u64) {
         // Kernel heuristic: steer candidate volume toward the limit.
         // Overshoot → ×0.8 (pickier); undershoot → ×1.2 (more permissive).
+        // Each step must move by at least 1 cycle: truncating the product
+        // left any threshold ≤ 4 stuck forever (4 × 1.2 = 4.8 → 4), so
+        // after one burst of overshoot the controller stayed maximally
+        // picky and promotions starved.
         if candidate_bytes > limit_bytes {
-            self.threshold = (self.threshold as f64 * 0.8) as u64;
+            let next = (self.threshold as f64 * 0.8).round() as u64;
+            self.threshold = next.min(self.threshold.saturating_sub(1));
         } else {
-            self.threshold = (self.threshold as f64 * 1.2) as u64;
+            let next = (self.threshold as f64 * 1.2).round() as u64;
+            self.threshold = next.max(self.threshold.saturating_add(1));
         }
         self.threshold = self.threshold.clamp(self.min, self.max);
     }
@@ -103,5 +109,37 @@ mod tests {
     fn initial_is_clamped() {
         let tc = ThresholdController::new(5, 10, 20);
         assert_eq!(tc.threshold_cycles(), 10);
+    }
+
+    #[test]
+    fn recovers_from_min_threshold() {
+        // Regression: with truncating arithmetic, any threshold ≤ 4 could
+        // never rise (4 × 1.2 = 4.8 → 4), so a controller driven to
+        // min = 1 by overshoot was stuck picky forever.
+        let mut tc = ThresholdController::new(100, 1, 1000);
+        for _ in 0..40 {
+            tc.adjust(u64::MAX, 0);
+        }
+        assert_eq!(tc.threshold_cycles(), 1, "overshoot drives to the floor");
+        tc.adjust(0, u64::MAX);
+        assert!(tc.threshold_cycles() > 1, "one undershoot must lift it off the floor");
+        for _ in 0..60 {
+            tc.adjust(0, u64::MAX);
+        }
+        assert_eq!(tc.threshold_cycles(), 1000, "sustained undershoot reaches the ceiling");
+    }
+
+    #[test]
+    fn overshoot_always_moves_down_until_min() {
+        // The symmetric guard: ×0.8 with rounding alone would pin small
+        // thresholds above min (2 × 0.8 = 1.6 → 2); the −1 step floor
+        // guarantees progress toward `min`.
+        let mut tc = ThresholdController::new(3, 1, 1000);
+        tc.adjust(u64::MAX, 0);
+        assert_eq!(tc.threshold_cycles(), 2);
+        tc.adjust(u64::MAX, 0);
+        assert_eq!(tc.threshold_cycles(), 1);
+        tc.adjust(u64::MAX, 0);
+        assert_eq!(tc.threshold_cycles(), 1, "clamped at min");
     }
 }

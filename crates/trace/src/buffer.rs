@@ -1,0 +1,119 @@
+//! Bounded ring buffer of trace records.
+//!
+//! Storage is allocated once, up front, at construction; recording into a
+//! full buffer overwrites the oldest record and bumps a drop counter, so
+//! truncation is always visible in the exported trace.
+
+use crate::event::{TraceEvent, TraceRecord};
+
+/// Fixed-capacity drop-oldest ring of [`TraceRecord`]s.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceBuffer {
+    slots: Vec<TraceRecord>,
+    capacity: usize,
+    /// Index of the oldest record once the ring has wrapped.
+    head: usize,
+    /// Total records ever offered (also the next sequence number).
+    seq: u64,
+    /// Records evicted to make room.
+    dropped: u64,
+}
+
+impl TraceBuffer {
+    /// A ring holding at most `capacity` records. The backing store is
+    /// reserved immediately; recording never allocates again.
+    pub fn new(capacity: usize) -> TraceBuffer {
+        TraceBuffer { slots: Vec::with_capacity(capacity), capacity, head: 0, seq: 0, dropped: 0 }
+    }
+
+    /// Appends an event at simulated time `now`, evicting the oldest
+    /// record (and counting the eviction) when full.
+    pub fn record(&mut self, now: u64, event: TraceEvent) {
+        let rec = TraceRecord { now, seq: self.seq, event };
+        self.seq += 1;
+        if self.capacity == 0 {
+            self.dropped += 1;
+            return;
+        }
+        if self.slots.len() < self.capacity {
+            self.slots.push(rec);
+        } else {
+            self.slots[self.head] = rec;
+            self.head = (self.head + 1) % self.capacity;
+            self.dropped += 1;
+        }
+    }
+
+    /// Records currently held, oldest first.
+    pub fn records(&self) -> Vec<TraceRecord> {
+        let mut out = Vec::with_capacity(self.slots.len());
+        out.extend_from_slice(&self.slots[self.head..]);
+        out.extend_from_slice(&self.slots[..self.head]);
+        out
+    }
+
+    /// Total events ever offered to the ring.
+    pub fn recorded(&self) -> u64 {
+        self.seq
+    }
+
+    /// Events evicted (or refused, for a zero-capacity ring).
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Records currently held.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Whether the ring holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(page: u64) -> TraceEvent {
+        TraceEvent::HintFault { page }
+    }
+
+    #[test]
+    fn fills_then_drops_oldest() {
+        let mut b = TraceBuffer::new(3);
+        for i in 0..5 {
+            b.record(i * 10, ev(i));
+        }
+        assert_eq!(b.recorded(), 5);
+        assert_eq!(b.dropped(), 2);
+        let recs = b.records();
+        assert_eq!(recs.len(), 3);
+        // Oldest two (seq 0, 1) were evicted; order is oldest-first.
+        assert_eq!(recs.iter().map(|r| r.seq).collect::<Vec<_>>(), vec![2, 3, 4]);
+        assert_eq!(recs[0].now, 20);
+    }
+
+    #[test]
+    fn under_capacity_keeps_everything_in_order() {
+        let mut b = TraceBuffer::new(8);
+        for i in 0..4 {
+            b.record(i, ev(i));
+        }
+        assert_eq!(b.dropped(), 0);
+        assert_eq!(b.records().iter().map(|r| r.seq).collect::<Vec<_>>(), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn zero_capacity_counts_everything_as_dropped() {
+        let mut b = TraceBuffer::new(0);
+        b.record(1, ev(1));
+        b.record(2, ev(2));
+        assert!(b.is_empty());
+        assert_eq!(b.len(), 0);
+        assert_eq!(b.recorded(), 2);
+        assert_eq!(b.dropped(), 2);
+    }
+}

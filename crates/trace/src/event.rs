@@ -1,0 +1,200 @@
+//! The trace event vocabulary.
+//!
+//! One variant per observable control-loop decision, carrying the numbers
+//! a reader needs to reconstruct *why* the decision went that way. Every
+//! variant is `Copy` so recording never allocates.
+
+/// Why a promotion candidate was turned away.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum RejectReason {
+    /// Access latency was at or above the hot threshold.
+    Threshold,
+    /// The promotion token bucket had too few tokens.
+    RateLimited,
+    /// No free DRAM page (and direct reclaim could not make one).
+    NoSpace,
+}
+
+impl RejectReason {
+    /// Stable lowercase name used by the exporters.
+    pub fn name(self) -> &'static str {
+        match self {
+            RejectReason::Threshold => "threshold",
+            RejectReason::RateLimited => "rate_limited",
+            RejectReason::NoSpace => "no_space",
+        }
+    }
+}
+
+/// Which fault-injection site fired.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum FaultSite {
+    /// A DRAM allocation was forced to fail transiently.
+    DramAlloc,
+    /// A page migration was forced to report busy.
+    MigrateBusy,
+}
+
+impl FaultSite {
+    /// Stable lowercase name used by the exporters.
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultSite::DramAlloc => "dram_alloc",
+            FaultSite::MigrateBusy => "migrate_busy",
+        }
+    }
+}
+
+/// One observable event in the tiering control loop.
+///
+/// The variants that mirror a `vmstat` counter (`HintFault`,
+/// `PromoteCandidate`, …) are *counter-bearing*: replaying them must
+/// reproduce the counter deltas of the run that produced the trace (the
+/// conservation property tested in `tiersim-os`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum TraceEvent {
+    /// A NUMA hint fault fired on `page`.
+    HintFault {
+        /// Faulting page number.
+        page: u64,
+    },
+    /// `page` passed the hot-threshold test and became a candidate.
+    PromoteCandidate {
+        /// Candidate page number.
+        page: u64,
+        /// Observed access latency (cycles since last scan touch).
+        latency: u64,
+    },
+    /// `page` was migrated NVM→DRAM.
+    PromoteAccept {
+        /// Promoted page number.
+        page: u64,
+    },
+    /// `page` was considered and turned away.
+    PromoteReject {
+        /// Rejected page number.
+        page: u64,
+        /// Why it was turned away.
+        reason: RejectReason,
+    },
+    /// kswapd demoted `page` DRAM→NVM.
+    DemoteKswapd {
+        /// Demoted page number.
+        page: u64,
+    },
+    /// Direct reclaim demoted `page` DRAM→NVM.
+    DemoteDirect {
+        /// Demoted page number.
+        page: u64,
+    },
+    /// A previously promoted page was demoted again (promotion thrash).
+    PromoteDemoted {
+        /// The thrashed page number.
+        page: u64,
+    },
+    /// A migration of `page` hit a transient failure and will be retried.
+    MigrateRetry {
+        /// Busy page number.
+        page: u64,
+    },
+    /// A migration of `page` exhausted its retries.
+    MigrateFail {
+        /// Abandoned page number.
+        page: u64,
+    },
+    /// The promotion threshold controller adjusted its threshold.
+    ThresholdAdjust {
+        /// Threshold before the adjustment (cycles).
+        before: u64,
+        /// Threshold after the adjustment (cycles).
+        after: u64,
+        /// Candidate bytes seen this interval.
+        candidate_bytes: u64,
+        /// The interval's rate-limit budget in bytes.
+        limit_bytes: u64,
+    },
+    /// The promotion rate limiter granted `bytes`.
+    RateLimitConsume {
+        /// Bytes consumed from the bucket.
+        bytes: u64,
+    },
+    /// The promotion rate limiter denied a request for `bytes`.
+    RateLimitDeny {
+        /// Bytes requested.
+        bytes: u64,
+        /// Whole bytes available in the bucket at denial time.
+        available: u64,
+    },
+    /// A deterministic fault was injected.
+    FaultInjected {
+        /// Which injection site fired.
+        site: FaultSite,
+    },
+    /// An injected reclaim stall charged `cycles`.
+    ReclaimStall {
+        /// Stall cost in cycles.
+        cycles: u64,
+    },
+    /// A clean page-cache page was dropped instead of migrated.
+    PageCacheDrop {
+        /// Dropped page number.
+        page: u64,
+    },
+}
+
+impl TraceEvent {
+    /// Stable snake_case event name used by the exporters and the
+    /// metrics registry's per-event counters.
+    pub fn name(self) -> &'static str {
+        match self {
+            TraceEvent::HintFault { .. } => "hint_fault",
+            TraceEvent::PromoteCandidate { .. } => "promote_candidate",
+            TraceEvent::PromoteAccept { .. } => "promote_accept",
+            TraceEvent::PromoteReject { .. } => "promote_reject",
+            TraceEvent::DemoteKswapd { .. } => "demote_kswapd",
+            TraceEvent::DemoteDirect { .. } => "demote_direct",
+            TraceEvent::PromoteDemoted { .. } => "promote_demoted",
+            TraceEvent::MigrateRetry { .. } => "migrate_retry",
+            TraceEvent::MigrateFail { .. } => "migrate_fail",
+            TraceEvent::ThresholdAdjust { .. } => "threshold_adjust",
+            TraceEvent::RateLimitConsume { .. } => "rate_limit_consume",
+            TraceEvent::RateLimitDeny { .. } => "rate_limit_deny",
+            TraceEvent::FaultInjected { .. } => "fault_injected",
+            TraceEvent::ReclaimStall { .. } => "reclaim_stall",
+            TraceEvent::PageCacheDrop { .. } => "page_cache_drop",
+        }
+    }
+}
+
+/// One recorded event with its simulated timestamp and global sequence
+/// number. `seq` counts *every* recorded event, including those later
+/// evicted from the ring, so gaps in an exported trace are detectable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct TraceRecord {
+    /// Simulated time in cycles when the event fired.
+    pub now: u64,
+    /// Zero-based global sequence number.
+    pub seq: u64,
+    /// The event itself.
+    pub event: TraceEvent,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(TraceEvent::HintFault { page: 1 }.name(), "hint_fault");
+        assert_eq!(
+            TraceEvent::PromoteReject { page: 1, reason: RejectReason::RateLimited }.name(),
+            "promote_reject"
+        );
+        assert_eq!(RejectReason::NoSpace.name(), "no_space");
+        assert_eq!(FaultSite::MigrateBusy.name(), "migrate_busy");
+    }
+}

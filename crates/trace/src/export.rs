@@ -1,0 +1,245 @@
+//! Trace exporters: JSONL (one flat object per line) and CSV.
+//!
+//! Both formats are emitted by hand — the schema is small, flat, and
+//! fixed, and hand emission keeps the crate dependency-free so the
+//! `xtask trace-check` validator can mirror it without pulling a JSON
+//! parser into the offline build.
+//!
+//! JSONL layout (see DESIGN.md §11):
+//! - one line per surviving [`TraceRecord`], keys `t`, `seq`, `event`,
+//!   plus the event's own fields;
+//! - one `"event":"metrics_snapshot"` line per interval snapshot;
+//! - a final `"event":"trace_summary"` line carrying `recorded` and
+//!   `dropped`, so truncation by the ring is never silent.
+
+use crate::event::{TraceEvent, TraceRecord};
+use crate::state::TraceLog;
+
+/// Serializes `log` as JSON Lines.
+pub fn to_jsonl(log: &TraceLog) -> String {
+    let mut out = String::new();
+    let mut last_now = 0;
+    for rec in &log.records {
+        push_record_json(&mut out, rec);
+        last_now = rec.now;
+    }
+    let mut seq = log.recorded;
+    for snap in &log.snapshots {
+        out.push_str(&format!(
+            "{{\"t\":{},\"seq\":{},\"event\":\"metrics_snapshot\",\"metrics\":{{",
+            snap.now, seq
+        ));
+        for (i, (name, value)) in snap.values.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\"{name}\":{value}"));
+        }
+        out.push_str("}}\n");
+        last_now = last_now.max(snap.now);
+        seq += 1;
+    }
+    out.push_str(&format!(
+        "{{\"t\":{},\"seq\":{},\"event\":\"trace_summary\",\"recorded\":{},\"dropped\":{}}}\n",
+        last_now, seq, log.recorded, log.dropped
+    ));
+    out
+}
+
+fn push_record_json(out: &mut String, rec: &TraceRecord) {
+    out.push_str(&format!(
+        "{{\"t\":{},\"seq\":{},\"event\":\"{}\"",
+        rec.now,
+        rec.seq,
+        rec.event.name()
+    ));
+    match rec.event {
+        TraceEvent::HintFault { page }
+        | TraceEvent::PromoteAccept { page }
+        | TraceEvent::DemoteKswapd { page }
+        | TraceEvent::DemoteDirect { page }
+        | TraceEvent::PromoteDemoted { page }
+        | TraceEvent::MigrateRetry { page }
+        | TraceEvent::MigrateFail { page }
+        | TraceEvent::PageCacheDrop { page } => {
+            out.push_str(&format!(",\"page\":{page}"));
+        }
+        TraceEvent::PromoteCandidate { page, latency } => {
+            out.push_str(&format!(",\"page\":{page},\"latency\":{latency}"));
+        }
+        TraceEvent::PromoteReject { page, reason } => {
+            out.push_str(&format!(",\"page\":{page},\"reason\":\"{}\"", reason.name()));
+        }
+        TraceEvent::ThresholdAdjust { before, after, candidate_bytes, limit_bytes } => {
+            out.push_str(&format!(
+                ",\"before\":{before},\"after\":{after},\"candidate_bytes\":{candidate_bytes},\"limit_bytes\":{limit_bytes}"
+            ));
+        }
+        TraceEvent::RateLimitConsume { bytes } => {
+            out.push_str(&format!(",\"bytes\":{bytes}"));
+        }
+        TraceEvent::RateLimitDeny { bytes, available } => {
+            out.push_str(&format!(",\"bytes\":{bytes},\"available\":{available}"));
+        }
+        TraceEvent::FaultInjected { site } => {
+            out.push_str(&format!(",\"site\":\"{}\"", site.name()));
+        }
+        TraceEvent::ReclaimStall { cycles } => {
+            out.push_str(&format!(",\"cycles\":{cycles}"));
+        }
+    }
+    out.push_str("}\n");
+}
+
+/// CSV column header, shared by the exporter and its consumers. The
+/// trailing `recorded`/`dropped` columns are only populated by the final
+/// `trace_summary` row.
+pub const CSV_HEADER: &str =
+    "t,seq,event,page,latency,reason,before,after,candidate_bytes,limit_bytes,bytes,available,site,cycles,recorded,dropped";
+
+/// Serializes `log` as CSV with [`CSV_HEADER`] columns. Cells that do
+/// not apply to an event are left empty.
+pub fn to_csv(log: &TraceLog) -> String {
+    let mut out = String::new();
+    out.push_str(CSV_HEADER);
+    out.push('\n');
+    let mut last_now = 0;
+    for rec in &log.records {
+        push_record_csv(&mut out, rec);
+        last_now = rec.now;
+    }
+    out.push_str(&format!(
+        "{},{},trace_summary,,,,,,,,,,,,{},{}\n",
+        last_now, log.recorded, log.recorded, log.dropped
+    ));
+    out
+}
+
+fn push_record_csv(out: &mut String, rec: &TraceRecord) {
+    // Columns: page, latency, reason, before, after, candidate_bytes,
+    // limit_bytes, bytes, available, site, cycles, recorded, dropped.
+    let mut cells: [String; 13] = Default::default();
+    match rec.event {
+        TraceEvent::HintFault { page }
+        | TraceEvent::PromoteAccept { page }
+        | TraceEvent::DemoteKswapd { page }
+        | TraceEvent::DemoteDirect { page }
+        | TraceEvent::PromoteDemoted { page }
+        | TraceEvent::MigrateRetry { page }
+        | TraceEvent::MigrateFail { page }
+        | TraceEvent::PageCacheDrop { page } => {
+            cells[0] = page.to_string();
+        }
+        TraceEvent::PromoteCandidate { page, latency } => {
+            cells[0] = page.to_string();
+            cells[1] = latency.to_string();
+        }
+        TraceEvent::PromoteReject { page, reason } => {
+            cells[0] = page.to_string();
+            cells[2] = reason.name().to_string();
+        }
+        TraceEvent::ThresholdAdjust { before, after, candidate_bytes, limit_bytes } => {
+            cells[3] = before.to_string();
+            cells[4] = after.to_string();
+            cells[5] = candidate_bytes.to_string();
+            cells[6] = limit_bytes.to_string();
+        }
+        TraceEvent::RateLimitConsume { bytes } => {
+            cells[7] = bytes.to_string();
+        }
+        TraceEvent::RateLimitDeny { bytes, available } => {
+            cells[7] = bytes.to_string();
+            cells[8] = available.to_string();
+        }
+        TraceEvent::FaultInjected { site } => {
+            cells[9] = site.name().to_string();
+        }
+        TraceEvent::ReclaimStall { cycles } => {
+            cells[10] = cycles.to_string();
+        }
+    }
+    out.push_str(&format!("{},{},{},{}\n", rec.now, rec.seq, rec.event.name(), cells.join(",")));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{FaultSite, RejectReason};
+    use crate::state::{TraceConfig, TraceState};
+
+    fn sample_log() -> TraceLog {
+        let mut t = TraceState::new(TraceConfig::on().with_capacity(16));
+        t.set_now(10);
+        t.record(TraceEvent::HintFault { page: 7 });
+        t.record(TraceEvent::PromoteCandidate { page: 7, latency: 123 });
+        t.record(TraceEvent::PromoteReject { page: 7, reason: RejectReason::RateLimited });
+        t.record(TraceEvent::RateLimitDeny { bytes: 4096, available: 100 });
+        t.set_now(20);
+        t.record(TraceEvent::ThresholdAdjust {
+            before: 1000,
+            after: 800,
+            candidate_bytes: 8192,
+            limit_bytes: 4096,
+        });
+        t.record(TraceEvent::FaultInjected { site: FaultSite::DramAlloc });
+        t.record(TraceEvent::ReclaimStall { cycles: 555 });
+        t.set_gauge("threshold_cycles", 800);
+        t.snapshot_metrics();
+        t.log()
+    }
+
+    #[test]
+    fn jsonl_lines_are_flat_objects_with_required_keys() {
+        let text = to_jsonl(&sample_log());
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 7 + 1 + 1, "7 records + metrics snapshot + summary");
+        for line in &lines {
+            assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+            for key in ["\"t\":", "\"seq\":", "\"event\":\""] {
+                assert!(line.contains(key), "{line} missing {key}");
+            }
+        }
+        assert!(lines[2].contains("\"reason\":\"rate_limited\""), "{}", lines[2]);
+        assert!(lines[3].contains("\"bytes\":4096,\"available\":100"), "{}", lines[3]);
+        assert!(lines[4].contains("\"before\":1000,\"after\":800"), "{}", lines[4]);
+        assert!(lines[7].contains("\"metrics\":{"), "{}", lines[7]);
+        assert!(lines[7].contains("\"threshold_cycles\":800"), "{}", lines[7]);
+        let summary = lines.last().unwrap();
+        assert!(summary.contains("\"event\":\"trace_summary\""), "{summary}");
+        assert!(summary.contains("\"recorded\":7,\"dropped\":0"), "{summary}");
+    }
+
+    #[test]
+    fn jsonl_summary_reports_drops() {
+        let mut t = TraceState::new(TraceConfig::on().with_capacity(2));
+        for page in 0..5 {
+            t.record(TraceEvent::HintFault { page });
+        }
+        let text = to_jsonl(&t.log());
+        assert!(text.contains("\"recorded\":5,\"dropped\":3"), "{text}");
+    }
+
+    #[test]
+    fn csv_has_fixed_width_rows_and_summary() {
+        let text = to_csv(&sample_log());
+        let lines: Vec<&str> = text.lines().collect();
+        let width = CSV_HEADER.split(',').count();
+        assert_eq!(lines[0], CSV_HEADER);
+        for line in &lines {
+            assert_eq!(line.split(',').count(), width, "{line}");
+        }
+        assert!(lines[1].starts_with("10,0,hint_fault,7,"), "{}", lines[1]);
+        let summary = lines.last().unwrap();
+        assert!(summary.contains("trace_summary"), "{summary}");
+        assert!(summary.ends_with(",7,0"), "{summary}");
+    }
+
+    #[test]
+    fn empty_log_exports_just_the_summary() {
+        let log = TraceLog::default();
+        let jsonl = to_jsonl(&log);
+        assert_eq!(jsonl.lines().count(), 1);
+        assert!(jsonl.contains("\"recorded\":0,\"dropped\":0"));
+        assert_eq!(to_csv(&log).lines().count(), 2);
+    }
+}

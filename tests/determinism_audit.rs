@@ -125,7 +125,14 @@ fn serialized(report: &tiersim::core::RunReport) -> Vec<u8> {
 /// yields byte-identical serialized reports (summary + timeline CSVs).
 #[test]
 fn double_run_reports_are_byte_identical() {
-    let cfg = ExperimentConfig { scale: 12, degree: 8, trials: 2, sample_period: 101, jobs: 1 };
+    let cfg = ExperimentConfig {
+        scale: 12,
+        degree: 8,
+        trials: 2,
+        sample_period: 101,
+        jobs: 1,
+        ..ExperimentConfig::default()
+    };
     let w = cfg.workload(Kernel::Bfs, Dataset::Kron);
     let a = cfg.run(w, TieringMode::AutoNuma).expect("run a");
     let b = cfg.run(w, TieringMode::AutoNuma).expect("run b");

@@ -7,7 +7,14 @@ use tiersim::core::{Dataset, ExperimentConfig, Kernel};
 use tiersim::mem::Tier;
 
 fn cfg() -> ExperimentConfig {
-    ExperimentConfig { scale: 12, degree: 8, trials: 1, sample_period: 101, jobs: 1 }
+    ExperimentConfig {
+        scale: 12,
+        degree: 8,
+        trials: 1,
+        sample_period: 101,
+        jobs: 1,
+        ..ExperimentConfig::default()
+    }
 }
 
 #[test]

@@ -7,7 +7,14 @@ use tiersim::policy::TieringMode;
 use tiersim::profile::LevelDistribution;
 
 fn config() -> ExperimentConfig {
-    ExperimentConfig { scale: 13, degree: 16, trials: 2, sample_period: 97, jobs: 1 }
+    ExperimentConfig {
+        scale: 13,
+        degree: 16,
+        trials: 2,
+        sample_period: 97,
+        jobs: 1,
+        ..ExperimentConfig::default()
+    }
 }
 
 fn bc_kron_report() -> RunReport {

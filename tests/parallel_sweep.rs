@@ -8,14 +8,21 @@
 //! `crates/bench/tests/sweep_speedup.rs`, where real-time measurement is
 //! allowed.)
 
-use tiersim::core::{run_workload, ExperimentConfig, MachineConfig, RunReport};
+use tiersim::core::{run_workload, ExperimentConfig, MachineConfig, RunReport, TraceConfig};
 use tiersim::policy::TieringMode;
 use tiersim_bench::run_repro_suite;
 use tiersim_core::experiments::{Characterization, Comparison};
 use tiersim_core::sweep;
 
 fn tiny(jobs: usize) -> ExperimentConfig {
-    ExperimentConfig { scale: 11, degree: 8, trials: 1, sample_period: 211, jobs }
+    ExperimentConfig {
+        scale: 11,
+        degree: 8,
+        trials: 1,
+        sample_period: 211,
+        jobs,
+        trace: TraceConfig::off(),
+    }
 }
 
 fn serialized(report: &RunReport) -> Vec<u8> {
@@ -37,6 +44,33 @@ fn repro_suite_output_is_byte_identical_across_jobs() {
     assert_eq!(serial.summary(), parallel.summary());
     assert_eq!(serial.exit_code(), 0);
     assert_eq!(parallel.exit_code(), 0);
+}
+
+/// The `--trace` export is part of the determinism contract: the traced
+/// suite run records bytewise-identical JSONL and CSV exports whether the
+/// suite executes on 1 worker or 4 (ISSUE 5 acceptance).
+#[test]
+fn trace_export_is_byte_identical_across_jobs() {
+    let traced = |jobs: usize| {
+        let mut cfg = tiny(jobs);
+        cfg.trace = TraceConfig::on();
+        run_repro_suite(&cfg, false)
+    };
+    let serial = traced(1);
+    let parallel = traced(4);
+    let a = serial.trace_log().expect("traced suite records a log");
+    let b = parallel.trace_log().expect("traced suite records a log");
+    assert!(a.recorded > 0, "traced run recorded no events");
+    assert_eq!(
+        tiersim_core::trace_to_jsonl(a),
+        tiersim_core::trace_to_jsonl(b),
+        "trace JSONL diverged between jobs=1 and 4"
+    );
+    assert_eq!(
+        tiersim_core::trace_to_csv(a),
+        tiersim_core::trace_to_csv(b),
+        "trace CSV diverged between jobs=1 and 4"
+    );
 }
 
 /// Characterization renders and per-report CSVs are bytewise independent

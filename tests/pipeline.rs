@@ -9,7 +9,14 @@ use tiersim::mem::MemBackend;
 use tiersim::policy::TieringMode;
 
 fn tiny() -> ExperimentConfig {
-    ExperimentConfig { scale: 12, degree: 8, trials: 2, sample_period: 101, jobs: 1 }
+    ExperimentConfig {
+        scale: 12,
+        degree: 8,
+        trials: 2,
+        sample_period: 101,
+        jobs: 1,
+        ..ExperimentConfig::default()
+    }
 }
 
 /// §6.6 sanity check: with AutoNUMA disabled, every migration counter's
@@ -107,7 +114,14 @@ fn csv_exports_are_consistent() {
 /// truth from the memory system's full counters.
 #[test]
 fn sampling_tracks_ground_truth() {
-    let cfg = ExperimentConfig { scale: 12, degree: 8, trials: 2, sample_period: 23, jobs: 1 };
+    let cfg = ExperimentConfig {
+        scale: 12,
+        degree: 8,
+        trials: 2,
+        sample_period: 23,
+        jobs: 1,
+        ..ExperimentConfig::default()
+    };
     let w = cfg.workload(Kernel::Cc, Dataset::Kron);
     let r = cfg.run(w, TieringMode::AutoNuma).expect("run");
     let sampled = tiersim::profile::LevelDistribution::of(&r.samples);

@@ -1,11 +1,16 @@
 //! Workspace automation tasks. Run as `cargo xtask <task>`.
 //!
-//! The only task today is `lint`: the tiersim determinism lint pass (see
-//! DESIGN.md §9). It is dependency-free on purpose — CI runs it before
-//! anything else, on an offline toolchain.
+//! Tasks:
+//! - `lint` — the tiersim determinism lint pass (DESIGN.md §9);
+//! - `trace-check` — schema validation for `repro_all --trace` JSONL
+//!   artifacts (DESIGN.md §11).
+//!
+//! Both are dependency-free on purpose — CI runs them on an offline
+//! toolchain before anything else.
 
 mod lexer;
 mod rules;
+mod trace_check;
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -14,6 +19,7 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("lint") => lint(&args[1..]),
+        Some("trace-check") => trace_check_cmd(&args[1..]),
         Some("--help") | Some("-h") | None => {
             print_usage();
             ExitCode::SUCCESS
@@ -27,11 +33,36 @@ fn main() -> ExitCode {
 }
 
 fn print_usage() {
-    eprintln!("usage: cargo xtask lint [--list]");
+    eprintln!("usage: cargo xtask <lint [--list] | trace-check FILE.jsonl>");
     eprintln!();
     eprintln!("tasks:");
-    eprintln!("  lint          run the determinism lint pass over the workspace");
-    eprintln!("  lint --list   print the lint rule ids and exit");
+    eprintln!("  lint               run the determinism lint pass over the workspace");
+    eprintln!("  lint --list        print the lint rule ids and exit");
+    eprintln!("  trace-check FILE   validate a `repro_all --trace` JSONL artifact");
+}
+
+fn trace_check_cmd(args: &[String]) -> ExitCode {
+    let [path] = args else {
+        eprintln!("xtask trace-check: expected exactly one file argument");
+        return ExitCode::FAILURE;
+    };
+    let text = match std::fs::read_to_string(path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("xtask trace-check: cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match trace_check::check_jsonl(&text) {
+        Ok(lines) => {
+            println!("xtask trace-check: {path}: {lines} lines ok");
+            ExitCode::SUCCESS
+        }
+        Err((line, msg)) => {
+            eprintln!("xtask trace-check: {path}:{line}: {msg}");
+            ExitCode::FAILURE
+        }
+    }
 }
 
 fn lint(args: &[String]) -> ExitCode {

@@ -41,6 +41,10 @@ enum Scope {
     /// all parallelism funnels through its index-ordered, scope-joined
     /// pool (the determinism contract, DESIGN.md §10).
     NoUnscopedThreads,
+    /// Floating-point control math in `os`: the threshold controller and
+    /// the promotion rate limiter, where a bare float→int `as` cast once
+    /// hid the stuck-threshold and stalled-bucket bugs (PR 5).
+    FloatControlMath,
 }
 
 impl Scope {
@@ -69,6 +73,9 @@ impl Scope {
             Scope::NoUnscopedThreads => {
                 path != "crates/core/src/sweep.rs" && !path.starts_with("xtask/")
             }
+            Scope::FloatControlMath => {
+                path == "crates/os/src/threshold.rs" || path == "crates/os/src/rate_limit.rs"
+            }
         }
     }
 }
@@ -84,6 +91,10 @@ enum Matcher {
     /// `HashMap`/`HashSet` named anywhere: in an order-sensitive file any
     /// use is suspect, because iteration order can reach the output.
     HashContainer,
+    /// An `as <int-type>` cast on a line with no explicit rounding call
+    /// (`floor`/`round`/`ceil`): in float-heavy control math a bare cast
+    /// truncates toward zero silently.
+    UnroundedIntCast,
 }
 
 struct Rule {
@@ -134,6 +145,13 @@ const RULES: &[Rule] = &[
         hint: "threads only via the sweep executor (tiersim_core::sweep::run_cells): scoped, joined, index-ordered",
     },
     Rule {
+        id: "float-trunc",
+        scope: Scope::FloatControlMath,
+        matcher: Matcher::UnroundedIntCast,
+        exempt_tests: true,
+        hint: "float→int `as` truncates toward zero: call .floor()/.round()/.ceil() on the same line so the rounding direction is explicit (the stuck-threshold bug hid behind a bare cast)",
+    },
+    Rule {
         id: "println",
         scope: Scope::LibraryCode,
         matcher: Matcher::Tokens(&["println", "print", "eprintln", "eprint", "dbg"]),
@@ -144,6 +162,14 @@ const RULES: &[Rule] = &[
 
 /// Target types whose `as` casts can drop address/page bits.
 const NARROW_TYPES: &[&str] = &["u8", "u16", "u32", "usize", "i8", "i16", "i32", "i64", "isize"];
+
+/// All integer cast targets — for float math even a "wide" `as u64`
+/// silently drops the fractional part.
+const INT_TYPES: &[&str] =
+    &["u8", "u16", "u32", "u64", "u128", "usize", "i8", "i16", "i32", "i64", "i128", "isize"];
+
+/// Rounding calls that make a subsequent int cast intentional.
+const ROUNDING_CALLS: &[&str] = &["floor", "round", "ceil", "trunc"];
 
 /// Returns the rule ids, for `--list`.
 pub fn rule_ids() -> Vec<&'static str> {
@@ -165,6 +191,7 @@ pub fn lint_file(path: &str, lines: &[CodeLine]) -> Vec<Violation> {
                 Matcher::Tokens(tokens) => match_tokens(&line.code, tokens),
                 Matcher::LossyCast => match_lossy_cast(&line.code),
                 Matcher::HashContainer => match_tokens(&line.code, &["HashMap", "HashSet"]),
+                Matcher::UnroundedIntCast => match_unrounded_int_cast(&line.code),
             };
             let Some(token) = matched else { continue };
             if allowed(rule.id, lines, idx) {
@@ -223,6 +250,23 @@ fn match_lossy_cast(code: &str) -> Option<String> {
     None
 }
 
+/// Detects `as <int-type>` on a line with no rounding call. An explicit
+/// `.floor()`/`.round()`/`.ceil()`/`.trunc()` on the same line states the
+/// rounding direction and legitimizes the cast.
+fn match_unrounded_int_cast(code: &str) -> Option<String> {
+    if ROUNDING_CALLS.iter().any(|t| has_token(code, t)) {
+        return None;
+    }
+    let words: Vec<&str> =
+        code.split(|c: char| !is_ident_char(c)).filter(|w| !w.is_empty()).collect();
+    for pair in words.windows(2) {
+        if pair[0] == "as" && INT_TYPES.contains(&pair[1]) {
+            return Some(format!("as {}", pair[1]));
+        }
+    }
+    None
+}
+
 /// Is `rule` allowed on line `idx` (same line or the line just above)?
 fn allowed(rule: &str, lines: &[CodeLine], idx: usize) -> bool {
     let needle = format!("tiersim-lint: allow({rule})");
@@ -274,6 +318,37 @@ mod tests {
         let wide = lex("let x = v as u64;");
         assert!(lint_file("crates/mem/src/addr.rs", &wide).is_empty());
         assert!(lint_file("crates/os/src/engine.rs", &lines).is_empty());
+    }
+
+    #[test]
+    fn float_trunc_fires_on_bare_cast_in_control_math() {
+        // The pre-fix threshold controller shape: bare truncating cast.
+        let bare = lex("let next = (self.threshold as f64 * 0.8) as u64;");
+        let v = lint_file("crates/os/src/threshold.rs", &bare);
+        assert!(v.iter().any(|v| v.rule == "float-trunc" && v.token == "as u64"));
+        assert!(lint_file("crates/os/src/rate_limit.rs", &bare)
+            .iter()
+            .any(|v| v.rule == "float-trunc"));
+    }
+
+    #[test]
+    fn float_trunc_passes_explicit_rounding_and_other_paths() {
+        // The fixed shapes: rounding made explicit on the same line.
+        let rounded = lex("let next = (self.threshold as f64 * 0.8).round() as u64;");
+        assert!(lint_file("crates/os/src/threshold.rs", &rounded).is_empty());
+        let floored = lex("self.tokens.floor() as u64");
+        assert!(lint_file("crates/os/src/rate_limit.rs", &floored).is_empty());
+        // Casts into floats are not truncations.
+        let widen = lex("let t = elapsed as f64;");
+        assert!(lint_file("crates/os/src/rate_limit.rs", &widen).is_empty());
+        // Out-of-scope files are untouched (engine.rs has many int casts).
+        let bare = lex("let next = x as u64;");
+        assert!(lint_file("crates/os/src/engine.rs", &bare).is_empty());
+        // Tests and the allow comment are exempt like everywhere else.
+        let test_code = lex("#[cfg(test)]\nmod tests {\n let x = y as u64;\n}");
+        assert!(lint_file("crates/os/src/threshold.rs", &test_code).is_empty());
+        let allowed = lex("// tiersim-lint: allow(float-trunc)\nlet x = y as u64;");
+        assert!(lint_file("crates/os/src/threshold.rs", &allowed).is_empty());
     }
 
     #[test]

@@ -1,0 +1,139 @@
+//! `cargo xtask trace-check <file.jsonl>`: schema validation for
+//! `repro_all --trace` output.
+//!
+//! Mirrors the hand-emitted JSONL layout of `tiersim-trace` (DESIGN.md
+//! §11) without a JSON parser, so the offline CI toolchain can verify
+//! trace artifacts with nothing beyond std:
+//!
+//! - every line is a flat object with `t`, `seq` and `event` keys;
+//! - `event` names come from the known vocabulary;
+//! - `seq` is strictly increasing (records, then metrics snapshots);
+//! - the last line is a `trace_summary` carrying `recorded`/`dropped`,
+//!   and `recorded` matches the sequence numbering.
+
+/// The event vocabulary the exporter can emit. Kept in sync with
+/// `TraceEvent::name()` plus the two synthetic exporter lines.
+const KNOWN_EVENTS: &[&str] = &[
+    "hint_fault",
+    "promote_candidate",
+    "promote_accept",
+    "promote_reject",
+    "demote_kswapd",
+    "demote_direct",
+    "promote_demoted",
+    "migrate_retry",
+    "migrate_fail",
+    "threshold_adjust",
+    "rate_limit_consume",
+    "rate_limit_deny",
+    "fault_injected",
+    "reclaim_stall",
+    "page_cache_drop",
+    "metrics_snapshot",
+    "trace_summary",
+];
+
+/// Validates a JSONL trace. Returns the number of lines checked, or the
+/// first problem as `(1-based line, message)`.
+pub fn check_jsonl(text: &str) -> Result<usize, (usize, String)> {
+    let lines: Vec<&str> = text.lines().collect();
+    if lines.is_empty() {
+        return Err((0, "empty trace file".to_string()));
+    }
+    let mut prev_seq: Option<u64> = None;
+    for (idx, line) in lines.iter().enumerate() {
+        let n = idx + 1;
+        if !(line.starts_with('{') && line.ends_with('}')) {
+            return Err((n, "line is not a flat JSON object".to_string()));
+        }
+        u64_field(line, "t").ok_or_else(|| (n, "missing numeric `t` key".to_string()))?;
+        let seq =
+            u64_field(line, "seq").ok_or_else(|| (n, "missing numeric `seq` key".to_string()))?;
+        let event = str_field(line, "event")
+            .ok_or_else(|| (n, "missing string `event` key".to_string()))?;
+        if !KNOWN_EVENTS.contains(&event) {
+            return Err((n, format!("unknown event `{event}`")));
+        }
+        if let Some(prev) = prev_seq {
+            if seq <= prev {
+                return Err((n, format!("seq went {prev} -> {seq}, must strictly increase")));
+            }
+        }
+        prev_seq = Some(seq);
+        let is_last = n == lines.len();
+        if (event == "trace_summary") != is_last {
+            return Err((n, "trace_summary must be exactly the final line".to_string()));
+        }
+        if is_last {
+            let recorded = u64_field(line, "recorded")
+                .ok_or_else(|| (n, "summary missing `recorded`".to_string()))?;
+            u64_field(line, "dropped")
+                .ok_or_else(|| (n, "summary missing `dropped`".to_string()))?;
+            // Record lines number 0..recorded; snapshots and the summary
+            // continue the sequence, so the summary's seq is the line
+            // budget check: seq >= recorded and recorded >= event lines.
+            if seq < recorded {
+                return Err((n, format!("summary seq {seq} < recorded {recorded}")));
+            }
+        }
+    }
+    Ok(lines.len())
+}
+
+/// Extracts `"name":<u64>` from a flat JSON line.
+fn u64_field(line: &str, name: &str) -> Option<u64> {
+    let key = format!("\"{name}\":");
+    let start = line.find(&key)? + key.len();
+    let digits: String = line[start..].chars().take_while(|c| c.is_ascii_digit()).collect();
+    digits.parse().ok()
+}
+
+/// Extracts `"name":"<value>"` from a flat JSON line.
+fn str_field<'a>(line: &'a str, name: &str) -> Option<&'a str> {
+    let key = format!("\"{name}\":\"");
+    let start = line.find(&key)? + key.len();
+    let rest = &line[start..];
+    rest.find('"').map(|end| &rest[..end])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const GOOD: &str = "\
+{\"t\":10,\"seq\":0,\"event\":\"hint_fault\",\"page\":7}\n\
+{\"t\":10,\"seq\":1,\"event\":\"promote_reject\",\"page\":7,\"reason\":\"rate_limited\"}\n\
+{\"t\":20,\"seq\":2,\"event\":\"metrics_snapshot\",\"metrics\":{\"threshold_cycles\":800}}\n\
+{\"t\":20,\"seq\":3,\"event\":\"trace_summary\",\"recorded\":2,\"dropped\":0}\n";
+
+    #[test]
+    fn accepts_well_formed_trace() {
+        assert_eq!(check_jsonl(GOOD), Ok(4));
+    }
+
+    #[test]
+    fn rejects_empty_and_malformed() {
+        assert!(check_jsonl("").is_err());
+        assert!(check_jsonl("not json\n").is_err());
+        let no_seq = "{\"t\":1,\"event\":\"hint_fault\"}\n";
+        assert_eq!(check_jsonl(no_seq).unwrap_err().0, 1);
+    }
+
+    #[test]
+    fn rejects_unknown_event_and_broken_seq() {
+        let unknown = GOOD.replace("hint_fault", "mystery_event");
+        assert!(check_jsonl(&unknown).unwrap_err().1.contains("unknown event"));
+        let stuck = GOOD.replace("\"seq\":1", "\"seq\":0");
+        assert!(check_jsonl(&stuck).unwrap_err().1.contains("strictly increase"));
+    }
+
+    #[test]
+    fn requires_summary_last_and_consistent() {
+        let missing = GOOD.lines().take(3).collect::<Vec<_>>().join("\n") + "\n";
+        assert!(check_jsonl(&missing).unwrap_err().1.contains("trace_summary"));
+        let early = GOOD.replace("metrics_snapshot", "trace_summary");
+        assert!(check_jsonl(&early).unwrap_err().1.contains("final line"));
+        let inflated = GOOD.replace("\"recorded\":2", "\"recorded\":9");
+        assert!(check_jsonl(&inflated).unwrap_err().1.contains("summary seq"));
+    }
+}
