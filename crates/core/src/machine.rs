@@ -17,6 +17,11 @@ use tiersim_profile::{AllocTracker, Sampler};
 /// Syscall overhead charged per `mmap`/`munmap`, in cycles (~0.5 µs).
 const SYSCALL_COST_CYCLES: u64 = 1_300;
 
+/// Elements per batched run chunk ([`Machine::run`]): large enough to
+/// amortize the run-engine dispatch, small enough that OS housekeeping —
+/// which runs at chunk boundaries in batched mode — stays timely.
+const RUN_CHUNK_ELEMS: u64 = 4_096;
+
 /// The simulated machine for one run.
 ///
 /// `Machine` implements [`MemBackend`], so graph workloads written against
@@ -155,6 +160,11 @@ impl Machine {
     /// Samples recorded so far.
     pub fn samples(&self) -> &[tiersim_profile::MemSample] {
         self.sampler.samples()
+    }
+
+    /// Total accesses the sampler observed (sampled or not).
+    pub fn sampler_observed(&self) -> u64 {
+        self.sampler.observed()
     }
 
     /// The allocation tracker.
@@ -399,6 +409,61 @@ impl Machine {
         self.advance_parallel(self.cfg.cpu_cycles_per_op + outcome.cycles + os_cost);
     }
 
+    /// Batched execution of a sequential run — the engine behind
+    /// [`MemBackend::load_run`]/[`MemBackend::store_run`] on the full
+    /// machine.
+    ///
+    /// Elements that can do something *special* — fault on a non-resident
+    /// page, raise an AutoNUMA hint fault, or land on the sampler's next
+    /// due sample — take the exact per-element [`Machine::op`] path one at
+    /// a time. Everything else is provably plain (resident hint-free
+    /// pages, sampler not due, so `AutoNuma::on_access` would be an exact
+    /// no-op) and is dispatched in chunks to
+    /// [`MemorySystem::access_run`], which applies its per-line fast lane
+    /// and closed-form interval engine.
+    ///
+    /// Semantic note (DESIGN.md §12): within a chunk the clock is frozen
+    /// at the chunk's start and OS housekeeping runs at chunk boundaries,
+    /// so periodic OS events can fire up to one chunk late relative to
+    /// the per-element machine. The schedule remains a pure function of
+    /// workload + configuration: identical across hosts and `--jobs`
+    /// values.
+    fn run(&mut self, addr: VirtAddr, stride: u32, count: u64, kind: AccessKind) {
+        let stride64 = u64::from(stride.max(1));
+        let mut i = 0u64;
+        while i < count {
+            let a = addr + i * stride64;
+            // Cap the plain-page scan at what a full chunk could touch.
+            let cap = ((RUN_CHUNK_ELEMS * stride64) >> tiersim_mem::PAGE_SHIFT) as usize + 2;
+            let window_pages = self.mem.plain_window(a.page(), cap);
+            let due = if self.sampler.is_enabled() { self.sampler.until_due() } else { u64::MAX };
+            if window_pages == 0 || due == 1 {
+                // Non-resident or hinted first page, or the next access
+                // records a sample: exact path for this element.
+                self.op(a, kind);
+                i += 1;
+                continue;
+            }
+            let window_end = (a.page().index() + window_pages as u64) << tiersim_mem::PAGE_SHIFT;
+            let max_in_window = (window_end - 1 - a.raw()) / stride64 + 1;
+            let chunk = (count - i).min(RUN_CHUNK_ELEMS).min(max_in_window).min(due - 1);
+            match self.mem.access_run(a, stride, chunk, kind, self.clock_cycles) {
+                Ok(out) => {
+                    debug_assert_eq!(out.elems, chunk);
+                    debug_assert_eq!(out.hint_faults, 0, "hint fault inside a plain window");
+                    self.sampler.observe_gap(out.elems);
+                    self.advance_parallel(self.cfg.cpu_cycles_per_op * out.elems + out.cycles);
+                    i += out.elems;
+                }
+                Err(rf) => {
+                    // The window held only resident pages and nothing in
+                    // access_run unmaps them.
+                    unreachable!("fault inside a resident plain window: {:?}", rf.error)
+                }
+            }
+        }
+    }
+
     /// Decomposes the machine into its profiling artifacts:
     /// `(samples, tracker, timeline, trace)`.
     pub fn into_artifacts(
@@ -435,6 +500,14 @@ impl MemBackend for Machine {
 
     fn store(&mut self, addr: VirtAddr, _bytes: u32) {
         self.op(addr, AccessKind::Store);
+    }
+
+    fn load_run(&mut self, addr: VirtAddr, stride: u32, count: u64) {
+        self.run(addr, stride, count, AccessKind::Load);
+    }
+
+    fn store_run(&mut self, addr: VirtAddr, stride: u32, count: u64) {
+        self.run(addr, stride, count, AccessKind::Store);
     }
 
     fn set_thread(&mut self, tid: ThreadId) {
@@ -546,6 +619,64 @@ mod tests {
             v.get(&mut m, i);
         }
         assert!(m.samples().len() >= 99, "got {}", m.samples().len());
+    }
+
+    #[test]
+    fn batched_scans_still_service_hint_faults() {
+        // The batched run path must stop at HINT-marked pages so the exact
+        // per-element path services the NUMA hint fault: a workload that
+        // only ever uses `scan`/`fill` (load_run/store_run) still produces
+        // hint faults once the AutoNUMA scanner has marked its pages.
+        let mut m = machine(TieringMode::AutoNuma);
+        let mut v = SimVec::new(&mut m, "v", 1 << 15, 0u64); // 64 pages
+        v.fill(&mut m, 1);
+        let mut scans = 0;
+        while m.os().counters().numa_hint_faults == 0 && scans < 500 {
+            v.scan(&mut m, |_, _| {});
+            scans += 1;
+        }
+        assert!(
+            m.os().counters().numa_hint_faults > 0,
+            "no hint faults serviced after {scans} batched scans"
+        );
+    }
+
+    #[test]
+    fn batched_scan_samples_match_per_element() {
+        // Sampling is exact under batching: the run path bulk-skips the
+        // inter-sample gap and routes each due element through the exact
+        // per-element path, so the sampled address sequence is identical
+        // to a machine that never batches.
+        let cfg = || {
+            let mut c = MachineConfig::scaled_default(4 << 20, TieringMode::AutoNuma);
+            c.sample_period = 13;
+            c
+        };
+        let mut batched = Machine::new(cfg()).unwrap();
+        let mut element = Machine::new(cfg()).unwrap();
+        let vb = SimVec::new(&mut batched, "v", 1 << 15, 0u64);
+        let ve = SimVec::new(&mut element, "v", 1 << 15, 0u64);
+        for _ in 0..2 {
+            vb.scan(&mut batched, |_, _| {});
+        }
+        for _ in 0..2 {
+            for i in 0..ve.len() {
+                ve.get(&mut element, i);
+            }
+        }
+        let ab: Vec<_> = batched.samples().iter().map(|s| s.addr).collect();
+        let ae: Vec<_> = element.samples().iter().map(|s| s.addr).collect();
+        assert!(!ab.is_empty());
+        assert_eq!(ab, ae);
+        assert_eq!(batched.sampler_observed(), element.sampler_observed());
+        // Under demand paging every page's first touch precedes the bulk
+        // sweep over it, so the line footprint overlaps and the machine
+        // correctly stays on the per-line fast lane (the closed-form
+        // interval engine requires provably-cold spans — pre-mapped
+        // regions, as in the streaming benchmark). Both machines must
+        // agree that the interval engine never fired here.
+        assert_eq!(batched.mem().interval_stats().runs, 0);
+        assert_eq!(element.mem().interval_stats().runs, 0);
     }
 
     #[test]

@@ -94,7 +94,16 @@ impl fmt::Display for PageFlags {
     }
 }
 
-/// Metadata for one resident page.
+/// Metadata snapshot for one resident page.
+///
+/// Since the struct-of-arrays page table refactor this is a *value* type:
+/// the authoritative storage is the parallel columns inside
+/// [`PageTable`](crate::PageTable), and `PageInfo` is only materialized at
+/// the API boundary (reads return a copy; mutation goes through
+/// `PageTable::update`, which writes the edited copy back). Constructing a
+/// `PageInfo` anywhere outside the page-table module is forbidden by the
+/// `pageinfo-construct` lint rule — go through `PageTable::insert` /
+/// `update` instead so the residency counters and columns stay coherent.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct PageInfo {
@@ -108,13 +117,6 @@ pub struct PageInfo {
     pub scan_time: u64,
     /// Cycle timestamp of the most recent access.
     pub last_access: u64,
-}
-
-impl PageInfo {
-    /// Creates metadata for a page freshly mapped on `tier` at time `now`.
-    pub fn new(tier: Tier, now: u64) -> Self {
-        PageInfo { tier, flags: PageFlags::NONE, scan_time: 0, last_access: now }
-    }
 }
 
 #[cfg(test)]
@@ -148,8 +150,8 @@ mod tests {
     }
 
     #[test]
-    fn new_page_is_flagless() {
-        let p = PageInfo::new(Tier::Nvm, 42);
+    fn snapshot_is_plain_value() {
+        let p = PageInfo { tier: Tier::Nvm, flags: PageFlags::NONE, scan_time: 0, last_access: 42 };
         assert_eq!(p.tier, Tier::Nvm);
         assert!(p.flags.is_empty());
         assert_eq!(p.last_access, 42);

@@ -1,19 +1,55 @@
-//! Flat page table over the dense `mmap` arena.
+//! Flat page table over the dense `mmap` arena, stored struct-of-arrays.
 
 use crate::addr::{PageNum, PAGE_SHIFT};
-use crate::page::PageInfo;
+use crate::page::{PageFlags, PageInfo};
 use crate::tier::Tier;
 use crate::vma::MMAP_BASE;
+
+/// Tier byte for a non-resident slot.
+const TIER_NONE: u8 = 0;
+
+#[inline]
+const fn tier_byte(tier: Tier) -> u8 {
+    match tier {
+        Tier::Dram => 1,
+        Tier::Nvm => 2,
+    }
+}
+
+#[inline]
+const fn byte_tier(b: u8) -> Option<Tier> {
+    match b {
+        1 => Some(Tier::Dram),
+        2 => Some(Tier::Nvm),
+        _ => None,
+    }
+}
 
 /// Resident-page table.
 ///
 /// Because the VMA bump allocator hands out dense addresses starting at
-/// [`MMAP_BASE`], the table is a flat `Vec<Option<PageInfo>>` indexed by
-/// `page - MMAP_BASE/4096`, giving O(1) lookups on the access fast path
-/// (the single hottest operation in the whole simulator).
+/// [`MMAP_BASE`], the table is indexed by `page - MMAP_BASE/4096`, giving
+/// O(1) lookups on the access fast path (the single hottest operation in
+/// the whole simulator).
+///
+/// Page metadata is held in parallel struct-of-arrays columns (tier byte,
+/// flags, scan time, last-access time) rather than a `Vec<Option<PageInfo>>`.
+/// The interval engine ([`MemorySystem::access_run`]) validates and updates
+/// whole page *windows*, and the SoA layout turns those window operations
+/// into dense scans of a single small column (`tiers`, one byte per page)
+/// plus a bulk `fill` of `last_access` — instead of pointer-chasing 32-byte
+/// per-page structs. [`PageInfo`] survives as a *value* snapshot type: this
+/// module is the only place allowed to assemble one (enforced by the
+/// `pageinfo-construct` lint rule).
+///
+/// [`MemorySystem::access_run`]: crate::MemorySystem::access_run
 #[derive(Debug, Clone, Default)]
 pub struct PageTable {
-    entries: Vec<Option<PageInfo>>,
+    /// Presence + tier per slot: `TIER_NONE` if not resident.
+    tiers: Vec<u8>,
+    flags: Vec<PageFlags>,
+    scan_time: Vec<u64>,
+    last_access: Vec<u64>,
     resident: [u64; 2],
     /// One-entry last-translation cache: `(page index, slot)` of the most
     /// recent successful slot computation. The page→slot mapping is pure
@@ -30,8 +66,9 @@ impl PageTable {
         PageTable::default()
     }
 
+    /// Slot index of `pn`, usable with the window operations below.
     #[inline]
-    fn slot(pn: PageNum) -> Option<usize> {
+    pub fn slot(pn: PageNum) -> Option<usize> {
         pn.index().checked_sub(MMAP_BASE >> PAGE_SHIFT).and_then(|i| usize::try_from(i).ok())
     }
 
@@ -48,70 +85,111 @@ impl PageTable {
         Some(slot)
     }
 
-    /// Returns the metadata of a resident page.
+    /// Assembles the value snapshot for an in-bounds, resident slot.
     #[inline]
-    pub fn get(&self, pn: PageNum) -> Option<&PageInfo> {
-        let slot = Self::slot(pn)?;
-        self.entries.get(slot)?.as_ref()
+    fn info_at(&self, slot: usize, tier: Tier) -> PageInfo {
+        PageInfo {
+            tier,
+            flags: self.flags[slot],
+            scan_time: self.scan_time[slot],
+            last_access: self.last_access[slot],
+        }
     }
 
-    /// Returns mutable metadata of a resident page.
+    /// Returns a snapshot of the metadata of a resident page.
     #[inline]
-    pub fn get_mut(&mut self, pn: PageNum) -> Option<&mut PageInfo> {
+    pub fn get(&self, pn: PageNum) -> Option<PageInfo> {
+        let slot = Self::slot(pn)?;
+        let tier = byte_tier(*self.tiers.get(slot)?)?;
+        Some(self.info_at(slot, tier))
+    }
+
+    /// Applies `f` to a snapshot of the page's metadata and writes the
+    /// result back, adjusting residency counters if `f` changed the tier.
+    /// Returns `f`'s result, or `None` if the page is not resident.
+    #[inline]
+    pub fn update<R>(&mut self, pn: PageNum, f: impl FnOnce(&mut PageInfo) -> R) -> Option<R> {
         let slot = self.slot_cached(pn)?;
-        self.entries.get_mut(slot)?.as_mut()
+        let tier = byte_tier(*self.tiers.get(slot)?)?;
+        let mut info = self.info_at(slot, tier);
+        let out = f(&mut info);
+        if info.tier != tier {
+            self.resident[tier.index()] -= 1;
+            self.resident[info.tier.index()] += 1;
+            self.tiers[slot] = tier_byte(info.tier);
+        }
+        self.flags[slot] = info.flags;
+        self.scan_time[slot] = info.scan_time;
+        self.last_access[slot] = info.last_access;
+        Some(out)
     }
 
     /// Returns `true` if the page is resident.
     #[inline]
     pub fn is_resident(&self, pn: PageNum) -> bool {
-        self.get(pn).is_some()
+        Self::slot(pn).and_then(|slot| self.tiers.get(slot)).is_some_and(|&b| b != TIER_NONE)
     }
 
-    /// Inserts metadata for `pn`. Returns the previous entry if the page
-    /// was already resident (callers treat that as a bug; see
+    /// The access-path hot call: stamps `last_access = now`, consumes a
+    /// pending HINT flag, and returns `(tier, hint_consumed, scan_time)`.
+    /// Returns `None` if the page is not resident.
+    #[inline]
+    pub fn access_touch(&mut self, pn: PageNum, now: u64) -> Option<(Tier, bool, u64)> {
+        let slot = self.slot_cached(pn)?;
+        let tier = byte_tier(*self.tiers.get(slot)?)?;
+        self.last_access[slot] = now;
+        let hint = self.flags[slot].contains(PageFlags::HINT);
+        if hint {
+            self.flags[slot].remove(PageFlags::HINT);
+        }
+        Some((tier, hint, self.scan_time[slot]))
+    }
+
+    /// Inserts metadata for a page freshly mapped on `tier` at time `now`.
+    /// Returns the previous entry if the page was already resident (callers
+    /// treat that as a bug; see
     /// [`MemorySystem::map_page`](crate::MemorySystem::map_page)).
     /// A page below `MMAP_BASE` is never handed out by `mmap`, so such an
     /// insert is ignored (and trips a debug assertion).
-    pub fn insert(&mut self, pn: PageNum, info: PageInfo) -> Option<PageInfo> {
+    pub fn insert(&mut self, pn: PageNum, tier: Tier, now: u64) -> Option<PageInfo> {
         let Some(slot) = Self::slot(pn) else {
             debug_assert!(false, "insert of page below MMAP_BASE");
             return None;
         };
-        if slot >= self.entries.len() {
-            self.entries.resize(slot + 1, None);
+        if slot >= self.tiers.len() {
+            self.tiers.resize(slot + 1, TIER_NONE);
+            self.flags.resize(slot + 1, PageFlags::NONE);
+            self.scan_time.resize(slot + 1, 0);
+            self.last_access.resize(slot + 1, 0);
         }
-        let old = self.entries[slot].replace(info);
-        match old {
-            Some(prev) => {
-                self.resident[prev.tier.index()] -= 1;
-                self.resident[info.tier.index()] += 1;
-                Some(prev)
-            }
-            None => {
-                self.resident[info.tier.index()] += 1;
-                None
-            }
+        let old = byte_tier(self.tiers[slot]).map(|prev| self.info_at(slot, prev));
+        if let Some(prev) = &old {
+            self.resident[prev.tier.index()] -= 1;
         }
+        self.tiers[slot] = tier_byte(tier);
+        self.flags[slot] = PageFlags::NONE;
+        self.scan_time[slot] = 0;
+        self.last_access[slot] = now;
+        self.resident[tier.index()] += 1;
+        old
     }
 
     /// Removes the entry for `pn`, returning it if it was resident.
     pub fn remove(&mut self, pn: PageNum) -> Option<PageInfo> {
         let slot = Self::slot(pn)?;
-        let old = self.entries.get_mut(slot)?.take();
-        if let Some(prev) = &old {
-            self.resident[prev.tier.index()] -= 1;
-        }
-        old
+        let tier = byte_tier(*self.tiers.get(slot)?)?;
+        let old = self.info_at(slot, tier);
+        self.tiers[slot] = TIER_NONE;
+        self.resident[tier.index()] -= 1;
+        Some(old)
     }
 
     /// Changes the tier recorded for a resident page, returning the old
     /// tier. Returns `None` if the page is not resident.
     pub fn retier(&mut self, pn: PageNum, to: Tier) -> Option<Tier> {
         let slot = Self::slot(pn)?;
-        let info = self.entries.get_mut(slot)?.as_mut()?;
-        let from = info.tier;
-        info.tier = to;
+        let from = byte_tier(*self.tiers.get(slot)?)?;
+        self.tiers[slot] = tier_byte(to);
         self.resident[from.index()] -= 1;
         self.resident[to.index()] += 1;
         Some(from)
@@ -127,13 +205,63 @@ impl PageTable {
         self.resident.iter().sum()
     }
 
-    /// Iterates `(page, info)` for all resident pages in address order.
-    pub fn iter(&self) -> impl Iterator<Item = (PageNum, &PageInfo)> {
+    /// Iterates `(page, info)` snapshots for all resident pages in address
+    /// order.
+    pub fn iter(&self) -> impl Iterator<Item = (PageNum, PageInfo)> + '_ {
         let base = MMAP_BASE >> PAGE_SHIFT;
-        self.entries
-            .iter()
-            .enumerate()
-            .filter_map(move |(i, e)| e.as_ref().map(|info| (PageNum::new(base + i as u64), info)))
+        self.tiers.iter().enumerate().filter_map(move |(i, &b)| {
+            byte_tier(b).map(|tier| (PageNum::new(base + i as u64), self.info_at(i, tier)))
+        })
+    }
+
+    /// Read-only window check for the interval engine: returns the common
+    /// tier iff all `n` pages starting at `pn` are resident on the same
+    /// tier with no pending HINT flag. A dense scan of the `tiers` byte
+    /// column plus a flags sweep; does not modify anything.
+    pub fn window_uniform(&self, pn: PageNum, n: usize) -> Option<Tier> {
+        let slot = Self::slot(pn)?;
+        let end = slot.checked_add(n)?;
+        let tiers = self.tiers.get(slot..end)?;
+        let want = *tiers.first()?;
+        let tier = byte_tier(want)?;
+        if !tiers.iter().all(|&b| b == want) {
+            return None;
+        }
+        if self.flags[slot..end].iter().any(|f| f.contains(PageFlags::HINT)) {
+            return None;
+        }
+        Some(tier)
+    }
+
+    /// Bulk hotness update for the interval engine: stamps
+    /// `last_access = now` on `n` pages starting at `pn`. Callers must have
+    /// validated the window with [`PageTable::window_uniform`] first.
+    pub fn stamp_last_access(&mut self, pn: PageNum, n: usize, now: u64) {
+        let Some(slot) = Self::slot(pn) else { return };
+        let Some(end) = slot.checked_add(n) else { return };
+        if let Some(ts) = self.last_access.get_mut(slot..end) {
+            ts.fill(now);
+        }
+    }
+
+    /// Number of leading pages in `[pn, pn + max_pages)` that are resident
+    /// with no pending HINT flag — the window a batched run may cover
+    /// without per-element fault/hint handling. Returns 0 if the first
+    /// page already needs per-element care.
+    pub fn plain_window(&self, pn: PageNum, max_pages: usize) -> usize {
+        let Some(slot) = Self::slot(pn) else { return 0 };
+        let end = slot.saturating_add(max_pages).min(self.tiers.len());
+        if slot >= end {
+            return 0;
+        }
+        let mut n = 0;
+        while slot + n < end
+            && self.tiers[slot + n] != TIER_NONE
+            && !self.flags[slot + n].contains(PageFlags::HINT)
+        {
+            n += 1;
+        }
+        n
     }
 }
 
@@ -151,8 +279,9 @@ mod tests {
     fn insert_get_remove_roundtrip() {
         let mut pt = PageTable::new();
         assert!(pt.get(pn(3)).is_none());
-        pt.insert(pn(3), PageInfo::new(Tier::Dram, 1));
+        pt.insert(pn(3), Tier::Dram, 1);
         assert_eq!(pt.get(pn(3)).unwrap().tier, Tier::Dram);
+        assert_eq!(pt.get(pn(3)).unwrap().last_access, 1);
         assert_eq!(pt.resident_pages(Tier::Dram), 1);
         let removed = pt.remove(pn(3)).unwrap();
         assert_eq!(removed.tier, Tier::Dram);
@@ -162,7 +291,7 @@ mod tests {
     #[test]
     fn retier_moves_residency_counts() {
         let mut pt = PageTable::new();
-        pt.insert(pn(0), PageInfo::new(Tier::Dram, 0));
+        pt.insert(pn(0), Tier::Dram, 0);
         assert_eq!(pt.retier(pn(0), Tier::Nvm), Some(Tier::Dram));
         assert_eq!(pt.resident_pages(Tier::Dram), 0);
         assert_eq!(pt.resident_pages(Tier::Nvm), 1);
@@ -185,25 +314,25 @@ mod tests {
     #[test]
     fn last_translation_cache_is_transparent() {
         let mut pt = PageTable::new();
-        pt.insert(pn(4), PageInfo::new(Tier::Dram, 0));
-        pt.insert(pn(9), PageInfo::new(Tier::Nvm, 0));
+        pt.insert(pn(4), Tier::Dram, 0);
+        pt.insert(pn(9), Tier::Nvm, 0);
         // Repeated and alternating mutable lookups resolve through the
         // one-entry cache without ever returning the wrong slot.
         for _ in 0..3 {
-            assert_eq!(pt.get_mut(pn(4)).unwrap().tier, Tier::Dram);
-            assert_eq!(pt.get_mut(pn(9)).unwrap().tier, Tier::Nvm);
-            assert!(pt.get_mut(PageNum::new(1)).is_none());
+            assert_eq!(pt.update(pn(4), |p| p.tier).unwrap(), Tier::Dram);
+            assert_eq!(pt.update(pn(9), |p| p.tier).unwrap(), Tier::Nvm);
+            assert!(pt.update(PageNum::new(1), |_| ()).is_none());
         }
         // Removal is visible through the cached slot immediately.
         pt.remove(pn(4));
-        assert!(pt.get_mut(pn(4)).is_none());
+        assert!(pt.update(pn(4), |_| ()).is_none());
     }
 
     #[test]
     fn iter_yields_address_order() {
         let mut pt = PageTable::new();
-        pt.insert(pn(5), PageInfo::new(Tier::Nvm, 0));
-        pt.insert(pn(2), PageInfo::new(Tier::Dram, 0));
+        pt.insert(pn(5), Tier::Nvm, 0);
+        pt.insert(pn(2), Tier::Dram, 0);
         let pages: Vec<_> = pt.iter().map(|(p, _)| p).collect();
         assert_eq!(pages, vec![pn(2), pn(5)]);
     }
@@ -211,10 +340,80 @@ mod tests {
     #[test]
     fn reinsert_replaces_and_fixes_counts() {
         let mut pt = PageTable::new();
-        pt.insert(pn(1), PageInfo::new(Tier::Dram, 0));
-        let prev = pt.insert(pn(1), PageInfo::new(Tier::Nvm, 1));
+        pt.insert(pn(1), Tier::Dram, 0);
+        let prev = pt.insert(pn(1), Tier::Nvm, 1);
         assert_eq!(prev.unwrap().tier, Tier::Dram);
         assert_eq!(pt.resident_pages(Tier::Dram), 0);
         assert_eq!(pt.resident_pages(Tier::Nvm), 1);
+    }
+
+    #[test]
+    fn update_retier_through_closure_fixes_counts() {
+        let mut pt = PageTable::new();
+        pt.insert(pn(2), Tier::Nvm, 0);
+        pt.update(pn(2), |p| p.tier = Tier::Dram);
+        assert_eq!(pt.resident_pages(Tier::Dram), 1);
+        assert_eq!(pt.resident_pages(Tier::Nvm), 0);
+    }
+
+    #[test]
+    fn access_touch_consumes_hint_and_stamps() {
+        let mut pt = PageTable::new();
+        pt.insert(pn(7), Tier::Nvm, 0);
+        pt.update(pn(7), |p| {
+            p.flags.insert(PageFlags::HINT);
+            p.scan_time = 5;
+        });
+        assert_eq!(pt.access_touch(pn(7), 99), Some((Tier::Nvm, true, 5)));
+        let info = pt.get(pn(7)).unwrap();
+        assert!(!info.flags.contains(PageFlags::HINT));
+        assert_eq!(info.last_access, 99);
+        // Second touch: hint already consumed.
+        assert_eq!(pt.access_touch(pn(7), 100), Some((Tier::Nvm, false, 5)));
+        assert_eq!(pt.access_touch(pn(8), 100), None);
+    }
+
+    #[test]
+    fn window_uniform_requires_same_tier_and_no_hint() {
+        let mut pt = PageTable::new();
+        for i in 0..4 {
+            pt.insert(pn(i), Tier::Dram, 0);
+        }
+        assert_eq!(pt.window_uniform(pn(0), 4), Some(Tier::Dram));
+        pt.retier(pn(2), Tier::Nvm);
+        assert_eq!(pt.window_uniform(pn(0), 4), None);
+        assert_eq!(pt.window_uniform(pn(0), 2), Some(Tier::Dram));
+        pt.retier(pn(2), Tier::Dram);
+        pt.update(pn(1), |p| p.flags.insert(PageFlags::HINT));
+        assert_eq!(pt.window_uniform(pn(0), 4), None);
+        // Out-of-range window (page 4 not resident).
+        assert_eq!(pt.window_uniform(pn(3), 2), None);
+    }
+
+    #[test]
+    fn stamp_last_access_fills_window() {
+        let mut pt = PageTable::new();
+        for i in 0..3 {
+            pt.insert(pn(i), Tier::Dram, 0);
+        }
+        pt.stamp_last_access(pn(0), 3, 42);
+        for i in 0..3 {
+            assert_eq!(pt.get(pn(i)).unwrap().last_access, 42);
+        }
+    }
+
+    #[test]
+    fn plain_window_stops_at_hint_or_hole() {
+        let mut pt = PageTable::new();
+        for i in 0..5 {
+            pt.insert(pn(i), Tier::Dram, 0);
+        }
+        pt.update(pn(3), |p| p.flags.insert(PageFlags::HINT));
+        assert_eq!(pt.plain_window(pn(0), 8), 3);
+        assert_eq!(pt.plain_window(pn(3), 8), 0);
+        assert_eq!(pt.plain_window(pn(4), 8), 1);
+        pt.remove(pn(1));
+        assert_eq!(pt.plain_window(pn(0), 8), 1);
+        assert_eq!(pt.plain_window(pn(9), 8), 0);
     }
 }

@@ -28,6 +28,67 @@ const PTE_BASE: u64 = 1 << 46;
 /// Lines per page (4096 / 64).
 const LINES_PER_PAGE: u64 = PAGE_SIZE >> LINE_SHIFT;
 
+/// Minimum number of core pages for which the interval engine engages;
+/// shorter runs stay on the per-line fast lane (the setup cost would not
+/// amortize, and an 8-page block is the PTE-line granule).
+const MIN_INTERVAL_PAGES: u64 = 8;
+
+/// Conservative interval `[lo, hi)` of line numbers that may be present in
+/// any cache level. Grown on every line that enters [`cache_path`]; never
+/// shrunk (evictions leave it alone). The interval engine's soundness rests
+/// on the guarantee *line cached ⇒ line inside the footprint*: a run whose
+/// lines are disjoint from the footprint is provably absent from every
+/// cache, so each of its lines is a full miss. Over-coverage only costs
+/// fallbacks, never correctness.
+///
+/// [`cache_path`]: MemorySystem::cache_path
+#[derive(Debug, Clone, Copy)]
+struct LineFootprint {
+    lo: u64,
+    hi: u64,
+}
+
+impl LineFootprint {
+    const EMPTY: LineFootprint = LineFootprint { lo: u64::MAX, hi: 0 };
+
+    #[inline]
+    fn extend(&mut self, line: u64) {
+        self.lo = self.lo.min(line);
+        self.hi = self.hi.max(line + 1);
+    }
+
+    /// Whether `[lo, hi)` does not intersect the footprint.
+    #[inline]
+    fn disjoint(&self, lo: u64, hi: u64) -> bool {
+        self.hi <= lo || hi <= self.lo
+    }
+}
+
+/// Counters for the interval engine (observability, *not* part of the
+/// simulation's observable state: the bit-equality suite compares
+/// everything else across execution paths, which engage the engine
+/// differently by design).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IntervalStats {
+    /// Runs (or run segments) executed closed-form.
+    pub runs: u64,
+    /// Pages advanced closed-form.
+    pub pages: u64,
+}
+
+/// The validated closed-form core of a run: `core_elems` elements covering
+/// `pages` full pages starting at `first_page`, preceded by `lead_elems`
+/// lane elements.
+#[derive(Debug, Clone, Copy)]
+struct IntervalCore {
+    lead_elems: u64,
+    core_elems: u64,
+    first_page: u64,
+    pages: u64,
+    tier: Tier,
+    stride: u64,
+}
+
 /// Totals of a completed sequential run (see
 /// [`MemorySystem::access_run`]).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -105,6 +166,11 @@ pub struct MemorySystem {
     stats: AccessStats,
     faults: FaultState,
     trace: TraceState,
+    /// Conservative cache footprint over data lines (below [`PTE_BASE`]).
+    fp_data: LineFootprint,
+    /// Conservative cache footprint over PTE lines (at/above [`PTE_BASE`]).
+    fp_pte: LineFootprint,
+    interval: IntervalStats,
 }
 
 impl MemorySystem {
@@ -133,6 +199,9 @@ impl MemorySystem {
             stats: AccessStats::default(),
             faults: FaultState::new(cfg.fault),
             trace: TraceState::new(cfg.trace),
+            fp_data: LineFootprint::EMPTY,
+            fp_pte: LineFootprint::EMPTY,
+            interval: IntervalStats::default(),
             cfg,
         })
     }
@@ -227,7 +296,7 @@ impl MemorySystem {
             return Err(MemError::AllocTransient { tier });
         }
         self.frames[tier.index()].alloc()?;
-        self.pages.insert(pn, PageInfo::new(tier, now));
+        self.pages.insert(pn, tier, now);
         Ok(())
     }
 
@@ -280,31 +349,32 @@ impl MemorySystem {
         Ok(read_cycles.max(write_cycles))
     }
 
-    /// Returns the metadata of a resident page.
-    pub fn page(&self, pn: PageNum) -> Option<&PageInfo> {
+    /// Returns a metadata snapshot of a resident page.
+    pub fn page(&self, pn: PageNum) -> Option<PageInfo> {
         self.pages.get(pn)
     }
 
-    /// Returns mutable metadata of a resident page (for OS flag updates).
-    pub fn page_mut(&mut self, pn: PageNum) -> Option<&mut PageInfo> {
-        self.pages.get_mut(pn)
+    /// Applies `f` to the page's metadata (for OS flag updates), writing
+    /// the edited snapshot back to the struct-of-arrays page table.
+    /// Returns `f`'s result, or `None` if the page is not resident.
+    pub fn page_update<R>(&mut self, pn: PageNum, f: impl FnOnce(&mut PageInfo) -> R) -> Option<R> {
+        self.pages.update(pn, f)
     }
 
     /// Marks a resident page for NUMA hinting; its next access raises a
     /// hint fault. Returns `false` if the page is not resident.
     pub fn mark_hint(&mut self, pn: PageNum, now: u64) -> bool {
-        match self.pages.get_mut(pn) {
-            Some(info) => {
+        self.pages
+            .update(pn, |info| {
                 info.flags.insert(PageFlags::HINT);
                 info.scan_time = now;
-                true
-            }
-            None => false,
-        }
+            })
+            .is_some()
     }
 
-    /// Iterates `(page, info)` over resident pages in address order.
-    pub fn resident_pages(&self) -> impl Iterator<Item = (PageNum, &PageInfo)> {
+    /// Iterates `(page, info)` snapshots over resident pages in address
+    /// order.
+    pub fn resident_pages(&self) -> impl Iterator<Item = (PageNum, PageInfo)> + '_ {
         self.pages.iter()
     }
 
@@ -373,6 +443,14 @@ impl MemorySystem {
     /// fetched from `tier`'s device. Returns the satisfying level and the
     /// cycles spent.
     fn cache_path(&mut self, line: u64, is_store: bool, tier: Tier) -> (MemLevel, u64) {
+        // Track every line that can enter a cache: the interval engine's
+        // disjointness proof depends on this being the only entry point
+        // (besides the engine's own cold fills, accounted separately).
+        if line < (PTE_BASE >> LINE_SHIFT) {
+            self.fp_data.extend(line);
+        } else {
+            self.fp_pte.extend(line);
+        }
         match self.l1.access(line, is_store) {
             CacheOutcome::Hit => return (MemLevel::L1, self.l1.latency()),
             CacheOutcome::Miss { writeback } => {
@@ -449,15 +527,8 @@ impl MemorySystem {
     ) -> Result<AccessOutcome, AccessError> {
         let pn = addr.page();
         self.faults.set_now(now);
-        let (tier, hint_fault, hint_scan_time) = match self.pages.get_mut(pn) {
-            Some(info) => {
-                info.last_access = now;
-                let hint = info.flags.contains(PageFlags::HINT);
-                if hint {
-                    info.flags.remove(PageFlags::HINT);
-                }
-                (info.tier, hint, info.scan_time)
-            }
+        let (tier, hint_fault, hint_scan_time) = match self.pages.access_touch(pn, now) {
+            Some(t) => t,
             None => {
                 let vma = self.vmas.find(addr).ok_or(AccessError::Segfault { addr })?;
                 return Err(AccessError::Fault(PageFault {
@@ -497,25 +568,35 @@ impl MemorySystem {
     }
 
     /// Performs `count` sequential accesses of one `stride`-byte element
-    /// each, element `i` at `addr + i * stride` — the batched fast lane
-    /// for streaming loops.
+    /// each, element `i` at `addr + i * stride` — the batched engine for
+    /// streaming loops.
     ///
-    /// The first element of every cache line takes the full
-    /// [`MemorySystem::access`] path. The remaining elements of that line
-    /// are *provably* free DTLB hits plus L1 hits that leave all
-    /// replacement state untouched (re-touching a set's MRU way is a
-    /// no-op, and a store re-marks an already-dirty line), so they are
-    /// charged in bulk: every observable counter — [`AccessStats`], TLB,
-    /// cache and device statistics — and the total cycle count are
-    /// bit-equal to the per-element loop. The equivalence is enforced by
-    /// a property test against the retained reference path.
+    /// Two nested accelerations, both bit-equal to the per-element loop
+    /// (enforced by property tests against the retained reference path):
+    ///
+    /// 1. **Fast lane** (always applicable): the first element of every
+    ///    cache line takes the full [`MemorySystem::access`] path; the
+    ///    remaining elements of that line are *provably* free DTLB hits
+    ///    plus L1 hits that leave all replacement state untouched, so they
+    ///    are charged in bulk.
+    /// 2. **Interval engine** (DESIGN.md §12): when the run's *core* — its
+    ///    maximal span of whole pages, 8-page aligned at the front — is
+    ///    provably regular (loads only, uniform resident tier, no pending
+    ///    hint bits, all caches clean and provably free of the core's data
+    ///    and PTE lines, NVM fault spike quiescent over the span), each
+    ///    core page is advanced closed-form: a real page walk and PTE
+    ///    fetch, cold cache fills, one device row/block-granular read run,
+    ///    and O(1) bulk statistics updates in place of
+    ///    `4096 / stride` individual accesses. The partial head (plus
+    ///    alignment slack) and tail still go through the fast lane.
     ///
     /// # Errors
     ///
     /// On a page fault or segfault the completed prefix stays charged and
     /// [`RunFault`] reports how far the run got; the caller services the
     /// fault and resumes from `done`, exactly as it would retry a single
-    /// [`MemorySystem::access`].
+    /// [`MemorySystem::access`]. The interval core itself cannot fault
+    /// (every core page is resident by construction).
     pub fn access_run(
         &mut self,
         addr: VirtAddr,
@@ -526,8 +607,61 @@ impl MemorySystem {
     ) -> Result<RunOutcome, RunFault> {
         let stride = u64::from(stride.max(1));
         let mut out = RunOutcome::default();
-        let mut i = 0u64;
-        while i < count {
+        if count == 0 {
+            return Ok(out);
+        }
+        // The per-element path feeds the fault injector the clock on every
+        // access; doing it once up front is identical (set_now is
+        // monotonic) and lets the validity check read the settled clock.
+        self.faults.set_now(now);
+        if let Some(core) = self.interval_core(addr, stride, count, kind) {
+            self.lane_segment(addr, stride, 0, core.lead_elems, kind, now, &mut out)?;
+            self.run_interval(&core, kind, now, &mut out);
+            let done = core.lead_elems + core.core_elems;
+            self.lane_segment(addr, stride, done, count, kind, now, &mut out)?;
+        } else {
+            self.lane_segment(addr, stride, 0, count, kind, now, &mut out)?;
+        }
+        Ok(out)
+    }
+
+    /// The run executed purely on the per-line fast lane, with the
+    /// interval engine disabled. Public so benchmarks and tests can time
+    /// and compare the two paths; production callers use
+    /// [`MemorySystem::access_run`].
+    ///
+    /// # Errors
+    ///
+    /// Exactly as [`MemorySystem::access_run`].
+    pub fn access_run_lane(
+        &mut self,
+        addr: VirtAddr,
+        stride: u32,
+        count: u64,
+        kind: AccessKind,
+        now: u64,
+    ) -> Result<RunOutcome, RunFault> {
+        let stride = u64::from(stride.max(1));
+        let mut out = RunOutcome::default();
+        self.lane_segment(addr, stride, 0, count, kind, now, &mut out)?;
+        Ok(out)
+    }
+
+    /// Fast-lane execution of elements `[start, end)` of a run based at
+    /// `addr`, appending into `out`.
+    #[allow(clippy::too_many_arguments)]
+    fn lane_segment(
+        &mut self,
+        addr: VirtAddr,
+        stride: u64,
+        start: u64,
+        end: u64,
+        kind: AccessKind,
+        now: u64,
+        out: &mut RunOutcome,
+    ) -> Result<(), RunFault> {
+        let mut i = start;
+        while i < end {
             let a = addr + i * stride;
             let first = match self.access(a, kind, now) {
                 Ok(o) => o,
@@ -539,7 +673,7 @@ impl MemorySystem {
             out.hint_faults += u64::from(first.hint_fault);
             // Index of the last element still on this cache line.
             let line_end = (a.line() + 1) << LINE_SHIFT;
-            let j_last = ((line_end - 1 - addr.raw()) / stride).min(count - 1);
+            let j_last = ((line_end - 1 - addr.raw()) / stride).min(end - 1);
             let bulk = j_last - i;
             if bulk > 0 {
                 let lat = self.l1.latency();
@@ -551,7 +685,152 @@ impl MemorySystem {
             out.elems += bulk + 1;
             i = j_last + 1;
         }
-        Ok(out)
+        Ok(())
+    }
+
+    /// Validates the closed-form core of a run (DESIGN.md §12), read-only.
+    ///
+    /// Returns `None` — fall back to the fast lane — unless *every*
+    /// interval-validity condition holds. The conditions make each core
+    /// access's outcome a constant the engine can charge without
+    /// simulating it:
+    ///
+    /// - loads only (stores dirty lines, creating order-dependent
+    ///   writeback chains) and no Memory-Mode cache;
+    /// - `stride` divides the line size and `addr` is stride-aligned, so
+    ///   page boundaries are element boundaries;
+    /// - the core spans at least [`MIN_INTERVAL_PAGES`] whole pages, its
+    ///   first page 8-aligned so the lead-in cannot share a PTE line with
+    ///   the core;
+    /// - every core page is resident on one uniform tier with no pending
+    ///   hint bit ([`PageTable::window_uniform`]);
+    /// - all cache levels are clean (evictions then never write back) and
+    ///   the core's data and PTE line ranges are disjoint from the
+    ///   conservative cache footprint, so every core line is a full miss
+    ///   and — since pages enter the TLB only via walks, which always
+    ///   cache the PTE line — no core page is TLB-resident;
+    /// - an NVM core is outside any injected latency-spike range/window
+    ///   ([`FaultState::nvm_spike_quiescent`]).
+    fn interval_core(
+        &self,
+        addr: VirtAddr,
+        stride: u64,
+        count: u64,
+        kind: AccessKind,
+    ) -> Option<IntervalCore> {
+        if kind.is_store() || self.mm_cache.is_some() {
+            return None;
+        }
+        if !crate::addr::LINE_SIZE.is_multiple_of(stride) || !addr.raw().is_multiple_of(stride) {
+            return None;
+        }
+        let a = addr.raw();
+        let end = a.checked_add(count.checked_mul(stride)?)?;
+        // First whole page covered from its start, rounded up to the
+        // 8-page PTE-line granule; last whole page boundary below `end`.
+        let first_full = (a + PAGE_SIZE - 1) >> PAGE_SHIFT;
+        let p_lo = (first_full + (MIN_INTERVAL_PAGES - 1)) & !(MIN_INTERVAL_PAGES - 1);
+        let p_hi = end >> PAGE_SHIFT;
+        if p_hi < p_lo + MIN_INTERVAL_PAGES {
+            return None;
+        }
+        let pages = p_hi - p_lo;
+        let tier = self.pages.window_uniform(PageNum::new(p_lo), pages as usize)?;
+        if self.l1.dirty_lines() != 0 || self.l2.dirty_lines() != 0 || self.l3.dirty_lines() != 0 {
+            return None;
+        }
+        let shift = PAGE_SHIFT - LINE_SHIFT;
+        if !self.fp_data.disjoint(p_lo << shift, p_hi << shift) {
+            return None;
+        }
+        let pte_lo = (PTE_BASE >> LINE_SHIFT) + (p_lo >> 3);
+        let pte_hi = (PTE_BASE >> LINE_SHIFT) + ((p_hi + 7) >> 3);
+        if !self.fp_pte.disjoint(pte_lo, pte_hi) {
+            return None;
+        }
+        if tier == Tier::Nvm && !self.faults.nvm_spike_quiescent(p_lo, pages) {
+            return None;
+        }
+        Some(IntervalCore {
+            lead_elems: ((p_lo << PAGE_SHIFT) - a) / stride,
+            core_elems: pages * (PAGE_SIZE / stride),
+            first_page: p_lo,
+            pages,
+            tier,
+            stride,
+        })
+    }
+
+    /// Executes a validated interval core closed-form, appending into
+    /// `out`. Infallible: every core page is resident by construction.
+    ///
+    /// Per page, the state machines are advanced by their *real*
+    /// operations minus the branches the validity proof killed: a genuine
+    /// TLB miss + insert, the PTE fetch through the full cache hierarchy
+    /// (PTE lines interfere like any other line), cold fills of all 64
+    /// data lines (full misses, clean victims), and one row/block-granular
+    /// device read run. Element-level repeats collapse into O(1) bulk
+    /// statistics credits, exactly as the fast lane's bulk half.
+    fn run_interval(
+        &mut self,
+        core: &IntervalCore,
+        kind: AccessKind,
+        now: u64,
+        out: &mut RunOutcome,
+    ) {
+        let epl_line = crate::addr::LINE_SIZE / core.stride;
+        let bulk_per_page = LINES_PER_PAGE * (epl_line - 1);
+        let rest_lines = LINES_PER_PAGE - 1;
+        let l1lat = self.l1.latency();
+        let l3lat = self.l3.latency();
+        let level = MemLevel::from(core.tier);
+        let shift = PAGE_SHIFT - LINE_SHIFT;
+        let mut walk_cycles = 0; // per-page first-line (page-walk) accesses
+        let mut rest_cycles = 0; // per-page remaining 63 line-first accesses
+        for pidx in core.first_page..core.first_page + core.pages {
+            let pn = PageNum::new(pidx);
+            let t = self.tlb.lookup(pn);
+            debug_assert!(matches!(t, TlbOutcome::Miss), "core page unexpectedly TLB-resident");
+            let pte_line = (PTE_BASE + pidx * 8) >> LINE_SHIFT;
+            let (_, pte_cycles) = self.cache_path(pte_line, false, Tier::Dram);
+            self.tlb.insert(pn);
+            // Per-cache bulk fills: each cache sees its ops in the same
+            // per-cache order as the reference interleave (caches are
+            // independent state machines, so only per-cache order matters).
+            let line0 = pidx << shift;
+            self.l1.fill_cold_run(line0, LINES_PER_PAGE);
+            self.l2.fill_cold_run(line0, LINES_PER_PAGE);
+            self.l3.fill_cold_run(line0, LINES_PER_PAGE);
+            // Device reads in reference order (line 0 first, then the run);
+            // the spike-quiescence proof lets NVM skip the multiplier calls.
+            let dev0 = match core.tier {
+                Tier::Dram => self.dram.read(line0 << LINE_SHIFT),
+                Tier::Nvm => self.nvm.read(line0 << LINE_SHIFT),
+            };
+            let dev_rest = match core.tier {
+                Tier::Dram => self.dram.read_run((line0 + 1) << LINE_SHIFT, rest_lines),
+                Tier::Nvm => self.nvm.read_run((line0 + 1) << LINE_SHIFT, rest_lines),
+            };
+            walk_cycles += self.cfg.walk_base_penalty + pte_cycles + l3lat + dev0;
+            rest_cycles += rest_lines * l3lat + dev_rest;
+            self.tlb.record_l1_hit_run(rest_lines + bulk_per_page);
+            self.l1.record_hit_run(bulk_per_page);
+        }
+        let pages = core.pages;
+        self.stats.record_external_run(kind, level, true, pages, walk_cycles);
+        self.stats.record_external_run(kind, level, false, pages * rest_lines, rest_cycles);
+        self.stats.record_l1_run(kind, pages * bulk_per_page, l1lat);
+        self.pages.stamp_last_access(PageNum::new(core.first_page), pages as usize, now);
+        // The core's data lines are now cached: grow the footprint over
+        // them (their PTE lines went through cache_path above).
+        self.fp_data.extend(core.first_page << shift);
+        self.fp_data.extend(((core.first_page + pages) << shift) - 1);
+        out.elems += core.core_elems;
+        out.cycles += walk_cycles + rest_cycles + pages * bulk_per_page * l1lat;
+        out.lines += pages * LINES_PER_PAGE;
+        out.tlb_misses += pages;
+        self.interval.runs += 1;
+        self.interval.pages += pages;
     }
 
     /// The pre-fast-lane reference path: the same run issued strictly
@@ -592,6 +871,20 @@ impl MemorySystem {
     /// Aggregate access statistics.
     pub fn stats(&self) -> &AccessStats {
         &self.stats
+    }
+
+    /// Interval-engine engagement counters (how often and over how many
+    /// pages [`MemorySystem::access_run`] executed closed-form).
+    pub fn interval_stats(&self) -> IntervalStats {
+        self.interval
+    }
+
+    /// Number of leading pages in `[pn, pn + max_pages)` that are *plain*
+    /// — resident with no pending hint bit, so a batched run over them
+    /// cannot fault or raise a hint fault. Returns 0 if `pn` itself needs
+    /// per-element care (see [`PageTable::plain_window`]).
+    pub fn plain_window(&self, pn: PageNum, max_pages: usize) -> usize {
+        self.pages.plain_window(pn, max_pages)
     }
 
     /// TLB statistics.
@@ -668,6 +961,7 @@ impl MemorySystem {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fault::{CycleWindow, FaultPlan};
 
     fn sys() -> MemorySystem {
         MemorySystem::new(
@@ -852,29 +1146,45 @@ mod tests {
         cycles as f64 / ext as f64
     }
 
-    /// Every observable number of a system, for fast-lane equivalence
-    /// checks.
+    /// Every observable number of a system, for execution-path
+    /// equivalence checks: access/TLB/cache/device/fault statistics, the
+    /// trace event stream and page residency. Interval-engine engagement
+    /// counters are deliberately excluded — the paths differ in *how*
+    /// they execute, never in what they observe.
     fn fingerprint(s: &MemorySystem) -> String {
         format!(
-            "{:?}|{:?}|{:?}|{:?}|{:?}|{:?}|{:?}",
+            "{:?}|{:?}|{:?}|{:?}|{:?}|{:?}|{:?}|{:?}",
             s.stats(),
             s.tlb_stats(),
             s.cache_stats(),
             s.dram_stats(),
             s.nvm_stats(),
             s.fault_stats(),
-            s.resident_pages().map(|(p, i)| (p, *i)).collect::<Vec<_>>(),
+            s.trace().records(),
+            s.resident_pages().collect::<Vec<_>>(),
         )
     }
 
-    /// Drives `runs` through either the fast lane or the reference path,
-    /// servicing page faults with a tier chosen from the page number, and
-    /// logs everything observable along the way.
+    /// Which execution path [`drive_runs`] exercises.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    enum RunMode {
+        /// Strictly element-by-element (`access_run_ref`).
+        Reference,
+        /// Per-line fast lane only (`access_run_lane`).
+        Lane,
+        /// Fast lane + interval engine (`access_run`).
+        Full,
+    }
+
+    /// Drives `runs` through the chosen execution path, servicing page
+    /// faults with a tier chosen from the page number (32-page blocks, so
+    /// uniform-tier windows exist and the interval engine can engage),
+    /// and logs everything observable along the way.
     fn drive_runs(
         mut s: MemorySystem,
         base: VirtAddr,
         runs: &[(u64, u32, u64, bool)],
-        fast: bool,
+        mode: RunMode,
     ) -> (Vec<String>, MemorySystem) {
         let mut log = Vec::new();
         for (ri, &(off, stride, count, is_store)) in runs.iter().enumerate() {
@@ -885,10 +1195,10 @@ mod tests {
             while start <= count {
                 let addr = base + off + start * stride64;
                 let remaining = count - start;
-                let res = if fast {
-                    s.access_run(addr, stride, remaining, kind, now)
-                } else {
-                    s.access_run_ref(addr, stride, remaining, kind, now)
+                let res = match mode {
+                    RunMode::Full => s.access_run(addr, stride, remaining, kind, now),
+                    RunMode::Lane => s.access_run_lane(addr, stride, remaining, kind, now),
+                    RunMode::Reference => s.access_run_ref(addr, stride, remaining, kind, now),
                 };
                 match res {
                     Ok(out) => {
@@ -898,7 +1208,8 @@ mod tests {
                     Err(rf) => {
                         log.push(format!("{ri}@{start}: fault after {} ({:?})", rf.done, rf.error));
                         let AccessError::Fault(pf) = rf.error else { break };
-                        let tier = if pf.page.index() % 2 == 0 { Tier::Dram } else { Tier::Nvm };
+                        let tier =
+                            if (pf.page.index() / 32) % 2 == 0 { Tier::Dram } else { Tier::Nvm };
                         s.map_page(pf.page, tier, now).unwrap();
                         start += rf.done;
                     }
@@ -908,10 +1219,27 @@ mod tests {
         (log, s)
     }
 
+    /// Drives the same run list down all three execution paths from
+    /// clones of `s` and asserts pairwise observation equivalence.
+    fn assert_three_way(s: MemorySystem, base: VirtAddr, runs: &[(u64, u32, u64, bool)]) {
+        let lane = s.clone();
+        let reference = s.clone();
+        let (log_full, s_full) = drive_runs(s, base, runs, RunMode::Full);
+        let (log_lane, s_lane) = drive_runs(lane, base, runs, RunMode::Lane);
+        let (log_ref, s_ref) = drive_runs(reference, base, runs, RunMode::Reference);
+        assert_eq!(log_full, log_lane, "full vs lane logs");
+        assert_eq!(log_full, log_ref, "full vs reference logs");
+        assert_eq!(fingerprint(&s_full), fingerprint(&s_lane), "full vs lane state");
+        assert_eq!(fingerprint(&s_full), fingerprint(&s_ref), "full vs reference state");
+        assert_eq!(s_lane.interval_stats(), IntervalStats::default());
+        assert_eq!(s_ref.interval_stats(), IntervalStats::default());
+    }
+
     proptest::proptest! {
-        /// The batched fast lane is observation-equivalent to the
-        /// per-element reference path: identical run outcomes, identical
-        /// fault sequences, and bit-equal access/TLB/cache/device stats.
+        /// The batched fast lane and the interval engine are
+        /// observation-equivalent to the per-element reference path:
+        /// identical run outcomes, identical fault sequences, and
+        /// bit-equal access/TLB/cache/device stats.
         #[test]
         fn prop_access_run_matches_reference(
             maps in proptest::collection::vec(0u8..3, 32),
@@ -950,12 +1278,238 @@ mod tests {
                     (off, stride, count.min(max), st)
                 })
                 .collect();
-            let twin = s.clone();
-            let (log_fast, s_fast) = drive_runs(s, base, &runs, true);
-            let (log_ref, s_ref) = drive_runs(twin, base, &runs, false);
-            proptest::prop_assert_eq!(log_fast, log_ref);
-            proptest::prop_assert_eq!(fingerprint(&s_fast), fingerprint(&s_ref));
+            assert_three_way(s, base, &runs);
         }
+    }
+
+    /// Stride menu for interval-scale property runs: every divisor of the
+    /// line size (interval-eligible) plus a few misaligned strides that
+    /// must fall back to the lane.
+    const PROP_STRIDES: [u32; 10] = [1, 2, 4, 8, 16, 32, 64, 3, 24, 100];
+
+    proptest::proptest! {
+        /// Interval-scale runs (thousands of elements over a 64-page
+        /// region) under random NVM-spike fault plans: the three paths
+        /// stay bit-equal across AccessStats, device/TLB/cache counters,
+        /// fault stats and the trace stream, with tracing enabled.
+        #[test]
+        fn prop_interval_engine_matches_reference_under_fault_plans(
+            maps in proptest::collection::vec(0u8..3, 64),
+            hints in proptest::collection::vec(proptest::bool::ANY, 64),
+            spike in (0u64..80, 0u64..40, 1u32..6),
+            window in (0u64..3, 1u64..9),
+            seed in 0u64..u64::MAX,
+            raw_runs in proptest::collection::vec(
+                (0u64..60 * PAGE_SIZE, 0usize..10, 0u64..4000, proptest::bool::ANY),
+                1..5,
+            ),
+        ) {
+            let (spike_off, spike_pages, spike_mult) = spike;
+            let (win_start_k, win_len_k) = window;
+            let plan = FaultPlan {
+                seed,
+                nvm_spike_multiplier: spike_mult,
+                nvm_spike_first_page: (crate::vma::MMAP_BASE >> PAGE_SHIFT) + spike_off,
+                nvm_spike_pages: spike_pages,
+                nvm_spike_window: CycleWindow {
+                    start: win_start_k * 1000,
+                    end: (win_start_k + win_len_k) * 1000,
+                },
+                ..FaultPlan::none()
+            };
+            let mut s = MemorySystem::new(
+                MemConfig::builder()
+                    .dram_capacity(256 * PAGE_SIZE)
+                    .nvm_capacity(256 * PAGE_SIZE)
+                    .fault(plan)
+                    .trace(tiersim_trace::TraceConfig::on())
+                    .build()
+                    .unwrap(),
+            )
+            .unwrap();
+            let base = s.mmap(64 * PAGE_SIZE, MemPolicy::Default, "interval").unwrap();
+            for (i, &m) in maps.iter().enumerate() {
+                let pn = (base + i as u64 * PAGE_SIZE).page();
+                match m {
+                    1 => s.map_page(pn, Tier::Dram, 0).unwrap(),
+                    2 => s.map_page(pn, Tier::Nvm, 0).unwrap(),
+                    _ => continue,
+                }
+                if hints[i] {
+                    s.mark_hint(pn, 7);
+                }
+            }
+            let runs: Vec<(u64, u32, u64, bool)> = raw_runs
+                .into_iter()
+                .map(|(off, si, count, st)| {
+                    let stride = PROP_STRIDES[si];
+                    let max = (64 * PAGE_SIZE - off) / u64::from(stride);
+                    (off, stride, count.min(max), st)
+                })
+                .collect();
+            assert_three_way(s, base, &runs);
+        }
+    }
+
+    /// A system with `pages` contiguously mapped pages of `tier`.
+    fn uniform_region(pages: u64, tier: Tier) -> (MemorySystem, VirtAddr) {
+        let mut s = MemorySystem::new(
+            MemConfig::builder()
+                .dram_capacity(256 * PAGE_SIZE)
+                .nvm_capacity(256 * PAGE_SIZE)
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        let a = s.mmap(pages * PAGE_SIZE, MemPolicy::Default, "interval").unwrap();
+        for i in 0..pages {
+            s.map_page((a + i * PAGE_SIZE).page(), tier, 0).unwrap();
+        }
+        (s, a)
+    }
+
+    #[test]
+    fn interval_engine_engages_and_matches_both_paths() {
+        for tier in [Tier::Dram, Tier::Nvm] {
+            let (mut full, a) = uniform_region(32, tier);
+            let (mut lane, _) = uniform_region(32, tier);
+            let (mut reference, _) = uniform_region(32, tier);
+            let count = 32 * PAGE_SIZE / 8;
+            let out_full = full.access_run(a, 8, count, AccessKind::Load, 7).unwrap();
+            let out_lane = lane.access_run_lane(a, 8, count, AccessKind::Load, 7).unwrap();
+            let out_ref = reference.access_run_ref(a, 8, count, AccessKind::Load, 7).unwrap();
+            assert_eq!(out_full, out_lane, "{tier:?}");
+            assert_eq!(out_full, out_ref, "{tier:?}");
+            assert_eq!(fingerprint(&full), fingerprint(&lane), "{tier:?}");
+            assert_eq!(fingerprint(&full), fingerprint(&reference), "{tier:?}");
+            // The mmap arena base is 8-page aligned and the run covers the
+            // whole region, so the entire span executes closed-form.
+            assert_eq!(full.interval_stats(), IntervalStats { runs: 1, pages: 32 }, "{tier:?}");
+            assert_eq!(lane.interval_stats(), IntervalStats::default());
+            // Hotness metadata advanced for every core page.
+            assert_eq!(full.page((a + 9 * PAGE_SIZE).page()).unwrap().last_access, 7);
+        }
+    }
+
+    #[test]
+    fn interval_core_is_page_aligned_with_lane_lead_and_tail() {
+        let (mut full, a) = uniform_region(32, Tier::Dram);
+        let (mut reference, _) = uniform_region(32, Tier::Dram);
+        // Start 3 elements in and stop 8 short: the lead-in up to the next
+        // 8-aligned page boundary and the tail ride the fast lane.
+        let count = 32 * PAGE_SIZE / 8 - 8;
+        let start = a + 3 * 8;
+        let out_full = full.access_run(start, 8, count, AccessKind::Load, 7).unwrap();
+        let out_ref = reference.access_run_ref(start, 8, count, AccessKind::Load, 7).unwrap();
+        assert_eq!(out_full, out_ref);
+        assert_eq!(fingerprint(&full), fingerprint(&reference));
+        // Pages 8..31 are core; page 0..7 (partial + alignment) and the
+        // partial page 31 fall to the lane.
+        assert_eq!(full.interval_stats(), IntervalStats { runs: 1, pages: 23 });
+    }
+
+    #[test]
+    fn interval_invalidated_by_mid_span_migration() {
+        let (mut full, a) = uniform_region(16, Tier::Dram);
+        let (mut reference, _) = uniform_region(16, Tier::Dram);
+        // A tier change inside the span kills window uniformity: the run
+        // must fall back to the exact path and still match the reference.
+        full.migrate_page((a + 5 * PAGE_SIZE).page(), Tier::Nvm).unwrap();
+        reference.migrate_page((a + 5 * PAGE_SIZE).page(), Tier::Nvm).unwrap();
+        let count = 16 * PAGE_SIZE / 8;
+        let out_full = full.access_run(a, 8, count, AccessKind::Load, 7).unwrap();
+        let out_ref = reference.access_run_ref(a, 8, count, AccessKind::Load, 7).unwrap();
+        assert_eq!(out_full, out_ref);
+        assert_eq!(fingerprint(&full), fingerprint(&reference));
+        assert_eq!(full.interval_stats(), IntervalStats::default());
+    }
+
+    #[test]
+    fn interval_invalidated_by_pending_hint_and_dirty_caches() {
+        // Pending AutoNUMA hint bit inside the span: exact path services
+        // the hint fault; the closed-form path must not engage.
+        let (mut full, a) = uniform_region(16, Tier::Dram);
+        let (mut reference, _) = uniform_region(16, Tier::Dram);
+        assert!(full.mark_hint((a + 12 * PAGE_SIZE).page(), 9));
+        assert!(reference.mark_hint((a + 12 * PAGE_SIZE).page(), 9));
+        let count = 16 * PAGE_SIZE / 8;
+        let out_full = full.access_run(a, 8, count, AccessKind::Load, 7).unwrap();
+        let out_ref = reference.access_run_ref(a, 8, count, AccessKind::Load, 7).unwrap();
+        assert_eq!(out_full, out_ref);
+        assert_eq!(out_full.hint_faults, 1);
+        assert_eq!(fingerprint(&full), fingerprint(&reference));
+        assert_eq!(full.interval_stats(), IntervalStats::default());
+
+        // A single dirty line anywhere in the hierarchy blocks the engine
+        // (evictions could write back in an order-dependent way).
+        let (mut dirty, b) = uniform_region(16, Tier::Dram);
+        dirty.access(b, AccessKind::Store, 0).unwrap();
+        dirty.access_run(b + PAGE_SIZE, 8, 15 * PAGE_SIZE / 8, AccessKind::Load, 1).unwrap();
+        assert_eq!(dirty.interval_stats(), IntervalStats::default());
+    }
+
+    #[test]
+    fn interval_falls_back_once_lines_may_be_cached() {
+        let (mut full, a) = uniform_region(16, Tier::Dram);
+        let (mut reference, _) = uniform_region(16, Tier::Dram);
+        let count = 16 * PAGE_SIZE / 8;
+        full.access_run(a, 8, count, AccessKind::Load, 1).unwrap();
+        reference.access_run_ref(a, 8, count, AccessKind::Load, 1).unwrap();
+        assert_eq!(full.interval_stats(), IntervalStats { runs: 1, pages: 16 });
+        // Second pass over the same span: its lines are now inside the
+        // conservative cache footprint, so the full-miss proof fails and
+        // the run is exact — and still bit-equal.
+        full.access_run(a, 8, count, AccessKind::Load, 2).unwrap();
+        reference.access_run_ref(a, 8, count, AccessKind::Load, 2).unwrap();
+        assert_eq!(full.interval_stats(), IntervalStats { runs: 1, pages: 16 });
+        assert_eq!(fingerprint(&full), fingerprint(&reference));
+    }
+
+    #[test]
+    fn interval_respects_nvm_spike_quiescence() {
+        let plan = FaultPlan {
+            seed: 9,
+            nvm_spike_multiplier: 4,
+            nvm_spike_first_page: (crate::vma::MMAP_BASE >> PAGE_SHIFT) + 4,
+            nvm_spike_pages: 2,
+            nvm_spike_window: CycleWindow { start: 0, end: 100 },
+            ..FaultPlan::none()
+        };
+        let build = || {
+            let mut s = MemorySystem::new(
+                MemConfig::builder()
+                    .dram_capacity(64 * PAGE_SIZE)
+                    .nvm_capacity(64 * PAGE_SIZE)
+                    .fault(plan)
+                    .build()
+                    .unwrap(),
+            )
+            .unwrap();
+            let a = s.mmap(16 * PAGE_SIZE, MemPolicy::Default, "nvm").unwrap();
+            for i in 0..16 {
+                s.map_page((a + i * PAGE_SIZE).page(), Tier::Nvm, 0).unwrap();
+            }
+            (s, a)
+        };
+        let count = 16 * PAGE_SIZE / 8;
+        // Inside the spike window the spiked pages overlap the span: the
+        // engine must not engage, and the spike must land identically.
+        let (mut full, a) = build();
+        let (mut reference, _) = build();
+        let out_full = full.access_run(a, 8, count, AccessKind::Load, 7).unwrap();
+        let out_ref = reference.access_run_ref(a, 8, count, AccessKind::Load, 7).unwrap();
+        assert_eq!(out_full, out_ref);
+        assert_eq!(fingerprint(&full), fingerprint(&reference));
+        assert_eq!(full.interval_stats(), IntervalStats::default());
+        assert!(full.fault_stats().nvm_spiked_ops > 0);
+        // Past the window the spike is provably quiescent: closed-form.
+        let (mut late, b) = build();
+        let (mut late_ref, _) = build();
+        let out_late = late.access_run(b, 8, count, AccessKind::Load, 200).unwrap();
+        let out_late_ref = late_ref.access_run_ref(b, 8, count, AccessKind::Load, 200).unwrap();
+        assert_eq!(out_late, out_late_ref);
+        assert_eq!(fingerprint(&late), fingerprint(&late_ref));
+        assert_eq!(late.interval_stats(), IntervalStats { runs: 1, pages: 16 });
     }
 
     #[test]

@@ -121,6 +121,12 @@ impl TlbLevel {
     #[inline]
     fn touch(&mut self, base: usize, w: usize) {
         let cur = self.ages[base + w];
+        // Already MRU: the aging loop below would be a no-op (bavy's
+        // zero-bookkeeping hit path, SNIPPETS.md §2); streaming lookups
+        // re-translate the MRU page almost every time.
+        if cur == 0 {
+            return;
+        }
         for age in &mut self.ages[base..base + self.ways] {
             if *age < cur {
                 *age += 1;

@@ -391,9 +391,7 @@ impl AutoNuma {
                     self.counters.pgpromote_success += 1;
                     self.counters.pgmigrate_success += 1;
                     mem.trace_mut().record(TraceEvent::PromoteAccept { page: page.index() });
-                    if let Some(p) = mem.page_mut(page) {
-                        p.flags.insert(PageFlags::WAS_PROMOTED);
-                    }
+                    mem.page_update(page, |p| p.flags.insert(PageFlags::WAS_PROMOTED));
                     return;
                 }
                 Err(e) if e.is_transient() => {
@@ -576,9 +574,7 @@ impl AutoNuma {
                 // succeeds from disk.
                 break;
             }
-            if let Some(p) = mem.page_mut(pn) {
-                p.flags.insert(PageFlags::PAGE_CACHE);
-            }
+            mem.page_update(pn, |p| p.flags.insert(PageFlags::PAGE_CACHE));
             self.counters.page_cache_filled += 1;
         }
         Ok((Some(base), wait))

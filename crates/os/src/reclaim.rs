@@ -43,7 +43,7 @@ fn reclaim_one(
     pn: PageNum,
     kswapd: bool,
 ) -> Option<u64> {
-    let info = *mem.page(pn)?;
+    let info = mem.page(pn)?;
     let mut attempts = 0;
     let mut retry_cost = 0;
     let migrated = loop {
@@ -79,9 +79,7 @@ fn reclaim_one(
             if info.flags.contains(PageFlags::WAS_PROMOTED) {
                 counters.pgpromote_demoted += 1;
                 mem.trace_mut().record(TraceEvent::PromoteDemoted { page: pn.index() });
-                if let Some(p) = mem.page_mut(pn) {
-                    p.flags.remove(PageFlags::WAS_PROMOTED);
-                }
+                mem.page_update(pn, |p| p.flags.remove(PageFlags::WAS_PROMOTED));
             }
             Some(copy_cycles + cfg.migration_overhead_cycles + retry_cost)
         }
@@ -224,7 +222,7 @@ mod tests {
         let mut m = setup(10, 10);
         let a = fill_dram(&mut m, 5);
         // Touch page 0 late so it becomes hottest.
-        m.page_mut(a.page()).unwrap().last_access = 100;
+        m.page_update(a.page(), |p| p.last_access = 100).unwrap();
         let cold = coldest_dram_pages(&m, 2, 1);
         assert_eq!(cold, vec![(a + PAGE_SIZE).page(), (a + 2 * PAGE_SIZE).page()]);
     }
@@ -256,7 +254,7 @@ mod tests {
     fn demoting_promoted_page_counts_thrash() {
         let mut m = setup(4, 10);
         let a = fill_dram(&mut m, 4);
-        m.page_mut(a.page()).unwrap().flags.insert(PageFlags::WAS_PROMOTED);
+        m.page_update(a.page(), |p| p.flags.insert(PageFlags::WAS_PROMOTED)).unwrap();
         let mut c = VmCounters::default();
         kswapd_reclaim(&mut m, &mut c, &cfg());
         assert_eq!(c.pgpromote_demoted, 1);
@@ -270,7 +268,8 @@ mod tests {
         m.map_page(n.page(), Tier::Nvm, 0).unwrap();
         let a = fill_dram(&mut m, 4);
         for i in 0..4 {
-            m.page_mut((a + i * PAGE_SIZE).page()).unwrap().flags.insert(PageFlags::PAGE_CACHE);
+            m.page_update((a + i * PAGE_SIZE).page(), |p| p.flags.insert(PageFlags::PAGE_CACHE))
+                .unwrap();
         }
         let mut c = VmCounters::default();
         let out = kswapd_reclaim(&mut m, &mut c, &cfg());
@@ -353,8 +352,8 @@ mod tests {
     fn drop_page_cache_only_touches_file_pages() {
         let mut m = setup(6, 6);
         let a = fill_dram(&mut m, 4);
-        m.page_mut(a.page()).unwrap().flags.insert(PageFlags::PAGE_CACHE);
-        m.page_mut((a + PAGE_SIZE).page()).unwrap().flags.insert(PageFlags::PAGE_CACHE);
+        m.page_update(a.page(), |p| p.flags.insert(PageFlags::PAGE_CACHE)).unwrap();
+        m.page_update((a + PAGE_SIZE).page(), |p| p.flags.insert(PageFlags::PAGE_CACHE)).unwrap();
         let mut c = VmCounters::default();
         let out = drop_page_cache(&mut m, &mut c, 10);
         assert_eq!(out.dropped, 2);

@@ -122,6 +122,31 @@ impl Sampler {
         true
     }
 
+    /// Observations until a sample is due: the `until_due()`-th
+    /// [`Sampler::observe`] call from now records a sample. Always at
+    /// least 1.
+    pub fn until_due(&self) -> u64 {
+        self.countdown
+    }
+
+    /// Observes `n` accesses in bulk, none of which is due for a sample:
+    /// exactly equivalent to `n` [`Sampler::observe`] calls that all
+    /// return `false`. No-op while disabled (as `observe` is). The
+    /// machine's batched run path uses this for the gap between samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n >= until_due()` while enabled — the bulk skip would
+    /// silently swallow a due sample.
+    pub fn observe_gap(&mut self, n: u64) {
+        if !self.enabled {
+            return;
+        }
+        assert!(n < self.countdown, "bulk observation would skip a due sample");
+        self.observed += n;
+        self.countdown -= n;
+    }
+
     /// The samples recorded so far.
     pub fn samples(&self) -> &[MemSample] {
         &self.samples
@@ -208,5 +233,47 @@ mod tests {
     #[should_panic(expected = "period must be positive")]
     fn zero_period_rejected() {
         let _ = Sampler::new(0);
+    }
+
+    #[test]
+    fn observe_gap_matches_individual_observes() {
+        // Drive one sampler per element and its twin with the batched
+        // protocol the machine uses: skip `until_due() - 1` accesses in
+        // bulk, then route the due access through `observe`.
+        let o = outcome(MemLevel::Dram);
+        let mut looped = Sampler::new(7);
+        let mut bulk = Sampler::new(7);
+        let total: u64 = 100;
+        for i in 0..total {
+            looped.observe(AccessKind::Load, &o, VirtAddr::new(i), ThreadId(0), i);
+        }
+        let mut i = 0u64;
+        while i < total {
+            let gap = (bulk.until_due() - 1).min(total - i - 1);
+            bulk.observe_gap(gap);
+            i += gap;
+            bulk.observe(AccessKind::Load, &o, VirtAddr::new(i), ThreadId(0), i);
+            i += 1;
+        }
+        assert_eq!(bulk.observed(), looped.observed());
+        assert_eq!(bulk.until_due(), looped.until_due());
+        assert_eq!(bulk.samples(), looped.samples());
+        assert_eq!(bulk.samples().len(), (total / 7) as usize);
+    }
+
+    #[test]
+    fn observe_gap_noop_while_disabled() {
+        let mut s = Sampler::new(3);
+        s.set_enabled(false);
+        s.observe_gap(1_000_000);
+        assert_eq!(s.observed(), 0);
+        assert_eq!(s.until_due(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "skip a due sample")]
+    fn observe_gap_rejects_skipping_a_due_sample() {
+        let mut s = Sampler::new(5);
+        s.observe_gap(5);
     }
 }

@@ -3,11 +3,14 @@
 //! Tasks:
 //! - `lint` — the tiersim determinism lint pass (DESIGN.md §9);
 //! - `trace-check` — schema validation for `repro_all --trace` JSONL
-//!   artifacts (DESIGN.md §11).
+//!   artifacts (DESIGN.md §11);
+//! - `bench-gate` — throughput regression gate over
+//!   `BENCH_access_path.json` (DESIGN.md §12).
 //!
-//! Both are dependency-free on purpose — CI runs them on an offline
+//! All are dependency-free on purpose — CI runs them on an offline
 //! toolchain before anything else.
 
+mod bench_gate;
 mod lexer;
 mod rules;
 mod trace_check;
@@ -20,6 +23,7 @@ fn main() -> ExitCode {
     match args.first().map(String::as_str) {
         Some("lint") => lint(&args[1..]),
         Some("trace-check") => trace_check_cmd(&args[1..]),
+        Some("bench-gate") => bench_gate_cmd(&args[1..]),
         Some("--help") | Some("-h") | None => {
             print_usage();
             ExitCode::SUCCESS
@@ -33,12 +37,61 @@ fn main() -> ExitCode {
 }
 
 fn print_usage() {
-    eprintln!("usage: cargo xtask <lint [--list] | trace-check FILE.jsonl>");
+    eprintln!(
+        "usage: cargo xtask <lint [--list] | trace-check FILE.jsonl | bench-gate BASELINE CURRENT>"
+    );
     eprintln!();
     eprintln!("tasks:");
-    eprintln!("  lint               run the determinism lint pass over the workspace");
-    eprintln!("  lint --list        print the lint rule ids and exit");
-    eprintln!("  trace-check FILE   validate a `repro_all --trace` JSONL artifact");
+    eprintln!("  lint                         run the determinism lint pass over the workspace");
+    eprintln!("  lint --list                  print the lint rule ids and exit");
+    eprintln!("  trace-check FILE             validate a `repro_all --trace` JSONL artifact");
+    eprintln!("  bench-gate BASELINE CURRENT  fail if access-path throughput in CURRENT");
+    eprintln!("                               drops >20% below the BASELINE json");
+}
+
+fn bench_gate_cmd(args: &[String]) -> ExitCode {
+    let [baseline_path, current_path] = args else {
+        eprintln!("xtask bench-gate: expected exactly two file arguments (baseline, current)");
+        return ExitCode::FAILURE;
+    };
+    let read = |path: &String| match std::fs::read_to_string(path) {
+        Ok(s) => Some(s),
+        Err(e) => {
+            eprintln!("xtask bench-gate: cannot read {path}: {e}");
+            None
+        }
+    };
+    let (Some(baseline), Some(current)) = (read(baseline_path), read(current_path)) else {
+        return ExitCode::FAILURE;
+    };
+    match bench_gate::compare(&baseline, &current) {
+        Ok(comparisons) => {
+            let mut failed = 0usize;
+            for c in &comparisons {
+                let verdict = if c.pass { "ok" } else { "REGRESSION" };
+                failed += usize::from(!c.pass);
+                println!(
+                    "xtask bench-gate: {}: {:.0} -> {:.0} ({:.2}x) {verdict}",
+                    c.key, c.baseline, c.current, c.ratio
+                );
+            }
+            if failed == 0 {
+                println!(
+                    "xtask bench-gate: {} key(s) within {:.0}% of baseline",
+                    comparisons.len(),
+                    (1.0 - bench_gate::MIN_RATIO) * 100.0
+                );
+                ExitCode::SUCCESS
+            } else {
+                println!("xtask bench-gate: {failed} key(s) regressed");
+                ExitCode::FAILURE
+            }
+        }
+        Err(msg) => {
+            eprintln!("xtask bench-gate: {msg}");
+            ExitCode::FAILURE
+        }
+    }
 }
 
 fn trace_check_cmd(args: &[String]) -> ExitCode {

@@ -45,6 +45,11 @@ enum Scope {
     /// the promotion rate limiter, where a bare float→int `as` cast once
     /// hid the stuck-threshold and stalled-bucket bugs (PR 5).
     FloatControlMath,
+    /// Everywhere except the SoA page-metadata module itself
+    /// (`crates/mem/src/page.rs` + `page_table.rs`): `PageInfo` is a
+    /// materialized *view* of the struct-of-arrays state, so outside code
+    /// must never build one by hand (DESIGN.md §12).
+    PageMetadataOwners,
 }
 
 impl Scope {
@@ -76,6 +81,12 @@ impl Scope {
             Scope::FloatControlMath => {
                 path == "crates/os/src/threshold.rs" || path == "crates/os/src/rate_limit.rs"
             }
+            Scope::PageMetadataOwners => {
+                !path.starts_with("vendor/")
+                    && !path.starts_with("xtask/")
+                    && path != "crates/mem/src/page.rs"
+                    && path != "crates/mem/src/page_table.rs"
+            }
         }
     }
 }
@@ -95,6 +106,10 @@ enum Matcher {
     /// (`floor`/`round`/`ceil`): in float-heavy control math a bare cast
     /// truncates toward zero silently.
     UnroundedIntCast,
+    /// Direct construction of `PageInfo` — the literal `PageInfo {` or a
+    /// `PageInfo::new` call. Plain type mentions (returns, parameters,
+    /// field reads) stay legal.
+    PageInfoConstruct,
 }
 
 struct Rule {
@@ -152,6 +167,13 @@ const RULES: &[Rule] = &[
         hint: "float→int `as` truncates toward zero: call .floor()/.round()/.ceil() on the same line so the rounding direction is explicit (the stuck-threshold bug hid behind a bare cast)",
     },
     Rule {
+        id: "pageinfo-construct",
+        scope: Scope::PageMetadataOwners,
+        matcher: Matcher::PageInfoConstruct,
+        exempt_tests: true,
+        hint: "PageInfo is a view over the SoA page metadata: go through PageTable (map/migrate/info accessors) instead of building one by hand",
+    },
+    Rule {
         id: "println",
         scope: Scope::LibraryCode,
         matcher: Matcher::Tokens(&["println", "print", "eprintln", "eprint", "dbg"]),
@@ -192,6 +214,7 @@ pub fn lint_file(path: &str, lines: &[CodeLine]) -> Vec<Violation> {
                 Matcher::LossyCast => match_lossy_cast(&line.code),
                 Matcher::HashContainer => match_tokens(&line.code, &["HashMap", "HashSet"]),
                 Matcher::UnroundedIntCast => match_unrounded_int_cast(&line.code),
+                Matcher::PageInfoConstruct => match_pageinfo_construct(&line.code),
             };
             let Some(token) = matched else { continue };
             if allowed(rule.id, lines, idx) {
@@ -262,6 +285,34 @@ fn match_unrounded_int_cast(code: &str) -> Option<String> {
     for pair in words.windows(2) {
         if pair[0] == "as" && INT_TYPES.contains(&pair[1]) {
             return Some(format!("as {}", pair[1]));
+        }
+    }
+    None
+}
+
+/// Detects direct `PageInfo` construction: the struct literal
+/// `PageInfo {` (any whitespace before the brace) or `PageInfo::new`.
+/// A bare `PageInfo` token (type position, field access) does not match.
+fn match_pageinfo_construct(code: &str) -> Option<String> {
+    let chars: Vec<char> = code.chars().collect();
+    let needle: Vec<char> = "PageInfo".chars().collect();
+    if chars.len() < needle.len() {
+        return None;
+    }
+    for start in 0..=(chars.len() - needle.len()) {
+        if chars[start..start + needle.len()] != needle[..] {
+            continue;
+        }
+        if start > 0 && is_ident_char(chars[start - 1]) {
+            continue;
+        }
+        let rest: String = chars[start + needle.len()..].iter().collect();
+        let trimmed = rest.trim_start();
+        if trimmed.starts_with('{') {
+            return Some("PageInfo {".to_string());
+        }
+        if trimmed.starts_with("::new") {
+            return Some("PageInfo::new".to_string());
         }
     }
     None
@@ -379,6 +430,27 @@ mod tests {
         // The allowlist comment works like for every other rule.
         let allowed = lex("// tiersim-lint: allow(thread-spawn)\nlet h = s.spawn(f);");
         assert!(lint_file("crates/core/src/runner.rs", &allowed).is_empty());
+    }
+
+    #[test]
+    fn pageinfo_construction_confined_to_soa_module() {
+        let literal = lex("let p = PageInfo { tier, flags, scan_time: 0, last_access: 0 };");
+        assert!(lint_file("crates/os/src/engine.rs", &literal)
+            .iter()
+            .any(|v| v.rule == "pageinfo-construct"));
+        let ctor = lex("let p = PageInfo::new(Tier::Dram);");
+        assert!(lint_file("crates/mem/src/system.rs", &ctor)
+            .iter()
+            .any(|v| v.rule == "pageinfo-construct"));
+        // The owning SoA module may construct views.
+        assert!(lint_file("crates/mem/src/page.rs", &literal).is_empty());
+        assert!(lint_file("crates/mem/src/page_table.rs", &ctor).is_empty());
+        // Type positions and field reads stay legal everywhere.
+        let uses = lex("fn page(&self) -> Option<PageInfo> { let t = info.tier; }");
+        assert!(lint_file("crates/os/src/engine.rs", &uses).is_empty());
+        // Tests are exempt (they build fixtures by hand).
+        let test_code = lex("#[cfg(test)]\nmod tests {\n let p = PageInfo { tier };\n}");
+        assert!(lint_file("crates/os/src/engine.rs", &test_code).is_empty());
     }
 
     #[test]
