@@ -283,7 +283,8 @@ fn bench_baseline(_c: &mut Criterion) {
         interval_speedup = per_elem_secs / interval_secs.max(1e-12),
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_access_path.json");
-    std::fs::write(path, &json).expect("write BENCH_access_path.json");
+    tiersim_core::journal::atomic_write(std::path::Path::new(path), json.as_bytes())
+        .expect("write BENCH_access_path.json");
     println!("wrote {path}:\n{json}");
 }
 

@@ -9,17 +9,45 @@
 //! `--jobs N` runs independent experiment cells on N worker threads; the
 //! printed tables and `--out` bytes are identical for every value (see
 //! DESIGN.md §10).
+//!
+//! `--resume PATH` runs the suite against a durable write-ahead journal
+//! (DESIGN.md §13): killed runs — including `--kill-at N` injected kills
+//! and real SIGKILL — resume where they left off, never re-executing a
+//! completed experiment, and produce byte-identical reports to an
+//! uninterrupted run.
 
-use tiersim_bench::{banner, run_repro_suite, Cli};
+use tiersim_bench::{banner, run_repro_suite, run_suite_journaled, Cli};
 
 fn main() {
     let cli = Cli::from_env();
     banner("full paper reproduction", &cli);
-    // Stderr only: stdout stays byte-identical across --jobs values.
+    // Stderr only: stdout stays byte-identical across --jobs values and
+    // kill/resume splits.
     eprintln!("jobs: {}", cli.experiment.jobs);
-    let suite = run_repro_suite(&cli.experiment, cli.inject_failure);
+    let suite = if let Some(journal) = &cli.resume {
+        match run_suite_journaled(
+            &cli.experiment,
+            journal,
+            cli.runner_options(),
+            cli.inject_failure,
+        ) {
+            Ok(suite) => suite,
+            Err(e) => {
+                eprintln!("journal error: {e}");
+                std::process::exit(1);
+            }
+        }
+    } else {
+        run_repro_suite(&cli.experiment, cli.inject_failure)
+    };
     print!("{}", suite.summary());
+    if let Some(stats) = suite.cell_stats() {
+        // Session-relative counters are stderr-only for the same reason;
+        // the recovery tests read them to prove completed cells never
+        // re-run.
+        eprintln!("journal: {} cells executed, {} replayed", stats.executed, stats.replayed);
+    }
     cli.maybe_write_out(suite.output());
-    cli.maybe_write_trace(suite.trace_log());
+    cli.maybe_write_trace(suite.trace_exports());
     std::process::exit(suite.exit_code());
 }

@@ -8,22 +8,42 @@
 //! All binaries accept:
 //!
 //! ```text
-//! --scale N     graph scale (default 16; paper used 30/31)
-//! --degree N    average degree (default 16)
-//! --trials N    kernel trials (default 4)
-//! --jobs N      worker threads for independent experiment cells
-//!               (default: available parallelism; output bytes are
-//!               identical for every value)
-//! --out PATH    also write the printed output to a file
-//! --trace PATH  record the AutoNUMA event trace and write it here as
-//!               JSONL (or CSV when PATH ends in .csv); see DESIGN.md §11
+//! --scale N         graph scale (default 16; paper used 30/31)
+//! --degree N        average degree (default 16)
+//! --trials N        kernel trials (default 4)
+//! --jobs N          worker threads for independent experiment cells
+//!                   (default: available parallelism; output bytes are
+//!                   identical for every value)
+//! --out PATH        also write the printed output to a file
+//! --trace PATH      record the AutoNUMA event trace and write it here as
+//!                   JSONL (or CSV when PATH ends in .csv); see DESIGN.md §11
+//! --tick-budget N   quarantine any cell whose run exceeds N OS engine
+//!                   ticks (0 = off); deterministic, no wall clock
+//! ```
+//!
+//! `repro_all` additionally accepts the crash-safe sweep flags
+//! (DESIGN.md §13):
+//!
+//! ```text
+//! --resume PATH       run the suite against the durable journal at PATH:
+//!                     created if absent, replayed if present — completed
+//!                     cells are never re-executed
+//! --kill-at N         die (exit 137) instead of performing the Nth
+//!                     journal append; requires --resume
+//! --max-attempts N    attempts per cell per session before quarantine
+//!                     (default 3)
 //! ```
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
-use std::path::PathBuf;
-use tiersim_core::{ExperimentConfig, TraceConfig, TraceLog};
+use std::path::{Path, PathBuf};
+use tiersim_core::experiments::{AutonumaTrace, Characterization, Comparison, ObjectAnalysis};
+use tiersim_core::journal::{
+    atomic_write, run_journaled, CellError, CellOutcome, FailureClass, JournalCell, JournalError,
+    JournalStats, KillMode, KillSpec, RunnerOptions,
+};
+use tiersim_core::{CoreError, ExperimentConfig, RunError, TraceConfig, TraceLog};
 
 /// Parsed command-line options shared by all reproduction binaries.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -38,6 +58,13 @@ pub struct Cli {
     /// Injects a deliberately failing experiment into `repro_all`, to
     /// exercise the continue-on-failure path end to end.
     pub inject_failure: bool,
+    /// Journal path for the crash-safe sweep lane (`--resume`).
+    pub resume: Option<PathBuf>,
+    /// Deterministic kill-point: die instead of performing the Nth
+    /// journal append (`--kill-at`; requires `--resume`).
+    pub kill_at: Option<u64>,
+    /// Attempts per cell per session before quarantine (`--max-attempts`).
+    pub max_attempts: u64,
 }
 
 impl Cli {
@@ -52,6 +79,9 @@ impl Cli {
             out: None,
             trace_out: None,
             inject_failure: false,
+            resume: None,
+            kill_at: None,
+            max_attempts: 3,
         };
         let mut it = args.into_iter();
         while let Some(arg) = it.next() {
@@ -74,12 +104,28 @@ impl Cli {
                     cli.experiment.jobs =
                         value("--jobs")?.parse().map_err(|e| format!("bad --jobs: {e}"))?;
                 }
+                "--tick-budget" => {
+                    cli.experiment.tick_budget = value("--tick-budget")?
+                        .parse()
+                        .map_err(|e| format!("bad --tick-budget: {e}"))?;
+                }
                 "--out" => cli.out = Some(PathBuf::from(value("--out")?)),
                 "--trace" => {
                     cli.trace_out = Some(PathBuf::from(value("--trace")?));
                     cli.experiment.trace = TraceConfig::on();
                 }
                 "--inject-failure" => cli.inject_failure = true,
+                "--resume" => cli.resume = Some(PathBuf::from(value("--resume")?)),
+                "--kill-at" => {
+                    cli.kill_at = Some(
+                        value("--kill-at")?.parse().map_err(|e| format!("bad --kill-at: {e}"))?,
+                    );
+                }
+                "--max-attempts" => {
+                    cli.max_attempts = value("--max-attempts")?
+                        .parse()
+                        .map_err(|e| format!("bad --max-attempts: {e}"))?;
+                }
                 "--help" | "-h" => return Err(USAGE.to_string()),
                 other => return Err(format!("unknown argument: {other}\n{USAGE}")),
             }
@@ -89,6 +135,15 @@ impl Cli {
         }
         if cli.experiment.jobs == 0 {
             return Err("--jobs must be at least 1".to_string());
+        }
+        if cli.max_attempts == 0 {
+            return Err("--max-attempts must be at least 1".to_string());
+        }
+        if cli.kill_at.is_some() && cli.resume.is_none() {
+            return Err("--kill-at requires --resume".to_string());
+        }
+        if cli.kill_at == Some(0) {
+            return Err("--kill-at must be at least 1".to_string());
         }
         Ok(cli)
     }
@@ -104,10 +159,26 @@ impl Cli {
         }
     }
 
+    /// The journal runner knobs these options imply. Suite-level cells
+    /// run serially (their inner sweeps use `experiment.jobs`); a
+    /// `--kill-at` becomes a hard `exit(137)` kill-point, mimicking
+    /// SIGKILL for the recovery smoke tests.
+    pub fn runner_options(&self) -> RunnerOptions {
+        RunnerOptions {
+            jobs: 1,
+            max_attempts: self.max_attempts,
+            kill: self.kill_at.map(|n| KillSpec {
+                at_append: n,
+                torn: false,
+                mode: KillMode::Exit,
+            }),
+        }
+    }
+
     /// Writes `text` to the `--out` path if one was given.
     pub fn maybe_write_out(&self, text: &str) {
         if let Some(path) = &self.out {
-            if let Err(e) = std::fs::write(path, text) {
+            if let Err(e) = atomic_write(path, text.as_bytes()) {
                 eprintln!("failed to write {}: {e}", path.display());
                 std::process::exit(1);
             }
@@ -115,36 +186,54 @@ impl Cli {
         }
     }
 
-    /// Writes `log` to the `--trace` path if one was given: JSONL by
-    /// default, CSV when the path ends in `.csv`. A `--trace` flag with
-    /// no log to write (the traced experiment failed) is an error.
-    pub fn maybe_write_trace(&self, log: Option<&TraceLog>) {
+    /// Writes the trace exports to the `--trace` path if one was given:
+    /// JSONL by default, CSV when the path ends in `.csv`. A `--trace`
+    /// flag with no exports to write (the traced experiment failed) is an
+    /// error.
+    pub fn maybe_write_trace(&self, exports: Option<&TraceExports>) {
         let Some(path) = &self.trace_out else { return };
-        let Some(log) = log else {
+        let Some(exports) = exports else {
             eprintln!("--trace given but no trace was recorded (traced experiment failed?)");
             std::process::exit(1);
         };
         let text = if path.extension().is_some_and(|e| e == "csv") {
-            tiersim_core::trace_to_csv(log)
+            &exports.csv
         } else {
-            tiersim_core::trace_to_jsonl(log)
+            &exports.jsonl
         };
-        if let Err(e) = std::fs::write(path, text) {
+        if let Err(e) = atomic_write(path, text.as_bytes()) {
             eprintln!("failed to write {}: {e}", path.display());
             std::process::exit(1);
         }
-        eprintln!(
-            "wrote {} ({} events recorded, {} dropped)",
-            path.display(),
-            log.recorded,
-            log.dropped
-        );
+        eprintln!("wrote {} ({} bytes)", path.display(), text.len());
     }
 }
 
 /// Usage text shared by the binaries.
 pub const USAGE: &str = "usage: <bin> [--scale N] [--degree N] [--trials N] [--jobs N] \
-     [--out PATH] [--trace PATH] [--inject-failure]";
+     [--out PATH] [--trace PATH] [--tick-budget N] [--inject-failure] \
+     [--resume PATH] [--kill-at N] [--max-attempts N]";
+
+/// The traced run's rendered exports, precomputed so a resumed suite can
+/// reproduce `--trace` output from the journal without re-running the
+/// traced experiment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceExports {
+    /// JSONL export (DESIGN.md §11).
+    pub jsonl: String,
+    /// CSV export.
+    pub csv: String,
+}
+
+impl TraceExports {
+    /// Renders both export formats from a recorded log.
+    pub fn from_log(log: &TraceLog) -> TraceExports {
+        TraceExports {
+            jsonl: tiersim_core::trace_to_jsonl(log),
+            csv: tiersim_core::trace_to_csv(log),
+        }
+    }
+}
 
 /// Runs a set of experiments where each may fail without killing the
 /// rest: `repro_all`'s continue-on-failure harness.
@@ -153,14 +242,16 @@ pub const USAGE: &str = "usage: <bin> [--scale N] [--degree N] [--trials N] [--j
 /// an `Err` or a panic is recorded against its name and the suite moves
 /// on. At the end, [`summary`](ExperimentSuite::summary) reports what
 /// failed and [`exit_code`](ExperimentSuite::exit_code) is nonzero if
-/// anything did.
+/// anything did. A journaled suite additionally carries degraded-mode
+/// cell accounting ([`set_cell_stats`](ExperimentSuite::set_cell_stats)).
 #[derive(Debug)]
 pub struct ExperimentSuite {
     output: String,
     attempted: usize,
     failures: Vec<(String, String)>,
     jobs: usize,
-    trace: Option<TraceLog>,
+    trace: Option<TraceExports>,
+    cell_stats: Option<JournalStats>,
 }
 
 impl Default for ExperimentSuite {
@@ -171,6 +262,7 @@ impl Default for ExperimentSuite {
             failures: Vec::new(),
             jobs: tiersim_core::sweep::default_jobs(),
             trace: None,
+            cell_stats: None,
         }
     }
 }
@@ -219,15 +311,26 @@ impl ExperimentSuite {
                 None
             }
             Err(payload) => {
-                let msg = payload
-                    .downcast_ref::<&str>()
-                    .map(|s| (*s).to_string())
-                    .or_else(|| payload.downcast_ref::<String>().cloned())
-                    .unwrap_or_else(|| "unknown panic".to_string());
+                let msg = tiersim_core::sweep::panic_message(payload.as_ref());
                 self.failures.push((name.to_string(), format!("panicked: {msg}")));
                 None
             }
         }
+    }
+
+    /// Counts one completed experiment that ran (or was replayed)
+    /// outside [`attempt`](ExperimentSuite::attempt) — the journaled
+    /// suite path.
+    pub fn note_completed(&mut self) {
+        self.attempted += 1;
+    }
+
+    /// Records one failed experiment that ran outside
+    /// [`attempt`](ExperimentSuite::attempt) — a quarantined journal
+    /// cell.
+    pub fn note_quarantined(&mut self, name: &str, error: String) {
+        self.attempted += 1;
+        self.failures.push((name.to_string(), error));
     }
 
     /// Accumulated section text (what `--out` writes).
@@ -235,15 +338,26 @@ impl ExperimentSuite {
         &self.output
     }
 
-    /// Records the event trace of the suite's traced run.
-    pub fn set_trace_log(&mut self, log: TraceLog) {
-        self.trace = Some(log);
+    /// Records the trace exports of the suite's traced run.
+    pub fn set_trace_exports(&mut self, exports: TraceExports) {
+        self.trace = Some(exports);
     }
 
-    /// The event trace recorded by the suite's traced run, if any (what
-    /// `--trace` writes).
-    pub fn trace_log(&self) -> Option<&TraceLog> {
+    /// The trace exports recorded by the suite's traced run, if any
+    /// (what `--trace` writes).
+    pub fn trace_exports(&self) -> Option<&TraceExports> {
         self.trace.as_ref()
+    }
+
+    /// Attaches degraded-mode cell accounting from a journaled sweep;
+    /// [`summary`](ExperimentSuite::summary) then reports it.
+    pub fn set_cell_stats(&mut self, stats: JournalStats) {
+        self.cell_stats = Some(stats);
+    }
+
+    /// Degraded-mode cell accounting, if this suite ran journaled.
+    pub fn cell_stats(&self) -> Option<&JournalStats> {
+        self.cell_stats.as_ref()
     }
 
     /// The recorded `(experiment, error)` pairs.
@@ -252,10 +366,19 @@ impl ExperimentSuite {
     }
 
     /// End-of-run report: which experiments completed and, for each
-    /// failure, what went wrong.
+    /// failure, what went wrong. A journaled suite adds the degraded-mode
+    /// cell columns; only final-state counters appear here, so the bytes
+    /// are identical between an uninterrupted run and any kill+resume of
+    /// it.
     pub fn summary(&self) -> String {
         let ok = self.attempted - self.failures.len();
         let mut s = format!("== {ok}/{} experiments completed ==\n", self.attempted);
+        if let Some(c) = &self.cell_stats {
+            s.push_str(&format!(
+                "cells: {} completed, {} retried, {} quarantined\n",
+                c.completed, c.retried, c.quarantined
+            ));
+        }
         for (name, err) in &self.failures {
             s.push_str(&format!("FAILED {name}: {err}\n"));
         }
@@ -276,6 +399,71 @@ pub fn banner(what: &str, cli: &Cli) {
     );
 }
 
+/// Rendered `(title, body)` pairs for one experiment's sections.
+type Sections = Vec<(String, String)>;
+
+/// Runs the characterization experiment and renders Tables 1–3 and
+/// Figures 3–5.
+fn characterization_sections(experiment: &ExperimentConfig) -> Result<Sections, CoreError> {
+    let c = Characterization::run(experiment)?;
+    Ok(vec![
+        ("Figure 3: sample distribution across levels".to_string(), c.render_fig3()),
+        ("Figure 4: page touch-count histogram".to_string(), c.render_fig4()),
+        ("Figure 5: 2-touch reuse intervals (hottest NVM object)".to_string(), c.render_fig5()),
+        ("Table 1: external access location".to_string(), c.render_table1()),
+        ("Table 2: external latency cost split".to_string(), c.render_table2()),
+        ("Table 3: external access cost by TLB outcome".to_string(), c.render_table3()),
+    ])
+}
+
+/// Runs the object-level analysis and renders Figures 6–8.
+fn object_analysis_sections(experiment: &ExperimentConfig) -> Result<Sections, CoreError> {
+    let a = ObjectAnalysis::run(experiment)?;
+    let mut out = vec![(
+        "Figure 6: top objects by external samples (bc_kron)".to_string(),
+        a.render_fig6(10),
+    )];
+    if let Some(secs) = a.hottest_nvm_alloc_secs() {
+        let body = format!(
+            "peak live {:.2} MB over {} events; hottest NVM object allocated at t={secs:.4}s\n",
+            a.fig7().peak_bytes() as f64 / (1 << 20) as f64,
+            a.fig7().points.len(),
+        );
+        out.push(("Figure 7: allocation timeline (bc_kron)".to_string(), body));
+    }
+    if let Some(p) = a.fig8() {
+        let body = format!(
+            "{} samples, randomness metric {:.3}\n",
+            p.points.len(),
+            p.randomness().unwrap_or(0.0)
+        );
+        out.push(("Figure 8: hottest NVM object access pattern (bc_kron)".to_string(), body));
+    }
+    Ok(out)
+}
+
+/// Runs the traced AutoNUMA experiment and renders Figures 9–10, plus the
+/// recorded event log when tracing was enabled.
+fn autonuma_trace_sections(
+    experiment: &ExperimentConfig,
+) -> Result<(Sections, Option<TraceLog>), CoreError> {
+    let tr = AutonumaTrace::run(experiment)?;
+    let sections = vec![
+        ("Figure 9: memory usage and counters over time (bc_kron)".to_string(), tr.render_fig9()),
+        ("Figure 10: DRAM loads vs promotions (bc_kron)".to_string(), tr.render_fig10()),
+    ];
+    // The bc_kron run is the suite's traced run: keep its event log so
+    // `--trace` can export it (empty unless tracing was enabled).
+    let log = (!tr.report.trace.is_empty()).then(|| tr.report.trace.clone());
+    Ok((sections, log))
+}
+
+/// Runs the Figure 11 comparison.
+fn comparison_sections(experiment: &ExperimentConfig) -> Result<Sections, CoreError> {
+    let cmp = Comparison::run(experiment)?;
+    Ok(vec![("Figure 11: object-level static mapping vs AutoNUMA".to_string(), cmp.render())])
+}
+
 /// Runs the full `repro_all` experiment suite: every reproduction
 /// experiment, sharing the six characterization runs across Tables 1–3
 /// and Figures 3–5, isolated so one failure never kills the rest.
@@ -285,89 +473,189 @@ pub fn banner(what: &str, cli: &Cli) {
 /// identical for every `experiment.jobs` value — the byte-identity test
 /// in `tests/parallel_sweep.rs` holds this function to that contract.
 pub fn run_repro_suite(experiment: &ExperimentConfig, inject_failure: bool) -> ExperimentSuite {
-    use tiersim_core::experiments::{AutonumaTrace, Characterization, Comparison, ObjectAnalysis};
-    use tiersim_core::CoreError;
-
     let mut suite = ExperimentSuite::new().with_jobs(experiment.jobs);
 
     if inject_failure {
         // Deliberate failure to exercise the continue-on-failure path:
         // everything below must still run and the exit code must be 1.
-        suite.attempt("injected failure", || {
-            Err::<(), _>(CoreError::InvalidConfig {
-                what: "injected failure",
-                got: "--inject-failure".to_string(),
-            })
-        });
+        suite.attempt("injected failure", || Err::<(), _>(injected_failure()));
     }
 
-    if let Some(c) = suite.attempt("characterization", || Characterization::run(experiment)) {
-        for (title, body) in [
-            ("Figure 3: sample distribution across levels", c.render_fig3()),
-            ("Figure 4: page touch-count histogram", c.render_fig4()),
-            ("Figure 5: 2-touch reuse intervals (hottest NVM object)", c.render_fig5()),
-            ("Table 1: external access location", c.render_table1()),
-            ("Table 2: external latency cost split", c.render_table2()),
-            ("Table 3: external access cost by TLB outcome", c.render_table3()),
-        ] {
-            println!("{}", suite.section(title, &body));
+    if let Some(sections) =
+        suite.attempt("characterization", || characterization_sections(experiment))
+    {
+        for (title, body) in &sections {
+            println!("{}", suite.section(title, body));
         }
     }
 
-    if let Some(a) = suite.attempt("object analysis", || ObjectAnalysis::run(experiment)) {
-        println!(
-            "{}",
-            suite
-                .section("Figure 6: top objects by external samples (bc_kron)", &a.render_fig6(10))
-        );
-        if let Some(secs) = a.hottest_nvm_alloc_secs() {
-            let body = format!(
-                "peak live {:.2} MB over {} events; hottest NVM object allocated at t={secs:.4}s\n",
-                a.fig7().peak_bytes() as f64 / (1 << 20) as f64,
-                a.fig7().points.len(),
-            );
-            println!("{}", suite.section("Figure 7: allocation timeline (bc_kron)", &body));
-        }
-        if let Some(p) = a.fig8() {
-            let body = format!(
-                "{} samples, randomness metric {:.3}\n",
-                p.points.len(),
-                p.randomness().unwrap_or(0.0)
-            );
-            println!(
-                "{}",
-                suite.section("Figure 8: hottest NVM object access pattern (bc_kron)", &body)
-            );
+    if let Some(sections) =
+        suite.attempt("object analysis", || object_analysis_sections(experiment))
+    {
+        for (title, body) in &sections {
+            println!("{}", suite.section(title, body));
         }
     }
 
-    if let Some(tr) = suite.attempt("autonuma trace", || AutonumaTrace::run(experiment)) {
-        println!(
-            "{}",
-            suite.section(
-                "Figure 9: memory usage and counters over time (bc_kron)",
-                &tr.render_fig9()
-            )
-        );
-        println!(
-            "{}",
-            suite.section("Figure 10: DRAM loads vs promotions (bc_kron)", &tr.render_fig10())
-        );
-        // The bc_kron run is the suite's traced run: keep its event log
-        // so `--trace` can export it (empty unless tracing was enabled).
-        if !tr.report.trace.is_empty() {
-            suite.set_trace_log(tr.report.trace.clone());
+    if let Some((sections, log)) =
+        suite.attempt("autonuma trace", || autonuma_trace_sections(experiment))
+    {
+        for (title, body) in &sections {
+            println!("{}", suite.section(title, body));
+        }
+        if let Some(log) = log {
+            suite.set_trace_exports(TraceExports::from_log(&log));
         }
     }
 
-    if let Some(cmp) = suite.attempt("comparison", || Comparison::run(experiment)) {
-        println!(
-            "{}",
-            suite.section("Figure 11: object-level static mapping vs AutoNUMA", &cmp.render())
-        );
+    if let Some(sections) = suite.attempt("comparison", || comparison_sections(experiment)) {
+        for (title, body) in &sections {
+            println!("{}", suite.section(title, body));
+        }
     }
 
     suite
+}
+
+/// The deliberate `--inject-failure` error.
+fn injected_failure() -> CoreError {
+    CoreError::InvalidConfig { what: "injected failure", got: "--inject-failure".to_string() }
+}
+
+/// Section separator inside a journal payload (ASCII record separator).
+const PAYLOAD_RS: char = '\u{1e}';
+/// Title/body separator inside one payload section (ASCII unit
+/// separator).
+const PAYLOAD_US: char = '\u{1f}';
+/// Reserved payload section carrying the traced run's JSONL export. The
+/// NUL prefix keeps it disjoint from every printable section title.
+const TRACE_JSONL_SECTION: &str = "\u{0}trace_jsonl";
+/// Reserved payload section carrying the traced run's CSV export.
+const TRACE_CSV_SECTION: &str = "\u{0}trace_csv";
+
+/// Serializes rendered sections into one journal payload string.
+fn encode_payload(sections: &[(String, String)]) -> String {
+    let parts: Vec<String> =
+        sections.iter().map(|(title, body)| format!("{title}{PAYLOAD_US}{body}")).collect();
+    parts.join(&PAYLOAD_RS.to_string())
+}
+
+/// Splits a journal payload back into `(title, body)` sections.
+fn decode_payload(payload: &str) -> Vec<(&str, &str)> {
+    if payload.is_empty() {
+        return Vec::new();
+    }
+    payload.split(PAYLOAD_RS).filter_map(|s| s.split_once(PAYLOAD_US)).collect()
+}
+
+/// Maps an experiment error to its journal failure class: the stuck-cell
+/// watchdog gets its own column, everything else is an ordinary error
+/// (panics are classified by the runner itself).
+fn cell_error(e: CoreError) -> CellError {
+    let class = match &e {
+        CoreError::Run(RunError::Stuck { .. }) => FailureClass::Stuck,
+        _ => FailureClass::Error,
+    };
+    CellError { class, message: e.to_string() }
+}
+
+/// The journaled variant of [`run_repro_suite`]: every experiment is one
+/// durable cell in the write-ahead journal at `journal` (DESIGN.md §13).
+///
+/// The journal is created if absent and replayed if present — completed
+/// cells return their recorded payload without re-executing, failed cells
+/// retry up to `opts.max_attempts` per session, and cells that exhaust
+/// the budget are quarantined in the summary's degraded-mode columns.
+/// The assembled output, summary, and trace exports are byte-identical
+/// between an uninterrupted run and any kill+resume split of it.
+///
+/// # Errors
+///
+/// [`JournalError`] on I/O failure, a journal recorded under a different
+/// experiment fingerprint, or a corrupt journal.
+///
+/// # Panics
+///
+/// Raises [`tiersim_core::sweep::SweepAbort`] when an armed kill-point
+/// with [`KillMode::Panic`] fires ([`KillMode::Exit`] terminates the
+/// process instead).
+pub fn run_suite_journaled(
+    experiment: &ExperimentConfig,
+    journal: &Path,
+    opts: RunnerOptions,
+    inject_failure: bool,
+) -> Result<ExperimentSuite, JournalError> {
+    let exp = *experiment;
+    let mut cells: Vec<JournalCell> = Vec::new();
+    if inject_failure {
+        cells.push(JournalCell {
+            name: "injected failure".to_string(),
+            run: Box::new(move || Err(cell_error(injected_failure()))),
+        });
+    }
+    cells.push(JournalCell {
+        name: "characterization".to_string(),
+        run: Box::new(move || {
+            characterization_sections(&exp).map(|s| encode_payload(&s)).map_err(cell_error)
+        }),
+    });
+    cells.push(JournalCell {
+        name: "object analysis".to_string(),
+        run: Box::new(move || {
+            object_analysis_sections(&exp).map(|s| encode_payload(&s)).map_err(cell_error)
+        }),
+    });
+    cells.push(JournalCell {
+        name: "autonuma trace".to_string(),
+        run: Box::new(move || {
+            let (mut sections, log) = autonuma_trace_sections(&exp).map_err(cell_error)?;
+            if let Some(log) = log {
+                let exports = TraceExports::from_log(&log);
+                sections.push((TRACE_JSONL_SECTION.to_string(), exports.jsonl));
+                sections.push((TRACE_CSV_SECTION.to_string(), exports.csv));
+            }
+            Ok(encode_payload(&sections))
+        }),
+    });
+    cells.push(JournalCell {
+        name: "comparison".to_string(),
+        run: Box::new(move || {
+            comparison_sections(&exp).map(|s| encode_payload(&s)).map_err(cell_error)
+        }),
+    });
+
+    let outcome = run_journaled(journal, &experiment.fingerprint(), cells, opts)?;
+
+    let mut suite = ExperimentSuite::new().with_jobs(experiment.jobs);
+    let mut jsonl = None;
+    let mut csv = None;
+    for (name, cell) in &outcome.cells {
+        match cell {
+            CellOutcome::Completed { payload, .. } => {
+                suite.note_completed();
+                for (title, body) in decode_payload(payload) {
+                    if title == TRACE_JSONL_SECTION {
+                        jsonl = Some(body.to_string());
+                    } else if title == TRACE_CSV_SECTION {
+                        csv = Some(body.to_string());
+                    } else {
+                        println!("{}", suite.section(title, body));
+                    }
+                }
+            }
+            // The attempt count is session-relative, so it stays out of
+            // the byte-compared summary; the message itself is a pure
+            // function of the cell.
+            CellOutcome::Quarantined { error, .. } => {
+                suite.note_quarantined(name, format!("quarantined: {error}"));
+            }
+        }
+    }
+    if let (Some(jsonl), Some(csv)) = (jsonl, csv) {
+        suite.set_trace_exports(TraceExports { jsonl, csv });
+    }
+    suite.set_cell_stats(outcome.stats);
+    Ok(suite)
 }
 
 #[cfg(test)]
@@ -383,6 +671,9 @@ mod tests {
         let cli = parse(&[]).unwrap();
         assert_eq!(cli.experiment, ExperimentConfig::default());
         assert!(cli.out.is_none());
+        assert!(cli.resume.is_none());
+        assert!(cli.kill_at.is_none());
+        assert_eq!(cli.max_attempts, 3);
     }
 
     #[test]
@@ -433,6 +724,25 @@ mod tests {
     }
 
     #[test]
+    fn parses_and_validates_journal_flags() {
+        let cli =
+            parse(&["--resume", "/tmp/j.jsonl", "--kill-at", "3", "--max-attempts", "2"]).unwrap();
+        assert_eq!(cli.resume.as_deref(), Some(std::path::Path::new("/tmp/j.jsonl")));
+        assert_eq!(cli.kill_at, Some(3));
+        assert_eq!(cli.max_attempts, 2);
+        let opts = cli.runner_options();
+        assert_eq!(opts.jobs, 1);
+        assert_eq!(opts.max_attempts, 2);
+        assert_eq!(opts.kill, Some(KillSpec { at_append: 3, torn: false, mode: KillMode::Exit }));
+
+        assert!(parse(&["--kill-at", "3"]).is_err(), "--kill-at requires --resume");
+        assert!(parse(&["--resume", "/tmp/j", "--kill-at", "0"]).is_err());
+        assert!(parse(&["--max-attempts", "0"]).is_err());
+        assert!(parse(&["--tick-budget", "many"]).is_err());
+        assert_eq!(parse(&["--tick-budget", "5000"]).unwrap().experiment.tick_budget, 5000);
+    }
+
+    #[test]
     fn suite_carries_jobs_knob() {
         assert_eq!(ExperimentSuite::new().jobs(), tiersim_core::sweep::default_jobs());
         assert_eq!(ExperimentSuite::new().with_jobs(3).jobs(), 3);
@@ -475,5 +785,50 @@ mod tests {
         assert_eq!(suite.exit_code(), 0);
         assert!(suite.summary().contains("1/1 experiments completed"));
         assert!(suite.output().contains("body"));
+    }
+
+    #[test]
+    fn summary_reports_degraded_mode_columns_when_journaled() {
+        let mut suite = ExperimentSuite::new();
+        assert!(!suite.summary().contains("cells:"), "no cell line without journal stats");
+        suite.note_completed();
+        suite.note_quarantined("stuck one", "quarantined: cell stuck".to_string());
+        suite.set_cell_stats(JournalStats {
+            completed: 1,
+            retried: 0,
+            quarantined: 1,
+            executed: 4,
+            replayed: 0,
+        });
+        let s = suite.summary();
+        assert!(s.contains("1/2 experiments completed"), "{s}");
+        assert!(s.contains("cells: 1 completed, 0 retried, 1 quarantined"), "{s}");
+        assert!(s.contains("FAILED stuck one: quarantined: cell stuck"), "{s}");
+        assert_eq!(suite.exit_code(), 1);
+    }
+
+    #[test]
+    fn payload_codec_roundtrips_sections() {
+        let sections = vec![
+            ("Table 1".to_string(), "a,b\n1,2\n".to_string()),
+            (TRACE_JSONL_SECTION.to_string(), "{\"t\":1}\n".to_string()),
+            ("Figure 3".to_string(), "multi\nline body\n".to_string()),
+        ];
+        let payload = encode_payload(&sections);
+        let decoded = decode_payload(&payload);
+        assert_eq!(decoded.len(), 3);
+        for ((t, b), (dt, db)) in sections.iter().zip(&decoded) {
+            assert_eq!((t.as_str(), b.as_str()), (*dt, *db));
+        }
+        assert!(decode_payload("").is_empty());
+    }
+
+    #[test]
+    fn cell_error_classifies_stuck_separately() {
+        let stuck = cell_error(CoreError::Run(RunError::Stuck { ticks: 5, budget: 2 }));
+        assert_eq!(stuck.class, FailureClass::Stuck);
+        assert!(stuck.message.contains("stuck"));
+        let plain = cell_error(injected_failure());
+        assert_eq!(plain.class, FailureClass::Error);
     }
 }

@@ -20,6 +20,7 @@ fn cfg() -> ExperimentConfig {
         sample_period: 211,
         jobs: 1,
         trace: TraceConfig::off(),
+        tick_budget: 0,
     }
 }
 

@@ -43,6 +43,12 @@ pub struct MachineConfig {
     /// always a single simulation thread: this knob never affects
     /// simulated behavior or output bytes, only wall-clock time.
     pub jobs: usize,
+    /// Stuck-cell watchdog: abort the run (as a typed
+    /// [`crate::RunError::Stuck`] failure) once the machine has taken more
+    /// than this many OS engine ticks. `0` disables the watchdog. Ticks
+    /// are a pure function of simulated progress, so the budget trips
+    /// deterministically — never from host wall-clock time.
+    pub tick_budget: u64,
 }
 
 impl MachineConfig {
@@ -103,6 +109,7 @@ impl MachineConfig {
             timeline_period_cycles,
             plan_dram_headroom: 0.92,
             jobs: 1,
+            tick_budget: 0,
         }
     }
 
@@ -110,6 +117,14 @@ impl MachineConfig {
     #[must_use]
     pub fn with_jobs(mut self, jobs: usize) -> Self {
         self.jobs = jobs;
+        self
+    }
+
+    /// Returns a copy with the stuck-cell watchdog armed at `ticks` OS
+    /// engine ticks (`0` disables).
+    #[must_use]
+    pub fn with_tick_budget(mut self, ticks: u64) -> Self {
+        self.tick_budget = ticks;
         self
     }
 

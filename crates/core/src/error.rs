@@ -2,6 +2,70 @@
 
 use core::fmt;
 
+/// A workload run died mid-flight: the typed payload behind what used to
+/// be a bare `panic!` in [`crate::Machine`]'s access path.
+///
+/// The access path sits below the infallible `MemBackend` trait, so it
+/// cannot thread a `Result` up through the graph kernels; instead it
+/// raises a `RunError` as a *typed* panic payload
+/// (`std::panic::panic_any`) and [`crate::run_workload`] catches it at
+/// the run boundary, converting the poisoned run into
+/// [`CoreError::Run`]. A poisoned sweep cell therefore becomes a
+/// journaled failure, not a process abort (ISSUE 7).
+#[derive(Debug, Clone, PartialEq)]
+pub enum RunError {
+    /// The OS model could not recover from a page fault (true OOM on
+    /// both tiers after reclaim, or an internal inconsistency).
+    UnrecoverableFault {
+        /// The faulting virtual address, pre-rendered.
+        addr: String,
+        /// The tiering mode the machine ran under.
+        mode: String,
+        /// The OS error that ended the run.
+        source: tiersim_os::OsError,
+    },
+    /// The workload touched an address no mapping covers.
+    Segfault {
+        /// The unmapped virtual address, pre-rendered.
+        addr: String,
+    },
+    /// The tick-budget watchdog fired: the machine consumed more OS
+    /// engine ticks than [`crate::MachineConfig::tick_budget`] allows, so
+    /// the cell is presumed stuck (runaway workload) and is aborted
+    /// deterministically instead of hanging the sweep.
+    Stuck {
+        /// OS engine ticks consumed when the watchdog fired.
+        ticks: u64,
+        /// The configured budget that was exceeded.
+        budget: u64,
+    },
+}
+
+impl fmt::Display for RunError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RunError::UnrecoverableFault { addr, mode, source } => {
+                write!(f, "unrecoverable fault at {addr} under {mode}: {source}")
+            }
+            RunError::Segfault { addr } => {
+                write!(f, "workload touched unmapped address {addr}")
+            }
+            RunError::Stuck { ticks, budget } => {
+                write!(f, "cell stuck: {ticks} OS ticks exceed the budget of {budget}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RunError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RunError::UnrecoverableFault { source, .. } => Some(source),
+            RunError::Segfault { .. } | RunError::Stuck { .. } => None,
+        }
+    }
+}
+
 /// Errors produced by machine assembly and experiment running.
 #[derive(Debug, Clone, PartialEq)]
 pub enum CoreError {
@@ -16,6 +80,9 @@ pub enum CoreError {
         /// The offending value (and, where useful, the accepted range).
         got: String,
     },
+    /// A workload run died mid-flight (unrecoverable fault, segfault, or
+    /// the stuck-cell watchdog); see [`RunError`].
+    Run(RunError),
 }
 
 impl fmt::Display for CoreError {
@@ -26,6 +93,7 @@ impl fmt::Display for CoreError {
             CoreError::InvalidConfig { what, got } => {
                 write!(f, "invalid configuration: {what} (got {got})")
             }
+            CoreError::Run(e) => write!(f, "run aborted: {e}"),
         }
     }
 }
@@ -36,7 +104,14 @@ impl std::error::Error for CoreError {
             CoreError::Mem(e) => Some(e),
             CoreError::Os(e) => Some(e),
             CoreError::InvalidConfig { .. } => None,
+            CoreError::Run(e) => Some(e),
         }
+    }
+}
+
+impl From<RunError> for CoreError {
+    fn from(e: RunError) -> Self {
+        CoreError::Run(e)
     }
 }
 
@@ -65,5 +140,16 @@ mod tests {
         let inv = CoreError::InvalidConfig { what: "x", got: "7".to_string() };
         assert!(inv.source().is_none());
         assert!(inv.to_string().contains('7'), "error carries the offending value: {inv}");
+    }
+
+    #[test]
+    fn run_errors_render_and_chain() {
+        let stuck = CoreError::from(RunError::Stuck { ticks: 100, budget: 10 });
+        assert!(stuck.to_string().contains("stuck"), "{stuck}");
+        assert!(stuck.to_string().contains("100"), "{stuck}");
+        assert!(stuck.source().is_some());
+        let seg = RunError::Segfault { addr: "0xdead".to_string() };
+        assert!(seg.to_string().contains("0xdead"), "{seg}");
+        assert!(seg.source().is_none());
     }
 }

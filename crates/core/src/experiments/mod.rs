@@ -46,6 +46,9 @@ pub struct ExperimentConfig {
     /// Event-trace settings threaded into every machine this experiment
     /// builds (off by default; see DESIGN.md §11).
     pub trace: TraceConfig,
+    /// Stuck-cell watchdog budget in OS engine ticks, threaded into every
+    /// machine (`0` disables; see [`crate::MachineConfig::tick_budget`]).
+    pub tick_budget: u64,
 }
 
 impl Default for ExperimentConfig {
@@ -57,6 +60,7 @@ impl Default for ExperimentConfig {
             sample_period: 9973,
             jobs: crate::sweep::default_jobs(),
             trace: TraceConfig::off(),
+            tick_budget: 0,
         }
     }
 }
@@ -102,7 +106,26 @@ impl ExperimentConfig {
         cfg.sample_period = self.sample_period;
         cfg.jobs = self.jobs;
         cfg.mem.trace = self.trace;
+        cfg.tick_budget = self.tick_budget;
         cfg
+    }
+
+    /// A stable fingerprint of every parameter that shapes output bytes —
+    /// the journal (`crate::journal`) stores it so `--resume` refuses a
+    /// journal written under different experiment inputs. `jobs` is
+    /// deliberately excluded: the determinism contract (DESIGN.md §10)
+    /// guarantees identical bytes for every worker count, so resuming
+    /// with a different `--jobs` is sound.
+    pub fn fingerprint(&self) -> String {
+        format!(
+            "scale={};degree={};trials={};sample_period={};trace={};tick_budget={}",
+            self.scale,
+            self.degree,
+            self.trials,
+            self.sample_period,
+            u8::from(self.trace.enabled),
+            self.tick_budget,
+        )
     }
 
     /// The machine configuration for a workload under `mode`. The machine
@@ -133,6 +156,7 @@ pub(crate) fn tiny_config() -> ExperimentConfig {
         sample_period: 97,
         jobs: 1,
         trace: TraceConfig::off(),
+        tick_budget: 0,
     }
 }
 
@@ -149,6 +173,7 @@ mod tests {
             sample_period: 101,
             jobs: 1,
             trace: TraceConfig::off(),
+            tick_budget: 0,
         };
         let ws = cfg.workloads();
         assert_eq!(ws.len(), 6);
@@ -165,5 +190,23 @@ mod tests {
         let w = cfg.workload(Kernel::Bfs, Dataset::Kron);
         let m = cfg.machine_for(&w, TieringMode::AutoNuma);
         assert_eq!(m.sample_period, 97);
+    }
+
+    #[test]
+    fn fingerprint_tracks_output_shaping_inputs_but_not_jobs() {
+        let base = tiny_config();
+        let mut other_jobs = base;
+        other_jobs.jobs = 8;
+        // Resuming with a different worker count is explicitly supported.
+        assert_eq!(base.fingerprint(), other_jobs.fingerprint());
+        let mut other_scale = base;
+        other_scale.scale += 1;
+        assert_ne!(base.fingerprint(), other_scale.fingerprint());
+        let mut traced = base;
+        traced.trace = TraceConfig::on();
+        assert_ne!(base.fingerprint(), traced.fingerprint());
+        let mut budgeted = base;
+        budgeted.tick_budget = 500;
+        assert_ne!(base.fingerprint(), budgeted.fingerprint());
     }
 }

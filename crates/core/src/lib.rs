@@ -34,6 +34,7 @@
 mod config;
 mod error;
 pub mod experiments;
+pub mod journal;
 mod machine;
 pub mod render;
 mod report;
@@ -43,7 +44,7 @@ mod timeline;
 mod workload;
 
 pub use config::{FaultConfig, MachineConfig};
-pub use error::CoreError;
+pub use error::{CoreError, RunError};
 pub use experiments::ExperimentConfig;
 pub use machine::Machine;
 pub use report::RunReport;

@@ -2,7 +2,7 @@
 //! [`MemBackend`].
 
 use crate::config::MachineConfig;
-use crate::error::CoreError;
+use crate::error::{CoreError, RunError};
 use crate::timeline::TimelineSnapshot;
 use tiersim_mem::{
     AccessError, AccessKind, MemBackend, MemPolicy, MemorySystem, ThreadId, Tier, TraceLog,
@@ -60,6 +60,8 @@ pub struct Machine {
     clock_rem: u64,
     cur_thread: ThreadId,
     os_next_event: u64,
+    /// OS engine ticks taken so far — the stuck-cell watchdog's meter.
+    os_ticks: u64,
     // Timeline machinery.
     timeline: Vec<TimelineSnapshot>,
     next_snapshot: u64,
@@ -111,6 +113,7 @@ impl Machine {
             clock_rem: 0,
             cur_thread: ThreadId(0),
             os_next_event,
+            os_ticks: 0,
             timeline: Vec::new(),
             next_snapshot,
             next_replan: dynamic.map_or(u64::MAX, |d| d.replan_interval_cycles),
@@ -209,6 +212,16 @@ impl Machine {
         if self.clock_cycles >= self.os_next_event {
             self.os.tick(&mut self.mem, self.clock_cycles);
             self.os_next_event = self.os.next_event();
+            self.os_ticks += 1;
+            // Deterministic stuck-cell watchdog: OS engine ticks are a pure
+            // function of simulated progress, so the same runaway workload
+            // trips the budget at the same tick on every host and `--jobs`.
+            if self.cfg.tick_budget > 0 && self.os_ticks > self.cfg.tick_budget {
+                std::panic::panic_any(RunError::Stuck {
+                    ticks: self.os_ticks,
+                    budget: self.cfg.tick_budget,
+                });
+            }
         }
         if self.clock_cycles >= self.next_snapshot {
             self.snapshot();
@@ -391,16 +404,22 @@ impl Machine {
             match self.mem.access(addr, kind, self.clock_cycles) {
                 Ok(o) => break o,
                 Err(AccessError::Fault(pf)) => {
-                    let res = self
-                        .os
-                        .handle_fault(&mut self.mem, pf, self.clock_cycles)
-                        .unwrap_or_else(|e| {
-                            panic!("unrecoverable fault at {addr} under {}: {e}", self.cfg.mode)
-                        });
+                    let res = match self.os.handle_fault(&mut self.mem, pf, self.clock_cycles) {
+                        Ok(res) => res,
+                        // The access path sits below the infallible
+                        // `MemBackend` trait, so raise a typed payload that
+                        // `run_workload` converts into `CoreError::Run` —
+                        // the cell fails, the process survives (ISSUE 7).
+                        Err(e) => std::panic::panic_any(RunError::UnrecoverableFault {
+                            addr: addr.to_string(),
+                            mode: self.cfg.mode.to_string(),
+                            source: e,
+                        }),
+                    };
                     self.advance_parallel(res.cost_cycles);
                 }
                 Err(AccessError::Segfault { addr }) => {
-                    panic!("workload touched unmapped address {addr}")
+                    std::panic::panic_any(RunError::Segfault { addr: addr.to_string() })
                 }
             }
         };

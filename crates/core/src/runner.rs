@@ -119,8 +119,28 @@ fn run_trials(
 ///
 /// # Errors
 ///
-/// Returns [`CoreError`] on invalid configuration or unrecoverable OOM.
+/// Returns [`CoreError`] on invalid configuration; a run that dies
+/// mid-flight (unrecoverable OOM, segfault, or the stuck-cell watchdog)
+/// comes back as [`CoreError::Run`] instead of unwinding — the machine's
+/// access path raises a typed [`crate::RunError`] panic payload and this
+/// boundary catches it, so a poisoned sweep cell is a recordable failure,
+/// not a process abort. Foreign panics (plain `panic!`, assertion
+/// failures) still unwind unchanged.
 pub fn run_workload(
+    machine_cfg: MachineConfig,
+    workload: WorkloadConfig,
+) -> Result<RunReport, CoreError> {
+    use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+    match catch_unwind(AssertUnwindSafe(|| run_workload_inner(machine_cfg, workload))) {
+        Ok(result) => result,
+        Err(payload) => match payload.downcast::<crate::error::RunError>() {
+            Ok(run_err) => Err(CoreError::Run(*run_err)),
+            Err(other) => resume_unwind(other),
+        },
+    }
+}
+
+fn run_workload_inner(
     machine_cfg: MachineConfig,
     workload: WorkloadConfig,
 ) -> Result<RunReport, CoreError> {
@@ -409,6 +429,38 @@ mod tests {
             tiersim_os::replay_matches(&traced.trace.records, &traced.counters),
             "trace replay must reproduce the counters"
         );
+    }
+
+    #[test]
+    fn stuck_watchdog_returns_typed_error_instead_of_hanging() {
+        use crate::error::RunError;
+        let w = tiny(Kernel::Bfs, Dataset::Kron).trials(1);
+        // A fast kswapd cadence makes the engine tick constantly, so a
+        // budget of one tick is far below what the run needs and the
+        // watchdog fires early and deterministically.
+        let mut c = cfg(&w, TieringMode::AutoNuma).with_tick_budget(1);
+        c.os.kswapd_period_cycles = 1_000;
+        let got = run_workload(c.clone(), w);
+        match got {
+            Err(CoreError::Run(RunError::Stuck { ticks, budget })) => {
+                assert_eq!(budget, 1);
+                assert!(ticks > budget);
+            }
+            other => panic!("expected a stuck-cell error, got {other:?}"),
+        }
+        // Same config, same typed failure: even aborts are deterministic.
+        assert_eq!(run_workload(c.clone(), w).unwrap_err(), run_workload(c, w).unwrap_err());
+    }
+
+    #[test]
+    fn zero_tick_budget_disables_the_watchdog() {
+        let w = tiny(Kernel::Bfs, Dataset::Kron).trials(1);
+        let plain = run_workload(cfg(&w, TieringMode::AutoNuma), w).unwrap();
+        let armed_high =
+            run_workload(cfg(&w, TieringMode::AutoNuma).with_tick_budget(u64::MAX), w).unwrap();
+        // A budget the run never reaches must not perturb the simulation.
+        assert_eq!(plain.total_secs, armed_high.total_secs);
+        assert_eq!(plain.counters, armed_high.counters);
     }
 
     #[test]

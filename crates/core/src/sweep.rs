@@ -20,6 +20,90 @@ use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Mutex, MutexGuard, PoisonError};
 
+/// Panic payload that aborts an entire sweep instead of being captured as
+/// one cell's failure.
+///
+/// [`run_cells_fallible`] contains every ordinary panic inside its cell —
+/// that is the whole point of the fallible lane. A few events, though,
+/// must behave like the *process* dying, not like one cell failing: the
+/// journal's deterministic kill-point injector (`crate::journal`) models a
+/// SIGKILL by panicking with this payload, and every worker that touches
+/// the dead journal afterwards raises it too. The fallible lane re-raises
+/// `SweepAbort` payloads unchanged, so they unwind through the sweep the
+/// way a real crash would end it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SweepAbort(
+    /// Why the sweep was aborted (e.g. `"kill-point"`).
+    pub &'static str,
+);
+
+/// Why a fallible sweep cell did not produce a value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CellFailure<E> {
+    /// The cell ran to completion and returned an error.
+    Error(E),
+    /// The cell panicked; the payload rendered as a message.
+    Panic(String),
+}
+
+impl<E: std::fmt::Display> std::fmt::Display for CellFailure<E> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CellFailure::Error(e) => write!(f, "{e}"),
+            CellFailure::Panic(msg) => write!(f, "panicked: {msg}"),
+        }
+    }
+}
+
+/// Renders a caught panic payload as a message: `&str` and `String`
+/// payloads verbatim, a typed [`crate::error::RunError`] via its
+/// `Display`, anything else as `"unknown panic"`.
+pub fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        return (*s).to_string();
+    }
+    if let Some(s) = payload.downcast_ref::<String>() {
+        return s.clone();
+    }
+    if let Some(e) = payload.downcast_ref::<crate::error::RunError>() {
+        return e.to_string();
+    }
+    "unknown panic".to_string()
+}
+
+/// Runs every cell, isolating failures: the fallible sweep lane.
+///
+/// Like [`run_cells`], but a cell that returns `Err` or panics yields
+/// `Err(CellFailure)` in its slot instead of killing the sweep — the other
+/// cells' results survive. Results come back in cell-index order and are
+/// byte-identical for every `jobs` value, exactly as in the infallible
+/// lane.
+///
+/// # Panics
+///
+/// Panics whose payload is a [`SweepAbort`] are *not* captured: they model
+/// the whole runner dying (the journal kill-point injector) and are
+/// re-raised after all workers have been joined, lowest index first.
+pub fn run_cells_fallible<T, E, F>(jobs: usize, cells: Vec<F>) -> Vec<Result<T, CellFailure<E>>>
+where
+    T: Send,
+    E: Send,
+    F: FnOnce() -> Result<T, E> + Send,
+{
+    let wrapped: Vec<_> = cells
+        .into_iter()
+        .map(|cell| {
+            move || match catch_unwind(AssertUnwindSafe(cell)) {
+                Ok(Ok(value)) => Ok(value),
+                Ok(Err(e)) => Err(CellFailure::Error(e)),
+                Err(payload) if payload.is::<SweepAbort>() => resume_unwind(payload),
+                Err(payload) => Err(CellFailure::Panic(panic_message(payload.as_ref()))),
+            }
+        })
+        .collect();
+    run_cells(jobs, wrapped)
+}
+
 /// The default worker count: the host's available parallelism, falling
 /// back to 1 when it cannot be determined.
 pub fn default_jobs() -> usize {
@@ -156,5 +240,58 @@ mod tests {
     #[test]
     fn default_jobs_is_positive() {
         assert!(default_jobs() >= 1);
+    }
+
+    /// ISSUE 7 regression: one panicking cell no longer kills the other
+    /// cells' results — the fallible lane records it in its own slot.
+    #[test]
+    fn fallible_lane_isolates_panics_and_errors() {
+        for jobs in [1, 4] {
+            let cells: Vec<Box<dyn FnOnce() -> Result<u32, String> + Send>> = vec![
+                Box::new(|| Ok(10)),
+                Box::new(|| panic!("cell one exploded")),
+                Box::new(|| Err("cell two declined".to_string())),
+                Box::new(|| Ok(30)),
+            ];
+            let got = run_cells_fallible(jobs, cells);
+            assert_eq!(got.len(), 4, "jobs={jobs}");
+            assert_eq!(got[0], Ok(10));
+            assert_eq!(got[1], Err(CellFailure::Panic("cell one exploded".to_string())));
+            assert_eq!(got[2], Err(CellFailure::Error("cell two declined".to_string())));
+            assert_eq!(got[3], Ok(30), "cells after a panic still ran (jobs={jobs})");
+        }
+    }
+
+    #[test]
+    fn fallible_lane_matches_infallible_on_clean_cells() {
+        let make = || (0..32).map(|i| move || Ok::<_, String>(i * 3)).collect::<Vec<_>>();
+        let serial = run_cells_fallible(1, make());
+        let parallel = run_cells_fallible(4, make());
+        assert_eq!(serial, parallel);
+        assert!(serial.iter().all(Result::is_ok));
+    }
+
+    #[test]
+    fn sweep_abort_payloads_pass_through_the_fallible_lane() {
+        for jobs in [1, 4] {
+            let cells: Vec<Box<dyn FnOnce() -> Result<u32, String> + Send>> = vec![
+                Box::new(|| Ok(1)),
+                Box::new(|| std::panic::panic_any(SweepAbort("kill-point"))),
+                Box::new(|| Ok(3)),
+            ];
+            let err =
+                catch_unwind(AssertUnwindSafe(|| run_cells_fallible(jobs, cells))).unwrap_err();
+            let abort = err.downcast_ref::<SweepAbort>();
+            assert_eq!(abort, Some(&SweepAbort("kill-point")), "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn panic_message_renders_known_payload_shapes() {
+        assert_eq!(panic_message(&"boom"), "boom");
+        assert_eq!(panic_message(&"boom".to_string()), "boom");
+        let e = crate::error::RunError::Stuck { ticks: 9, budget: 4 };
+        assert!(panic_message(&e).contains("stuck"), "{}", panic_message(&e));
+        assert_eq!(panic_message(&42u32), "unknown panic");
     }
 }

@@ -56,11 +56,17 @@ pub fn replay_counters(records: &[TraceRecord]) -> VmCounters {
             TraceEvent::MigrateFail { .. } => c.pgmigrate_fail += 1,
             TraceEvent::PageCacheDrop { .. } => c.page_cache_dropped += 1,
             // Bookkeeping events that carry no vmstat field of their own.
+            // The cell lifecycle events belong to the sweep journal layer
+            // (`tiersim-core`), which never mixes into an OS trace.
             TraceEvent::ThresholdAdjust { .. }
             | TraceEvent::RateLimitConsume { .. }
             | TraceEvent::RateLimitDeny { .. }
             | TraceEvent::FaultInjected { .. }
-            | TraceEvent::ReclaimStall { .. } => {}
+            | TraceEvent::ReclaimStall { .. }
+            | TraceEvent::CellStart { .. }
+            | TraceEvent::CellDone { .. }
+            | TraceEvent::CellRetry { .. }
+            | TraceEvent::CellQuarantine { .. } => {}
         }
     }
     c

@@ -143,6 +143,36 @@ pub enum TraceEvent {
         /// Dropped page number.
         page: u64,
     },
+    /// A journaled sweep cell began an attempt (`tiersim-core`'s crash-safe
+    /// sweep runner; cell lifecycle events carry the cell's index in the
+    /// sweep, not a page number).
+    CellStart {
+        /// Cell index within the sweep.
+        cell: u64,
+        /// 1-based attempt number.
+        attempt: u64,
+    },
+    /// A sweep cell attempt completed and its payload is durable.
+    CellDone {
+        /// Cell index within the sweep.
+        cell: u64,
+        /// The attempt that succeeded.
+        attempt: u64,
+    },
+    /// A sweep cell attempt failed and will retry in the next wave.
+    CellRetry {
+        /// Cell index within the sweep.
+        cell: u64,
+        /// The attempt that failed.
+        attempt: u64,
+    },
+    /// A sweep cell exhausted its retry budget and left the sweep.
+    CellQuarantine {
+        /// Cell index within the sweep.
+        cell: u64,
+        /// The final attempt number.
+        attempt: u64,
+    },
 }
 
 impl TraceEvent {
@@ -165,6 +195,10 @@ impl TraceEvent {
             TraceEvent::FaultInjected { .. } => "fault_injected",
             TraceEvent::ReclaimStall { .. } => "reclaim_stall",
             TraceEvent::PageCacheDrop { .. } => "page_cache_drop",
+            TraceEvent::CellStart { .. } => "cell_start",
+            TraceEvent::CellDone { .. } => "cell_done",
+            TraceEvent::CellRetry { .. } => "cell_retry",
+            TraceEvent::CellQuarantine { .. } => "cell_quarantine",
         }
     }
 }

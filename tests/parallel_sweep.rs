@@ -22,6 +22,7 @@ fn tiny(jobs: usize) -> ExperimentConfig {
         sample_period: 211,
         jobs,
         trace: TraceConfig::off(),
+        tick_budget: 0,
     }
 }
 
@@ -58,19 +59,11 @@ fn trace_export_is_byte_identical_across_jobs() {
     };
     let serial = traced(1);
     let parallel = traced(4);
-    let a = serial.trace_log().expect("traced suite records a log");
-    let b = parallel.trace_log().expect("traced suite records a log");
-    assert!(a.recorded > 0, "traced run recorded no events");
-    assert_eq!(
-        tiersim_core::trace_to_jsonl(a),
-        tiersim_core::trace_to_jsonl(b),
-        "trace JSONL diverged between jobs=1 and 4"
-    );
-    assert_eq!(
-        tiersim_core::trace_to_csv(a),
-        tiersim_core::trace_to_csv(b),
-        "trace CSV diverged between jobs=1 and 4"
-    );
+    let a = serial.trace_exports().expect("traced suite records exports");
+    let b = parallel.trace_exports().expect("traced suite records exports");
+    assert!(!a.jsonl.is_empty(), "traced run recorded no events");
+    assert_eq!(a.jsonl, b.jsonl, "trace JSONL diverged between jobs=1 and 4");
+    assert_eq!(a.csv, b.csv, "trace CSV diverged between jobs=1 and 4");
 }
 
 /// Characterization renders and per-report CSVs are bytewise independent

@@ -1,0 +1,273 @@
+//! `cargo xtask journal-check <file.jsonl>`: schema + checksum validation
+//! for the crash-safe sweep journal written by `repro_all --resume`
+//! (DESIGN.md §13).
+//!
+//! A standalone mirror of `tiersim_core::journal` — its own FNV-1a64 and
+//! field extraction, zero dependencies — so the offline CI toolchain can
+//! verify a journal artifact without building the workspace first:
+//!
+//! - every line is `{core,"crc":"<hex16>"}` and the FNV-1a64 of the core
+//!   bytes matches the recorded crc;
+//! - the first record is a `meta` carrying the schema version and sweep
+//!   fingerprint; `meta` never appears again;
+//! - `seq` is strictly increasing;
+//! - record kinds come from the known vocabulary and carry their
+//!   required fields;
+//! - a torn **final** line (a crash mid-append) is tolerated with a
+//!   notice; any earlier invalid line is corruption and fails the check.
+
+/// What a clean (or tolerably torn) journal looks like.
+#[derive(Debug, PartialEq, Eq)]
+pub struct JournalSummary {
+    /// Complete, validated records.
+    pub records: usize,
+    /// The sweep fingerprint from the meta record.
+    pub fingerprint: String,
+    /// `true` if the final line was torn (crash mid-append) and ignored.
+    pub torn_tail: bool,
+}
+
+/// Validates a journal. Returns the summary, or the first problem as
+/// `(1-based line, message)`.
+pub fn check_journal(text: &str) -> Result<JournalSummary, (usize, String)> {
+    if text.is_empty() {
+        return Err((0, "empty journal file".to_string()));
+    }
+    // Work on raw chunks (not `lines()`): a missing trailing newline on
+    // the last chunk is exactly the torn-append signature.
+    let chunks: Vec<&str> = text.split_inclusive('\n').collect();
+    let mut summary = JournalSummary { records: 0, fingerprint: String::new(), torn_tail: false };
+    let mut prev_seq: Option<u64> = None;
+    for (idx, chunk) in chunks.iter().enumerate() {
+        let n = idx + 1;
+        let is_last = n == chunks.len();
+        let complete = chunk.ends_with('\n');
+        let line = chunk.trim_end_matches(['\n', '\r']);
+        let core = match verify_crc(line) {
+            Some(core) if complete => core,
+            _ if is_last => {
+                // Incomplete or checksum-less final line: a crash landed
+                // mid-append. The writer truncates it away on resume.
+                summary.torn_tail = true;
+                break;
+            }
+            _ => return Err((n, "bad checksum or malformed line".to_string())),
+        };
+        let err = |msg: &str| (n, msg.to_string());
+        let version = u64_field(core, "v").ok_or_else(|| err("missing numeric `v` field"))?;
+        if version != 1 {
+            return Err((n, format!("unsupported journal version {version}")));
+        }
+        let seq = u64_field(core, "seq").ok_or_else(|| err("missing numeric `seq` field"))?;
+        if let Some(prev) = prev_seq {
+            if seq <= prev {
+                return Err((n, format!("seq went {prev} -> {seq}, must strictly increase")));
+            }
+        }
+        prev_seq = Some(seq);
+        let kind = str_field(core, "kind").ok_or_else(|| err("missing string `kind` field"))?;
+        if (kind == "meta") != (n == 1) {
+            return Err((n, "meta must be exactly the first record".to_string()));
+        }
+        let require_u64 = |name: &str| {
+            u64_field(core, name)
+                .map(|_| ())
+                .ok_or((n, format!("`{kind}` record missing numeric `{name}`")))
+        };
+        let require_str = |name: &str| {
+            str_field(core, name)
+                .map(|_| ())
+                .ok_or((n, format!("`{kind}` record missing string `{name}`")))
+        };
+        match kind {
+            "meta" => {
+                summary.fingerprint = str_field(core, "fingerprint")
+                    .ok_or_else(|| err("meta record missing string `fingerprint`"))?
+                    .to_string();
+            }
+            "start" => {
+                require_str("cell")?;
+                require_str("name")?;
+                require_u64("attempt")?;
+            }
+            "done" => {
+                require_str("cell")?;
+                require_u64("attempt")?;
+                require_str("payload")?;
+            }
+            "fail" => {
+                require_str("cell")?;
+                require_u64("attempt")?;
+                require_str("class")?;
+                require_str("error")?;
+            }
+            "quarantine" => {
+                require_str("cell")?;
+                require_u64("attempts")?;
+                require_str("error")?;
+            }
+            other => return Err((n, format!("unknown record kind `{other}`"))),
+        }
+        summary.records += 1;
+    }
+    if summary.records == 0 {
+        return Err((1, "journal has no complete records".to_string()));
+    }
+    Ok(summary)
+}
+
+/// Splits `{core,"crc":"hex16"}` and verifies the checksum, returning the
+/// core bytes. Mirrors `tiersim_core::journal`'s private helper.
+fn verify_crc(line: &str) -> Option<&str> {
+    let rest = line.strip_prefix('{')?;
+    let marker = ",\"crc\":\"";
+    let pos = rest.rfind(marker)?;
+    let core = &rest[..pos];
+    let crc = rest[pos + marker.len()..].strip_suffix("\"}")?;
+    if crc.len() != 16 {
+        return None;
+    }
+    if format!("{:016x}", fnv1a64(core.as_bytes())) == crc {
+        Some(core)
+    } else {
+        None
+    }
+}
+
+/// FNV-1a64 — the journal's checksum. Deliberately duplicated from
+/// `tiersim_core::journal::codec` so the validator shares no code with
+/// the writer it audits.
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Extracts `"name":<u64>` from a flat JSON line. Quotes inside string
+/// values are escaped (`\"`), so a raw `"name":` match is always a key.
+fn u64_field(line: &str, name: &str) -> Option<u64> {
+    let key = format!("\"{name}\":");
+    let start = line.find(&key)? + key.len();
+    let digits: String = line[start..].chars().take_while(|c| c.is_ascii_digit()).collect();
+    digits.parse().ok()
+}
+
+/// Extracts `"name":"<value>"` from a flat JSON line, respecting escapes.
+fn str_field<'a>(line: &'a str, name: &str) -> Option<&'a str> {
+    let key = format!("\"{name}\":\"");
+    let start = line.find(&key)? + key.len();
+    let rest = &line[start..];
+    let mut escaped = false;
+    for (i, c) in rest.char_indices() {
+        match c {
+            _ if escaped => escaped = false,
+            '\\' => escaped = true,
+            '"' => return Some(&rest[..i]),
+            _ => {}
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Builds a valid journal line the way the writer does.
+    fn line(core: &str) -> String {
+        format!("{{{core},\"crc\":\"{:016x}\"}}\n", fnv1a64(core.as_bytes()))
+    }
+
+    fn good() -> String {
+        let mut s = String::new();
+        s.push_str(&line("\"v\":1,\"seq\":0,\"kind\":\"meta\",\"fingerprint\":\"scale=10\""));
+        s.push_str(&line(
+            "\"v\":1,\"seq\":1,\"kind\":\"start\",\"cell\":\"ab\",\"name\":\"c1\",\"attempt\":1",
+        ));
+        s.push_str(&line(
+            "\"v\":1,\"seq\":2,\"kind\":\"done\",\"cell\":\"ab\",\"attempt\":1,\"payload\":\"p\\\"x\"",
+        ));
+        s.push_str(&line(
+            "\"v\":1,\"seq\":3,\"kind\":\"fail\",\"cell\":\"cd\",\"attempt\":1,\"class\":\"stuck\",\"error\":\"e\"",
+        ));
+        s.push_str(&line(
+            "\"v\":1,\"seq\":4,\"kind\":\"quarantine\",\"cell\":\"cd\",\"attempts\":3,\"error\":\"e\"",
+        ));
+        s
+    }
+
+    #[test]
+    fn accepts_well_formed_journal() {
+        let summary = check_journal(&good()).expect("valid journal");
+        assert_eq!(summary.records, 5);
+        assert_eq!(summary.fingerprint, "scale=10");
+        assert!(!summary.torn_tail);
+    }
+
+    #[test]
+    fn tolerates_torn_final_line_with_notice() {
+        let mut text = good();
+        text.push_str("{\"v\":1,\"seq\":5,\"kind\":\"sta");
+        let summary = check_journal(&text).expect("torn tail tolerated");
+        assert_eq!(summary.records, 5);
+        assert!(summary.torn_tail);
+    }
+
+    #[test]
+    fn rejects_mid_file_corruption_and_bad_crc() {
+        let mut flipped = good();
+        // Flip one payload byte in the middle: crc no longer matches.
+        let at = flipped.find("p\\\"x").unwrap();
+        flipped.replace_range(at..at + 1, "q");
+        assert_eq!(check_journal(&flipped).unwrap_err().0, 3);
+
+        let truncated_middle = good().replacen("\"kind\":\"start\"", "\"kind\":\"sta", 1);
+        assert!(check_journal(&truncated_middle).is_err());
+    }
+
+    #[test]
+    fn rejects_schema_violations() {
+        assert_eq!(check_journal("").unwrap_err().0, 0);
+        // No meta first.
+        let headless = good().lines().skip(1).map(|l| format!("{l}\n")).collect::<String>();
+        assert!(check_journal(&headless).unwrap_err().1.contains("meta"));
+        // Duplicate meta later.
+        let mut twice = good();
+        twice.push_str(&line("\"v\":1,\"seq\":9,\"kind\":\"meta\",\"fingerprint\":\"x\""));
+        assert!(check_journal(&twice).unwrap_err().1.contains("meta"));
+        // Broken seq ordering (rebuilt with valid checksums so the line
+        // reaches the seq check).
+        let rebuilt = line("\"v\":1,\"seq\":0,\"kind\":\"meta\",\"fingerprint\":\"f\"")
+            + &line(
+                "\"v\":1,\"seq\":0,\"kind\":\"start\",\"cell\":\"a\",\"name\":\"n\",\"attempt\":1",
+            );
+        assert!(check_journal(&rebuilt).unwrap_err().1.contains("strictly increase"));
+        // Unknown kind.
+        let unknown = line("\"v\":1,\"seq\":0,\"kind\":\"meta\",\"fingerprint\":\"f\"")
+            + &line("\"v\":1,\"seq\":1,\"kind\":\"mystery\",\"cell\":\"a\"");
+        assert!(check_journal(&unknown).unwrap_err().1.contains("unknown record kind"));
+        // Wrong version.
+        let v2 = line("\"v\":2,\"seq\":0,\"kind\":\"meta\",\"fingerprint\":\"f\"")
+            + "{\"v\":1,\"seq\":1";
+        assert!(check_journal(&v2).unwrap_err().1.contains("version"));
+        // Missing required field.
+        let no_payload = line("\"v\":1,\"seq\":0,\"kind\":\"meta\",\"fingerprint\":\"f\"")
+            + &line("\"v\":1,\"seq\":1,\"kind\":\"done\",\"cell\":\"a\",\"attempt\":1")
+            + &line(
+                "\"v\":1,\"seq\":2,\"kind\":\"start\",\"cell\":\"a\",\"name\":\"n\",\"attempt\":2",
+            );
+        assert!(check_journal(&no_payload).unwrap_err().1.contains("payload"));
+    }
+
+    #[test]
+    fn escaped_quotes_in_strings_are_handled() {
+        assert_eq!(
+            str_field("\"error\":\"a \\\"quoted\\\" msg\",\"x\":1", "error"),
+            Some("a \\\"quoted\\\" msg")
+        );
+        assert_eq!(str_field("\"k\":\"unterminated", "k"), None);
+    }
+}

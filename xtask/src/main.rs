@@ -4,6 +4,8 @@
 //! - `lint` — the tiersim determinism lint pass (DESIGN.md §9);
 //! - `trace-check` — schema validation for `repro_all --trace` JSONL
 //!   artifacts (DESIGN.md §11);
+//! - `journal-check` — schema + checksum validation for the crash-safe
+//!   sweep journal written by `repro_all --resume` (DESIGN.md §13);
 //! - `bench-gate` — throughput regression gate over
 //!   `BENCH_access_path.json` (DESIGN.md §12).
 //!
@@ -11,6 +13,7 @@
 //! toolchain before anything else.
 
 mod bench_gate;
+mod journal_check;
 mod lexer;
 mod rules;
 mod trace_check;
@@ -23,6 +26,7 @@ fn main() -> ExitCode {
     match args.first().map(String::as_str) {
         Some("lint") => lint(&args[1..]),
         Some("trace-check") => trace_check_cmd(&args[1..]),
+        Some("journal-check") => journal_check_cmd(&args[1..]),
         Some("bench-gate") => bench_gate_cmd(&args[1..]),
         Some("--help") | Some("-h") | None => {
             print_usage();
@@ -38,13 +42,15 @@ fn main() -> ExitCode {
 
 fn print_usage() {
     eprintln!(
-        "usage: cargo xtask <lint [--list] | trace-check FILE.jsonl | bench-gate BASELINE CURRENT>"
+        "usage: cargo xtask <lint [--list] | trace-check FILE.jsonl | journal-check FILE.jsonl | \
+         bench-gate BASELINE CURRENT>"
     );
     eprintln!();
     eprintln!("tasks:");
     eprintln!("  lint                         run the determinism lint pass over the workspace");
     eprintln!("  lint --list                  print the lint rule ids and exit");
     eprintln!("  trace-check FILE             validate a `repro_all --trace` JSONL artifact");
+    eprintln!("  journal-check FILE           validate a `repro_all --resume` sweep journal");
     eprintln!("  bench-gate BASELINE CURRENT  fail if access-path throughput in CURRENT");
     eprintln!("                               drops >20% below the BASELINE json");
 }
@@ -89,6 +95,34 @@ fn bench_gate_cmd(args: &[String]) -> ExitCode {
         }
         Err(msg) => {
             eprintln!("xtask bench-gate: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn journal_check_cmd(args: &[String]) -> ExitCode {
+    let [path] = args else {
+        eprintln!("xtask journal-check: expected exactly one file argument");
+        return ExitCode::FAILURE;
+    };
+    let text = match std::fs::read_to_string(path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("xtask journal-check: cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match journal_check::check_journal(&text) {
+        Ok(summary) => {
+            let torn = if summary.torn_tail { " (torn final line ignored)" } else { "" };
+            println!(
+                "xtask journal-check: {path}: {} records ok, fingerprint `{}`{torn}",
+                summary.records, summary.fingerprint
+            );
+            ExitCode::SUCCESS
+        }
+        Err((line, msg)) => {
+            eprintln!("xtask journal-check: {path}:{line}: {msg}");
             ExitCode::FAILURE
         }
     }

@@ -50,6 +50,11 @@ enum Scope {
     /// materialized *view* of the struct-of-arrays state, so outside code
     /// must never build one by hand (DESIGN.md §12).
     PageMetadataOwners,
+    /// Everywhere except the journal module (`crates/core/src/journal/`),
+    /// which owns the tmp + fsync + rename helper, and `xtask/` itself:
+    /// a bare `fs::write` can leave a half-written artifact after a crash
+    /// (DESIGN.md §13).
+    DurableWriters,
 }
 
 impl Scope {
@@ -87,6 +92,11 @@ impl Scope {
                     && path != "crates/mem/src/page.rs"
                     && path != "crates/mem/src/page_table.rs"
             }
+            Scope::DurableWriters => {
+                !path.starts_with("vendor/")
+                    && !path.starts_with("xtask/")
+                    && !path.starts_with("crates/core/src/journal/")
+            }
         }
     }
 }
@@ -110,6 +120,9 @@ enum Matcher {
     /// `PageInfo::new` call. Plain type mentions (returns, parameters,
     /// field reads) stay legal.
     PageInfoConstruct,
+    /// A direct `fs::write` call (the `fs`/`write` token pair): not
+    /// crash-safe — a crash mid-call leaves a truncated file.
+    FsWrite,
 }
 
 struct Rule {
@@ -174,6 +187,13 @@ const RULES: &[Rule] = &[
         hint: "PageInfo is a view over the SoA page metadata: go through PageTable (map/migrate/info accessors) instead of building one by hand",
     },
     Rule {
+        id: "atomic-write",
+        scope: Scope::DurableWriters,
+        matcher: Matcher::FsWrite,
+        exempt_tests: true,
+        hint: "direct fs::write can leave a half-written artifact after a crash: use tiersim_core::journal::atomic_write (tmp + fsync + rename)",
+    },
+    Rule {
         id: "println",
         scope: Scope::LibraryCode,
         matcher: Matcher::Tokens(&["println", "print", "eprintln", "eprint", "dbg"]),
@@ -215,6 +235,7 @@ pub fn lint_file(path: &str, lines: &[CodeLine]) -> Vec<Violation> {
                 Matcher::HashContainer => match_tokens(&line.code, &["HashMap", "HashSet"]),
                 Matcher::UnroundedIntCast => match_unrounded_int_cast(&line.code),
                 Matcher::PageInfoConstruct => match_pageinfo_construct(&line.code),
+                Matcher::FsWrite => match_fs_write(&line.code),
             };
             let Some(token) = matched else { continue };
             if allowed(rule.id, lines, idx) {
@@ -313,6 +334,20 @@ fn match_pageinfo_construct(code: &str) -> Option<String> {
         }
         if trimmed.starts_with("::new") {
             return Some("PageInfo::new".to_string());
+        }
+    }
+    None
+}
+
+/// Detects a direct `fs::write` call as the adjacent `fs`, `write` word
+/// pair (the lexer's word split drops `::`). Plain `write`/`write_all`
+/// calls on a file handle do not match.
+fn match_fs_write(code: &str) -> Option<String> {
+    let words: Vec<&str> =
+        code.split(|c: char| !is_ident_char(c)).filter(|w| !w.is_empty()).collect();
+    for pair in words.windows(2) {
+        if pair[0] == "fs" && pair[1] == "write" {
+            return Some("fs::write".to_string());
         }
     }
     None
@@ -451,6 +486,29 @@ mod tests {
         // Tests are exempt (they build fixtures by hand).
         let test_code = lex("#[cfg(test)]\nmod tests {\n let p = PageInfo { tier };\n}");
         assert!(lint_file("crates/os/src/engine.rs", &test_code).is_empty());
+    }
+
+    #[test]
+    fn fs_write_forbidden_outside_journal_module() {
+        let lines = lex("fn f() { std::fs::write(path, bytes).unwrap(); }");
+        assert!(lint_file("crates/bench/src/lib.rs", &lines)
+            .iter()
+            .any(|v| v.rule == "atomic-write"));
+        assert!(lint_file("crates/core/src/runner.rs", &lines)
+            .iter()
+            .any(|v| v.rule == "atomic-write"));
+        // The atomic helper's own module and xtask are exempt.
+        assert!(lint_file("crates/core/src/journal/mod.rs", &lines)
+            .iter()
+            .all(|v| v.rule != "atomic-write"));
+        assert!(lint_file("xtask/src/main.rs", &lines).is_empty());
+        // Tests may write fixtures directly; file-handle writes are fine.
+        let test_code = lex("#[cfg(test)]\nmod tests {\n std::fs::write(p, b).unwrap();\n}");
+        assert!(lint_file("crates/bench/src/lib.rs", &test_code)
+            .iter()
+            .all(|v| v.rule != "atomic-write"));
+        let handle = lex("file.write_all(bytes)?;");
+        assert!(lint_file("crates/bench/src/lib.rs", &handle).is_empty());
     }
 
     #[test]

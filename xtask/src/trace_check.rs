@@ -29,6 +29,10 @@ const KNOWN_EVENTS: &[&str] = &[
     "fault_injected",
     "reclaim_stall",
     "page_cache_drop",
+    "cell_start",
+    "cell_done",
+    "cell_retry",
+    "cell_quarantine",
     "metrics_snapshot",
     "trace_summary",
 ];
