@@ -239,6 +239,37 @@ fn check_counters(c: &VmCounters, cfg: &OsConfig, report: &mut AuditReport) {
             c.page_cache_dropped, c.page_cache_filled
         ),
     );
+    // Both no-space rejection sites live inside hint-fault servicing
+    // (`on_access` and the promotion it triggers), so at most one
+    // no-space rejection can be recorded per hint fault.
+    law(
+        "no-space-bound",
+        "promo_no_space",
+        c.promo_no_space <= c.numa_hint_faults,
+        format!("promo_no_space {} > numa_hint_faults {}", c.promo_no_space, c.numa_hint_faults),
+    );
+    // kswapd_runs only counts runs that demoted or dropped at least one
+    // page, so every counted run contributes to one of those counters.
+    law(
+        "kswapd-effectiveness",
+        "kswapd_runs",
+        c.kswapd_runs <= c.pgdemote_kswapd + c.page_cache_dropped,
+        format!(
+            "kswapd_runs {} > pgdemote_kswapd {} + page_cache_dropped {}",
+            c.kswapd_runs, c.pgdemote_kswapd, c.page_cache_dropped
+        ),
+    );
+    // Every page-cache fill is an allocation (the kernel counts page-cache
+    // pages in pgalloc too), so the allocation counters bound the fills.
+    law(
+        "alloc-covers-page-cache",
+        "page_cache_filled",
+        c.pgalloc_dram + c.pgalloc_nvm >= c.page_cache_filled,
+        format!(
+            "pgalloc_dram {} + pgalloc_nvm {} < page_cache_filled {}",
+            c.pgalloc_dram, c.pgalloc_nvm, c.page_cache_filled
+        ),
+    );
 }
 
 #[cfg(test)]
@@ -256,11 +287,14 @@ mod tests {
             pgpromote_demoted: 1,
             promo_threshold_rejected: 3,
             promo_rate_limited: 1,
+            promo_no_space: 1,
             pgmigrate_fail: 1,
             pgmigrate_retry: 3,
+            pgalloc_dram: 9,
+            pgalloc_nvm: 3,
             page_cache_filled: 6,
             page_cache_dropped: 2,
-            ..Default::default()
+            kswapd_runs: 2,
         }
     }
 
@@ -308,5 +342,28 @@ mod tests {
         let mut c = clean_counters();
         c.page_cache_dropped = c.page_cache_filled + 1;
         assert!(counter_violations(&c).contains(&"page-cache-conservation"));
+    }
+
+    #[test]
+    fn no_space_bound_catches_rejections_without_faults() {
+        let mut c = clean_counters();
+        c.promo_no_space = c.numa_hint_faults + 1;
+        assert!(counter_violations(&c).contains(&"no-space-bound"));
+    }
+
+    #[test]
+    fn kswapd_effectiveness_catches_idle_runs() {
+        let mut c = clean_counters();
+        c.kswapd_runs = c.pgdemote_kswapd + c.page_cache_dropped + 1;
+        assert!(counter_violations(&c).contains(&"kswapd-effectiveness"));
+    }
+
+    #[test]
+    fn alloc_covers_page_cache_catches_uncounted_fills() {
+        let mut c = clean_counters();
+        c.page_cache_filled = c.pgalloc_dram + c.pgalloc_nvm + 1;
+        // Keep the drop law satisfied so only the alloc law fires.
+        c.page_cache_dropped = 0;
+        assert!(counter_violations(&c).contains(&"alloc-covers-page-cache"));
     }
 }

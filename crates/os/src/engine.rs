@@ -569,10 +569,18 @@ impl AutoNuma {
             let fault =
                 PageFault { page: pn, addr: pn.base(), policy: MemPolicy::Default, vma: vma_id };
             let mut cost = 0;
-            if self.place(mem, fault, now, &mut cost).is_err() {
+            let tier = match self.place(mem, fault, now, &mut cost) {
+                Ok(tier) => tier,
                 // Both tiers full: stop caching; the read itself still
                 // succeeds from disk.
-                break;
+                Err(_) => break,
+            };
+            // Page-cache pages are allocations like any other (the kernel
+            // counts them in pgalloc_*); the `alloc-covers-page-cache`
+            // audit law depends on this.
+            match tier {
+                Tier::Dram => self.counters.pgalloc_dram += 1,
+                Tier::Nvm => self.counters.pgalloc_nvm += 1,
             }
             mem.page_update(pn, |p| p.flags.insert(PageFlags::PAGE_CACHE));
             self.counters.page_cache_filled += 1;

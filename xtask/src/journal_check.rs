@@ -2,9 +2,10 @@
 //! for the crash-safe sweep journal written by `repro_all --resume`
 //! (DESIGN.md §13).
 //!
-//! A standalone mirror of `tiersim_core::journal` — its own FNV-1a64 and
-//! field extraction, zero dependencies — so the offline CI toolchain can
-//! verify a journal artifact without building the workspace first:
+//! A standalone mirror of `tiersim_core::journal` — FNV-1a64 and field
+//! extraction from the shared [`crate::minijson`] helpers, zero
+//! dependencies — so the offline CI toolchain can verify a journal
+//! artifact without building the workspace first:
 //!
 //! - every line is `{core,"crc":"<hex16>"}` and the FNV-1a64 of the core
 //!   bytes matches the recorded crc;
@@ -15,6 +16,8 @@
 //!   required fields;
 //! - a torn **final** line (a crash mid-append) is tolerated with a
 //!   notice; any earlier invalid line is corruption and fails the check.
+
+use crate::minijson::{fnv1a64, str_field, u64_field};
 
 /// What a clean (or tolerably torn) journal looks like.
 #[derive(Debug, PartialEq, Eq)]
@@ -132,44 +135,6 @@ fn verify_crc(line: &str) -> Option<&str> {
     } else {
         None
     }
-}
-
-/// FNV-1a64 — the journal's checksum. Deliberately duplicated from
-/// `tiersim_core::journal::codec` so the validator shares no code with
-/// the writer it audits.
-fn fnv1a64(bytes: &[u8]) -> u64 {
-    let mut h = 0xcbf2_9ce4_8422_2325u64;
-    for &b in bytes {
-        h ^= b as u64;
-        h = h.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    h
-}
-
-/// Extracts `"name":<u64>` from a flat JSON line. Quotes inside string
-/// values are escaped (`\"`), so a raw `"name":` match is always a key.
-fn u64_field(line: &str, name: &str) -> Option<u64> {
-    let key = format!("\"{name}\":");
-    let start = line.find(&key)? + key.len();
-    let digits: String = line[start..].chars().take_while(|c| c.is_ascii_digit()).collect();
-    digits.parse().ok()
-}
-
-/// Extracts `"name":"<value>"` from a flat JSON line, respecting escapes.
-fn str_field<'a>(line: &'a str, name: &str) -> Option<&'a str> {
-    let key = format!("\"{name}\":\"");
-    let start = line.find(&key)? + key.len();
-    let rest = &line[start..];
-    let mut escaped = false;
-    for (i, c) in rest.char_indices() {
-        match c {
-            _ if escaped => escaped = false,
-            '\\' => escaped = true,
-            '"' => return Some(&rest[..i]),
-            _ => {}
-        }
-    }
-    None
 }
 
 #[cfg(test)]

@@ -2,6 +2,8 @@
 //!
 //! Tasks:
 //! - `lint` — the tiersim determinism lint pass (DESIGN.md §9);
+//! - `analyze` — the project-wide contract analyzer: counter-conservation,
+//!   trace-coverage and panic-reachability passes (DESIGN.md §14);
 //! - `trace-check` — schema validation for `repro_all --trace` JSONL
 //!   artifacts (DESIGN.md §11);
 //! - `journal-check` — schema + checksum validation for the crash-safe
@@ -10,11 +12,16 @@
 //!   `BENCH_access_path.json` (DESIGN.md §12).
 //!
 //! All are dependency-free on purpose — CI runs them on an offline
-//! toolchain before anything else.
+//! toolchain before anything else. `lint` and `analyze` report through
+//! the shared `diag` reporter (`--format human|json|sarif`).
 
+mod analyze;
 mod bench_gate;
+mod diag;
+mod item_model;
 mod journal_check;
 mod lexer;
+mod minijson;
 mod rules;
 mod trace_check;
 
@@ -25,6 +32,7 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("lint") => lint(&args[1..]),
+        Some("analyze") => analyze_cmd(&args[1..]),
         Some("trace-check") => trace_check_cmd(&args[1..]),
         Some("journal-check") => journal_check_cmd(&args[1..]),
         Some("bench-gate") => bench_gate_cmd(&args[1..]),
@@ -42,17 +50,115 @@ fn main() -> ExitCode {
 
 fn print_usage() {
     eprintln!(
-        "usage: cargo xtask <lint [--list] | trace-check FILE.jsonl | journal-check FILE.jsonl | \
-         bench-gate BASELINE CURRENT>"
+        "usage: cargo xtask <lint [--list] [--format F] | analyze [--list] [--format F] \
+         [--baseline FILE] [--write-baseline] | trace-check FILE.jsonl | \
+         journal-check FILE.jsonl | bench-gate BASELINE CURRENT>"
     );
     eprintln!();
     eprintln!("tasks:");
     eprintln!("  lint                         run the determinism lint pass over the workspace");
     eprintln!("  lint --list                  print the lint rule ids and exit");
+    eprintln!("  analyze                      run the contract analyzer (DESIGN.md §14)");
+    eprintln!("  analyze --list               print the analyze pass ids and exit");
+    eprintln!("  analyze --baseline FILE      use FILE instead of ANALYZE_BASELINE.txt");
+    eprintln!("  analyze --write-baseline     regenerate the baseline from current findings");
     eprintln!("  trace-check FILE             validate a `repro_all --trace` JSONL artifact");
     eprintln!("  journal-check FILE           validate a `repro_all --resume` sweep journal");
     eprintln!("  bench-gate BASELINE CURRENT  fail if access-path throughput in CURRENT");
     eprintln!("                               drops >20% below the BASELINE json");
+    eprintln!();
+    eprintln!("  --format human|json|sarif    output format for lint and analyze (default human)");
+}
+
+fn analyze_cmd(args: &[String]) -> ExitCode {
+    let mut format = diag::Format::Human;
+    let mut baseline_path: Option<PathBuf> = None;
+    let mut write_baseline = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--list" => {
+                for (name, what) in analyze::PASSES {
+                    println!("{name}: {what}");
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--write-baseline" => write_baseline = true,
+            "--format" => match it.next().map(|v| diag::Format::parse(v)) {
+                Some(Ok(f)) => format = f,
+                Some(Err(e)) => {
+                    eprintln!("xtask analyze: {e}");
+                    return ExitCode::FAILURE;
+                }
+                None => {
+                    eprintln!("xtask analyze: --format needs a value");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--baseline" => match it.next() {
+                Some(p) => baseline_path = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("xtask analyze: --baseline needs a file path");
+                    return ExitCode::FAILURE;
+                }
+            },
+            other => {
+                eprintln!("xtask analyze: unknown flag `{other}`");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let root = workspace_root();
+    let project = match item_model::Project::load(&root) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("xtask analyze: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut diags = analyze::run_all(&project);
+    let baseline_path = baseline_path.unwrap_or_else(|| root.join("ANALYZE_BASELINE.txt"));
+    let shown = baseline_path.display();
+    if write_baseline {
+        if let Err(e) = std::fs::write(&baseline_path, analyze::render_baseline(&diags)) {
+            eprintln!("xtask analyze: cannot write {shown}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("xtask analyze: baselined {} finding(s) into {shown}", diags.len());
+        return ExitCode::SUCCESS;
+    }
+    let baseline = match std::fs::read_to_string(&baseline_path) {
+        Ok(text) => match analyze::parse_baseline(&text) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("xtask analyze: {shown}: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        Err(_) => Default::default(), // no baseline file: everything active
+    };
+    let stale = analyze::apply_baseline(&mut diags, &baseline);
+    print!("{}", diag::render(&diags, format));
+    for entry in &stale {
+        eprintln!(
+            "xtask analyze: stale baseline entry ({entry}) — ratchet down with --write-baseline"
+        );
+    }
+    let active = diags.iter().filter(|d| !d.baselined).count();
+    if format == diag::Format::Human {
+        println!(
+            "xtask analyze: {} file(s), {} pass(es): {} finding(s) ({} baselined, {active} active)",
+            project.files.len(),
+            analyze::PASSES.len(),
+            diags.len(),
+            diags.len() - active,
+        );
+    }
+    if active == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
 }
 
 fn bench_gate_cmd(args: &[String]) -> ExitCode {
@@ -153,19 +259,36 @@ fn trace_check_cmd(args: &[String]) -> ExitCode {
 }
 
 fn lint(args: &[String]) -> ExitCode {
-    if args.iter().any(|a| a == "--list") {
-        for id in rules::rule_ids() {
-            println!("{id}");
+    let mut format = diag::Format::Human;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--list" => {
+                for id in rules::rule_ids() {
+                    println!("{id}");
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--format" => match it.next().map(|v| diag::Format::parse(v)) {
+                Some(Ok(f)) => format = f,
+                Some(Err(e)) => {
+                    eprintln!("xtask lint: {e}");
+                    return ExitCode::FAILURE;
+                }
+                None => {
+                    eprintln!("xtask lint: --format needs a value");
+                    return ExitCode::FAILURE;
+                }
+            },
+            other => {
+                eprintln!("xtask lint: unknown flag `{other}`");
+                return ExitCode::FAILURE;
+            }
         }
-        return ExitCode::SUCCESS;
-    }
-    if let Some(bad) = args.iter().find(|a| *a != "--list") {
-        eprintln!("xtask lint: unknown flag `{bad}`");
-        return ExitCode::FAILURE;
     }
     let root = workspace_root();
     let files = collect_sources(&root);
-    let mut total = 0usize;
+    let mut diags = Vec::new();
     for file in &files {
         let rel = relative(file, &root);
         let src = match std::fs::read_to_string(file) {
@@ -177,15 +300,29 @@ fn lint(args: &[String]) -> ExitCode {
         };
         let lines = lexer::lex(&src);
         for v in rules::lint_file(&rel, &lines) {
-            total += 1;
-            println!("{}:{}: [{}] `{}` — {}", v.path, v.line, v.rule, v.token, v.hint);
+            diags.push(diag::Diagnostic {
+                tool: "lint",
+                rule: v.rule.to_string(),
+                path: v.path,
+                line: v.line,
+                item: String::new(),
+                token: v.token.clone(),
+                message: format!("`{}` — {}", v.token, v.hint),
+                baselined: false,
+            });
         }
     }
-    if total == 0 {
-        println!("xtask lint: {} files clean", files.len());
+    print!("{}", diag::render(&diags, format));
+    if format == diag::Format::Human {
+        if diags.is_empty() {
+            println!("xtask lint: {} files clean", files.len());
+        } else {
+            println!("xtask lint: {} violation(s)", diags.len());
+        }
+    }
+    if diags.is_empty() {
         ExitCode::SUCCESS
     } else {
-        println!("xtask lint: {total} violation(s)");
         ExitCode::FAILURE
     }
 }

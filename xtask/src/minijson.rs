@@ -1,0 +1,107 @@
+//! Dependency-free helpers for the hand-emitted flat-JSON artifacts the
+//! xtask validators audit (`trace-check`, `journal-check`) and the
+//! shared diagnostics reporter emits (`diag`).
+//!
+//! The writers in `tiersim-trace`/`tiersim-core` emit one flat object per
+//! line with no nested escaping surprises, so field extraction needs no
+//! JSON parser — just key-anchored scans that respect `\"` escapes. The
+//! FNV-1a64 here is the journal's checksum, deliberately implemented
+//! independently from `tiersim_core::journal::codec` so the validator
+//! shares no code with the writer it audits.
+
+/// Extracts `"name":<u64>` from a flat JSON line. Quotes inside string
+/// values are escaped (`\"`), so a raw `"name":` match is always a key.
+pub fn u64_field(line: &str, name: &str) -> Option<u64> {
+    let key = format!("\"{name}\":");
+    let start = line.find(&key)? + key.len();
+    let digits: String = line[start..].chars().take_while(|c| c.is_ascii_digit()).collect();
+    digits.parse().ok()
+}
+
+/// Extracts `"name":"<value>"` from a flat JSON line, respecting `\"`
+/// escapes inside the value. Returns the raw (still-escaped) slice.
+pub fn str_field<'a>(line: &'a str, name: &str) -> Option<&'a str> {
+    let key = format!("\"{name}\":\"");
+    let start = line.find(&key)? + key.len();
+    let rest = &line[start..];
+    let mut escaped = false;
+    for (i, c) in rest.char_indices() {
+        match c {
+            _ if escaped => escaped = false,
+            '\\' => escaped = true,
+            '"' => return Some(&rest[..i]),
+            _ => {}
+        }
+    }
+    None
+}
+
+/// FNV-1a 64-bit over `bytes` — the sweep journal's line checksum.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Escapes `s` for embedding inside a JSON string literal.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn u64_field_reads_first_matching_key() {
+        let line = "{\"t\":10,\"seq\":3,\"recorded\":42}";
+        assert_eq!(u64_field(line, "t"), Some(10));
+        assert_eq!(u64_field(line, "seq"), Some(3));
+        assert_eq!(u64_field(line, "recorded"), Some(42));
+        assert_eq!(u64_field(line, "missing"), None);
+        // A key with a non-numeric value yields nothing.
+        assert_eq!(u64_field("{\"t\":\"x\"}", "t"), None);
+    }
+
+    #[test]
+    fn str_field_respects_escapes() {
+        assert_eq!(str_field("{\"event\":\"hint_fault\",\"x\":1}", "event"), Some("hint_fault"));
+        assert_eq!(
+            str_field("\"error\":\"a \\\"quoted\\\" msg\",\"x\":1", "error"),
+            Some("a \\\"quoted\\\" msg")
+        );
+        assert_eq!(str_field("\"k\":\"unterminated", "k"), None);
+        assert_eq!(str_field("\"k\":1", "k"), None);
+    }
+
+    #[test]
+    fn fnv1a64_matches_reference_vectors() {
+        // Standard FNV-1a test vectors.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x8594_4171_f739_67e8);
+    }
+
+    #[test]
+    fn escape_covers_quotes_backslashes_and_control() {
+        assert_eq!(escape("plain"), "plain");
+        assert_eq!(escape("a\"b\\c"), "a\\\"b\\\\c");
+        assert_eq!(escape("line\nbreak\ttab"), "line\\nbreak\\ttab");
+        assert_eq!(escape("\u{1}"), "\\u0001");
+    }
+}

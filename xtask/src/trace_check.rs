@@ -11,9 +11,12 @@
 //! - the last line is a `trace_summary` carrying `recorded`/`dropped`,
 //!   and `recorded` matches the sequence numbering.
 
+use crate::minijson::{str_field, u64_field};
+
 /// The event vocabulary the exporter can emit. Kept in sync with
-/// `TraceEvent::name()` plus the two synthetic exporter lines.
-const KNOWN_EVENTS: &[&str] = &[
+/// `TraceEvent::name()` plus the two synthetic exporter lines — the
+/// `trace-coverage` analyze pass enforces the sync statically.
+pub const KNOWN_EVENTS: &[&str] = &[
     "hint_fault",
     "promote_candidate",
     "promote_accept",
@@ -82,22 +85,6 @@ pub fn check_jsonl(text: &str) -> Result<usize, (usize, String)> {
         }
     }
     Ok(lines.len())
-}
-
-/// Extracts `"name":<u64>` from a flat JSON line.
-fn u64_field(line: &str, name: &str) -> Option<u64> {
-    let key = format!("\"{name}\":");
-    let start = line.find(&key)? + key.len();
-    let digits: String = line[start..].chars().take_while(|c| c.is_ascii_digit()).collect();
-    digits.parse().ok()
-}
-
-/// Extracts `"name":"<value>"` from a flat JSON line.
-fn str_field<'a>(line: &'a str, name: &str) -> Option<&'a str> {
-    let key = format!("\"{name}\":\"");
-    let start = line.find(&key)? + key.len();
-    let rest = &line[start..];
-    rest.find('"').map(|end| &rest[..end])
 }
 
 #[cfg(test)]
