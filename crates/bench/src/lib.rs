@@ -19,6 +19,9 @@
 //!                   JSONL (or CSV when PATH ends in .csv); see DESIGN.md §11
 //! --tick-budget N   quarantine any cell whose run exceeds N OS engine
 //!                   ticks (0 = off); deterministic, no wall clock
+//! --thp             enable transparent huge pages: khugepaged-style 2 MiB
+//!                   collapse plus a 16-page fault-around window on every
+//!                   machine (DESIGN.md §15)
 //! ```
 //!
 //! `repro_all` additionally accepts the crash-safe sweep flags
@@ -114,6 +117,7 @@ impl Cli {
                     cli.trace_out = Some(PathBuf::from(value("--trace")?));
                     cli.experiment.trace = TraceConfig::on();
                 }
+                "--thp" => cli.experiment.thp = true,
                 "--inject-failure" => cli.inject_failure = true,
                 "--resume" => cli.resume = Some(PathBuf::from(value("--resume")?)),
                 "--kill-at" => {
@@ -211,7 +215,7 @@ impl Cli {
 
 /// Usage text shared by the binaries.
 pub const USAGE: &str = "usage: <bin> [--scale N] [--degree N] [--trials N] [--jobs N] \
-     [--out PATH] [--trace PATH] [--tick-budget N] [--inject-failure] \
+     [--out PATH] [--trace PATH] [--tick-budget N] [--thp] [--inject-failure] \
      [--resume PATH] [--kill-at N] [--max-attempts N]";
 
 /// The traced run's rendered exports, precomputed so a resumed suite can
@@ -700,6 +704,12 @@ mod tests {
     fn parses_inject_failure_flag() {
         assert!(!parse(&[]).unwrap().inject_failure);
         assert!(parse(&["--inject-failure"]).unwrap().inject_failure);
+    }
+
+    #[test]
+    fn parses_thp_flag() {
+        assert!(!parse(&[]).unwrap().experiment.thp);
+        assert!(parse(&["--thp"]).unwrap().experiment.thp);
     }
 
     #[test]

@@ -21,6 +21,7 @@ fn cfg() -> ExperimentConfig {
         jobs: 1,
         trace: TraceConfig::off(),
         tick_budget: 0,
+        thp: false,
     }
 }
 

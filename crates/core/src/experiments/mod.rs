@@ -49,6 +49,12 @@ pub struct ExperimentConfig {
     /// Stuck-cell watchdog budget in OS engine ticks, threaded into every
     /// machine (`0` disables; see [`crate::MachineConfig::tick_budget`]).
     pub tick_budget: u64,
+    /// Transparent huge pages: when `true` every machine this experiment
+    /// builds runs with khugepaged-style 2 MiB collapse *and* a 16-page
+    /// fault-around window (the kernel's `fault_around_bytes` default is
+    /// 64 KiB), mirroring the paper's THP-enabled testbed. Off by default,
+    /// matching the prior demand-paged-only behavior.
+    pub thp: bool,
 }
 
 impl Default for ExperimentConfig {
@@ -61,6 +67,7 @@ impl Default for ExperimentConfig {
             jobs: crate::sweep::default_jobs(),
             trace: TraceConfig::off(),
             tick_budget: 0,
+            thp: false,
         }
     }
 }
@@ -107,6 +114,11 @@ impl ExperimentConfig {
         cfg.jobs = self.jobs;
         cfg.mem.trace = self.trace;
         cfg.tick_budget = self.tick_budget;
+        if self.thp {
+            cfg.os.thp_enabled = true;
+            // The kernel's fault_around_bytes default: 64 KiB = 16 pages.
+            cfg.os.fault_around_pages = 16;
+        }
         cfg
     }
 
@@ -118,13 +130,14 @@ impl ExperimentConfig {
     /// with a different `--jobs` is sound.
     pub fn fingerprint(&self) -> String {
         format!(
-            "scale={};degree={};trials={};sample_period={};trace={};tick_budget={}",
+            "scale={};degree={};trials={};sample_period={};trace={};tick_budget={};thp={}",
             self.scale,
             self.degree,
             self.trials,
             self.sample_period,
             u8::from(self.trace.enabled),
             self.tick_budget,
+            u8::from(self.thp),
         )
     }
 
@@ -157,6 +170,7 @@ pub(crate) fn tiny_config() -> ExperimentConfig {
         jobs: 1,
         trace: TraceConfig::off(),
         tick_budget: 0,
+        thp: false,
     }
 }
 
@@ -174,6 +188,7 @@ mod tests {
             jobs: 1,
             trace: TraceConfig::off(),
             tick_budget: 0,
+            thp: false,
         };
         let ws = cfg.workloads();
         assert_eq!(ws.len(), 6);
@@ -208,5 +223,21 @@ mod tests {
         let mut budgeted = base;
         budgeted.tick_budget = 500;
         assert_ne!(base.fingerprint(), budgeted.fingerprint());
+        let mut huge = base;
+        huge.thp = true;
+        assert_ne!(base.fingerprint(), huge.fingerprint());
+    }
+
+    #[test]
+    fn thp_knob_reaches_the_machine() {
+        let mut cfg = tiny_config();
+        let off = cfg.machine(TieringMode::AutoNuma);
+        assert!(!off.os.thp_enabled);
+        assert_eq!(off.os.fault_around_pages, 1);
+        cfg.thp = true;
+        let on = cfg.machine(TieringMode::AutoNuma);
+        assert!(on.os.thp_enabled);
+        assert_eq!(on.os.fault_around_pages, 16);
+        on.validate().unwrap();
     }
 }

@@ -14,6 +14,12 @@ pub const PAGE_SHIFT: u32 = 12;
 pub const LINE_SIZE: u64 = 64;
 /// log2 of [`LINE_SIZE`].
 pub const LINE_SHIFT: u32 = 6;
+/// Size of a simulated huge page in bytes (2 MiB, x86-64 PMD pages).
+pub const HUGE_PAGE_SIZE: u64 = 2 * 1024 * 1024;
+/// log2 of [`HUGE_PAGE_SIZE`].
+pub const HUGE_PAGE_SHIFT: u32 = 21;
+/// Base (4 KiB) pages per huge page.
+pub const HUGE_PAGE_PAGES: u64 = HUGE_PAGE_SIZE / PAGE_SIZE;
 
 /// A virtual address in the simulated address space.
 ///
@@ -182,6 +188,18 @@ impl PageNum {
     pub const fn next(self) -> PageNum {
         PageNum(self.0 + 1)
     }
+
+    /// Rounds this page number down to its 2 MiB huge-page boundary.
+    #[inline]
+    pub const fn huge_head(self) -> PageNum {
+        PageNum(self.0 & !(HUGE_PAGE_PAGES - 1))
+    }
+
+    /// Returns `true` if this page is on a 2 MiB huge-page boundary.
+    #[inline]
+    pub const fn is_huge_head(self) -> bool {
+        self.0 & (HUGE_PAGE_PAGES - 1) == 0
+    }
 }
 
 impl fmt::Display for PageNum {
@@ -259,5 +277,15 @@ mod tests {
     fn pages_for_rounds_up() {
         assert_eq!(pages_for(2 * PAGE_SIZE), 2);
         assert_eq!(pages_for(2 * PAGE_SIZE + 1), 3);
+    }
+
+    #[test]
+    fn huge_page_geometry() {
+        assert_eq!(HUGE_PAGE_SIZE, 1 << HUGE_PAGE_SHIFT);
+        assert_eq!(HUGE_PAGE_PAGES, 512);
+        assert_eq!(PageNum::new(512).huge_head(), PageNum::new(512));
+        assert_eq!(PageNum::new(1023).huge_head(), PageNum::new(512));
+        assert!(PageNum::new(1024).is_huge_head());
+        assert!(!PageNum::new(1025).is_huge_head());
     }
 }

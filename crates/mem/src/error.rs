@@ -58,6 +58,16 @@ pub enum MemError {
         /// The page that could not be migrated.
         page: PageNum,
     },
+    /// A per-4K operation (migration) referenced a page that is part of a
+    /// collapsed 2 MiB mapping. Not transient: the caller must split the
+    /// huge mapping first ([`MemorySystem::split_huge`]), mirroring how
+    /// the kernel splits a THP before migrating its subpages.
+    ///
+    /// [`MemorySystem::split_huge`]: crate::MemorySystem::split_huge
+    HugeMapped {
+        /// The huge-mapped page.
+        page: PageNum,
+    },
     /// A configuration value was rejected.
     InvalidConfig {
         /// Which parameter was rejected.
@@ -94,6 +104,9 @@ impl fmt::Display for MemError {
             }
             MemError::MigrateBusy { page } => {
                 write!(f, "page {page} is busy and cannot be migrated (retryable)")
+            }
+            MemError::HugeMapped { page } => {
+                write!(f, "page {page} is part of a 2 MiB mapping; split it first")
             }
             MemError::InvalidConfig { what, got } => {
                 write!(f, "invalid configuration: {what} (got {got})")
@@ -136,6 +149,7 @@ mod tests {
             MemError::InvalidLength { len: 0 },
             MemError::AllocTransient { tier: Tier::Dram },
             MemError::MigrateBusy { page: PageNum::new(2) },
+            MemError::HugeMapped { page: PageNum::new(3) },
             MemError::InvalidConfig { what: "x", got: "0".to_string() },
         ];
         for e in errs {
@@ -158,5 +172,6 @@ mod tests {
         assert!(MemError::MigrateBusy { page: PageNum::new(1) }.is_transient());
         assert!(!MemError::OutOfMemory.is_transient());
         assert!(!MemError::TierFull { tier: Tier::Nvm }.is_transient());
+        assert!(!MemError::HugeMapped { page: PageNum::new(1) }.is_transient());
     }
 }

@@ -64,7 +64,8 @@ mod vma;
 
 pub use access::{AccessError, AccessKind, AccessOutcome};
 pub use addr::{
-    pages_for, PageNum, ThreadId, VirtAddr, LINE_SHIFT, LINE_SIZE, PAGE_SHIFT, PAGE_SIZE,
+    pages_for, PageNum, ThreadId, VirtAddr, HUGE_PAGE_PAGES, HUGE_PAGE_SHIFT, HUGE_PAGE_SIZE,
+    LINE_SHIFT, LINE_SIZE, PAGE_SHIFT, PAGE_SIZE,
 };
 pub use backend::{MemBackend, NullBackend};
 pub use cache::{CacheOutcome, CacheStats, SetAssocCache};

@@ -117,6 +117,13 @@ pub struct PageInfo {
     pub scan_time: u64,
     /// Cycle timestamp of the most recent access.
     pub last_access: u64,
+    /// `true` if this base page is part of a collapsed 2 MiB mapping.
+    ///
+    /// Read-only in the snapshot: `PageTable::update` ignores writes to
+    /// this field. Huge membership changes only through the dedicated
+    /// `PageTable::collapse_block` / `split_block` transitions, which keep
+    /// the whole 512-page block coherent.
+    pub huge: bool,
 }
 
 #[cfg(test)]
@@ -151,7 +158,13 @@ mod tests {
 
     #[test]
     fn snapshot_is_plain_value() {
-        let p = PageInfo { tier: Tier::Nvm, flags: PageFlags::NONE, scan_time: 0, last_access: 42 };
+        let p = PageInfo {
+            tier: Tier::Nvm,
+            flags: PageFlags::NONE,
+            scan_time: 0,
+            last_access: 42,
+            huge: false,
+        };
         assert_eq!(p.tier, Tier::Nvm);
         assert!(p.flags.is_empty());
         assert_eq!(p.last_access, 42);

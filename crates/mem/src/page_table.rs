@@ -1,12 +1,17 @@
 //! Flat page table over the dense `mmap` arena, stored struct-of-arrays.
 
-use crate::addr::{PageNum, PAGE_SHIFT};
+use crate::addr::{PageNum, HUGE_PAGE_SHIFT, PAGE_SHIFT};
 use crate::page::{PageFlags, PageInfo};
 use crate::tier::Tier;
 use crate::vma::MMAP_BASE;
 
 /// Tier byte for a non-resident slot.
 const TIER_NONE: u8 = 0;
+
+/// Slots per 2 MiB huge-page block. Because `MMAP_BASE >> PAGE_SHIFT` is
+/// itself 2 MiB aligned, slot-space alignment coincides with page-number
+/// alignment: `slot % HUGE_SLOTS == 0` iff the page is a huge head.
+const HUGE_SLOTS: usize = 1 << (HUGE_PAGE_SHIFT - PAGE_SHIFT);
 
 #[inline]
 const fn tier_byte(tier: Tier) -> u8 {
@@ -50,6 +55,12 @@ pub struct PageTable {
     flags: Vec<PageFlags>,
     scan_time: Vec<u64>,
     last_access: Vec<u64>,
+    /// 1 if the slot is covered by a collapsed 2 MiB mapping, else 0.
+    /// Written only by [`PageTable::collapse_block`] /
+    /// [`PageTable::split_block`] (and cleared block-wide by
+    /// [`PageTable::remove`]); [`PageTable::update`] never writes it back,
+    /// so huge membership cannot drift through snapshot edits.
+    huge: Vec<u8>,
     resident: [u64; 2],
     /// One-entry last-translation cache: `(page index, slot)` of the most
     /// recent successful slot computation. The page→slot mapping is pure
@@ -93,6 +104,7 @@ impl PageTable {
             flags: self.flags[slot],
             scan_time: self.scan_time[slot],
             last_access: self.last_access[slot],
+            huge: self.huge.get(slot).is_some_and(|&b| b != 0),
         }
     }
 
@@ -107,6 +119,9 @@ impl PageTable {
     /// Applies `f` to a snapshot of the page's metadata and writes the
     /// result back, adjusting residency counters if `f` changed the tier.
     /// Returns `f`'s result, or `None` if the page is not resident.
+    /// Writes to the snapshot's `huge` field are ignored — huge membership
+    /// only changes through [`PageTable::collapse_block`] /
+    /// [`PageTable::split_block`].
     #[inline]
     pub fn update<R>(&mut self, pn: PageNum, f: impl FnOnce(&mut PageInfo) -> R) -> Option<R> {
         let slot = self.slot_cached(pn)?;
@@ -131,10 +146,11 @@ impl PageTable {
     }
 
     /// The access-path hot call: stamps `last_access = now`, consumes a
-    /// pending HINT flag, and returns `(tier, hint_consumed, scan_time)`.
+    /// pending HINT flag, and returns
+    /// `(tier, hint_consumed, scan_time, huge)`.
     /// Returns `None` if the page is not resident.
     #[inline]
-    pub fn access_touch(&mut self, pn: PageNum, now: u64) -> Option<(Tier, bool, u64)> {
+    pub fn access_touch(&mut self, pn: PageNum, now: u64) -> Option<(Tier, bool, u64, bool)> {
         let slot = self.slot_cached(pn)?;
         let tier = byte_tier(*self.tiers.get(slot)?)?;
         self.last_access[slot] = now;
@@ -142,7 +158,8 @@ impl PageTable {
         if hint {
             self.flags[slot].remove(PageFlags::HINT);
         }
-        Some((tier, hint, self.scan_time[slot]))
+        let huge = self.huge.get(slot).is_some_and(|&b| b != 0);
+        Some((tier, hint, self.scan_time[slot], huge))
     }
 
     /// Inserts metadata for a page freshly mapped on `tier` at time `now`.
@@ -161,10 +178,14 @@ impl PageTable {
             self.flags.resize(slot + 1, PageFlags::NONE);
             self.scan_time.resize(slot + 1, 0);
             self.last_access.resize(slot + 1, 0);
+            self.huge.resize(slot + 1, 0);
         }
         let old = byte_tier(self.tiers[slot]).map(|prev| self.info_at(slot, prev));
         if let Some(prev) = &old {
             self.resident[prev.tier.index()] -= 1;
+            if prev.huge {
+                self.clear_huge_block(slot);
+            }
         }
         self.tiers[slot] = tier_byte(tier);
         self.flags[slot] = PageFlags::NONE;
@@ -174,11 +195,29 @@ impl PageTable {
         old
     }
 
-    /// Removes the entry for `pn`, returning it if it was resident.
+    /// Clears the huge marks of the whole 2 MiB block containing `slot`
+    /// (the implicit split when any base page of a collapsed mapping is
+    /// unmapped or replaced).
+    fn clear_huge_block(&mut self, slot: usize) {
+        let head = slot & !(HUGE_SLOTS - 1);
+        if let Some(block) = self.huge.get_mut(head..head + HUGE_SLOTS) {
+            block.fill(0);
+        } else if let Some(tail) = self.huge.get_mut(head..) {
+            tail.fill(0);
+        }
+    }
+
+    /// Removes the entry for `pn`, returning it if it was resident. If the
+    /// page was part of a collapsed 2 MiB mapping, the whole block is
+    /// implicitly split first (its other members stay resident as base
+    /// pages).
     pub fn remove(&mut self, pn: PageNum) -> Option<PageInfo> {
         let slot = Self::slot(pn)?;
         let tier = byte_tier(*self.tiers.get(slot)?)?;
         let old = self.info_at(slot, tier);
+        if old.huge {
+            self.clear_huge_block(slot);
+        }
         self.tiers[slot] = TIER_NONE;
         self.resident[tier.index()] -= 1;
         Some(old)
@@ -193,6 +232,59 @@ impl PageTable {
         self.resident[from.index()] -= 1;
         self.resident[to.index()] += 1;
         Some(from)
+    }
+
+    // ----- huge pages (2 MiB collapse/split) ----------------------------
+
+    /// Returns `true` if `pn` is part of a collapsed 2 MiB mapping.
+    #[inline]
+    pub fn is_huge(&self, pn: PageNum) -> bool {
+        Self::slot(pn).and_then(|slot| self.huge.get(slot)).is_some_and(|&b| b != 0)
+    }
+
+    /// Collapses the 512-page block headed at `head` into one 2 MiB
+    /// mapping (the khugepaged transition). Succeeds iff `head` is 2 MiB
+    /// aligned and all 512 base pages are resident on one tier, none
+    /// already huge, with no pending HINT and no page-cache membership.
+    /// Per-base-page metadata (flags, scan/access timestamps) is retained
+    /// untouched, so a later [`PageTable::split_block`] restores the exact
+    /// pre-collapse state. Returns the block's tier on success.
+    pub fn collapse_block(&mut self, head: PageNum) -> Option<Tier> {
+        if !head.is_huge_head() {
+            return None;
+        }
+        let slot = Self::slot(head)?;
+        let end = slot.checked_add(HUGE_SLOTS)?;
+        let tiers = self.tiers.get(slot..end)?;
+        let want = *tiers.first()?;
+        let tier = byte_tier(want)?;
+        if !tiers.iter().all(|&b| b == want) {
+            return None;
+        }
+        if self.huge.get(slot..end)?.iter().any(|&b| b != 0) {
+            return None;
+        }
+        let blocked =
+            |f: &PageFlags| f.contains(PageFlags::HINT) || f.contains(PageFlags::PAGE_CACHE);
+        if self.flags.get(slot..end)?.iter().any(blocked) {
+            return None;
+        }
+        if let Some(block) = self.huge.get_mut(slot..end) {
+            block.fill(1);
+        }
+        Some(tier)
+    }
+
+    /// Splits the collapsed 2 MiB mapping containing `pn` back into 512
+    /// base pages, leaving per-page metadata exactly as it was. Returns
+    /// the block head, or `None` if `pn` is not part of a huge mapping.
+    pub fn split_block(&mut self, pn: PageNum) -> Option<PageNum> {
+        let slot = Self::slot(pn)?;
+        if self.huge.get(slot).is_none_or(|&b| b == 0) {
+            return None;
+        }
+        self.clear_huge_block(slot);
+        Some(pn.huge_head())
     }
 
     /// Number of resident pages on `tier`.
@@ -216,8 +308,12 @@ impl PageTable {
 
     /// Read-only window check for the interval engine: returns the common
     /// tier iff all `n` pages starting at `pn` are resident on the same
-    /// tier with no pending HINT flag. A dense scan of the `tiers` byte
-    /// column plus a flags sweep; does not modify anything.
+    /// tier with no pending HINT flag and no collapsed 2 MiB membership
+    /// (huge pages translate through a shared PMD-level TLB tag, so the
+    /// engine's per-page walk model does not apply; such windows fall back
+    /// to the per-line fast lane, which handles them exactly). A dense
+    /// scan of the `tiers` byte column plus flags/huge sweeps; does not
+    /// modify anything.
     pub fn window_uniform(&self, pn: PageNum, n: usize) -> Option<Tier> {
         let slot = Self::slot(pn)?;
         let end = slot.checked_add(n)?;
@@ -228,6 +324,9 @@ impl PageTable {
             return None;
         }
         if self.flags[slot..end].iter().any(|f| f.contains(PageFlags::HINT)) {
+            return None;
+        }
+        if self.huge.get(slot..end).is_some_and(|h| h.iter().any(|&b| b != 0)) {
             return None;
         }
         Some(tier)
@@ -364,12 +463,12 @@ mod tests {
             p.flags.insert(PageFlags::HINT);
             p.scan_time = 5;
         });
-        assert_eq!(pt.access_touch(pn(7), 99), Some((Tier::Nvm, true, 5)));
+        assert_eq!(pt.access_touch(pn(7), 99), Some((Tier::Nvm, true, 5, false)));
         let info = pt.get(pn(7)).unwrap();
         assert!(!info.flags.contains(PageFlags::HINT));
         assert_eq!(info.last_access, 99);
         // Second touch: hint already consumed.
-        assert_eq!(pt.access_touch(pn(7), 100), Some((Tier::Nvm, false, 5)));
+        assert_eq!(pt.access_touch(pn(7), 100), Some((Tier::Nvm, false, 5, false)));
         assert_eq!(pt.access_touch(pn(8), 100), None);
     }
 
@@ -400,6 +499,104 @@ mod tests {
         for i in 0..3 {
             assert_eq!(pt.get(pn(i)).unwrap().last_access, 42);
         }
+    }
+
+    /// Maps the whole 512-page block starting at slot `base` on `tier`.
+    fn fill_block(pt: &mut PageTable, base: u64, tier: Tier) {
+        for i in 0..HUGE_SLOTS as u64 {
+            pt.insert(pn(base + i), tier, 0);
+        }
+    }
+
+    #[test]
+    fn collapse_requires_aligned_full_uniform_block() {
+        let mut pt = PageTable::new();
+        fill_block(&mut pt, 0, Tier::Dram);
+        // Misaligned head.
+        assert_eq!(pt.collapse_block(pn(1)), None);
+        // Non-uniform tier.
+        pt.retier(pn(7), Tier::Nvm);
+        assert_eq!(pt.collapse_block(pn(0)), None);
+        pt.retier(pn(7), Tier::Dram);
+        // Pending HINT.
+        pt.update(pn(3), |p| p.flags.insert(PageFlags::HINT));
+        assert_eq!(pt.collapse_block(pn(0)), None);
+        pt.update(pn(3), |p| p.flags.remove(PageFlags::HINT));
+        // Page-cache member.
+        pt.update(pn(4), |p| p.flags.insert(PageFlags::PAGE_CACHE));
+        assert_eq!(pt.collapse_block(pn(0)), None);
+        pt.update(pn(4), |p| p.flags.remove(PageFlags::PAGE_CACHE));
+        // Hole.
+        pt.remove(pn(100));
+        assert_eq!(pt.collapse_block(pn(0)), None);
+        pt.insert(pn(100), Tier::Dram, 0);
+        // Now eligible; a second collapse of the same block fails.
+        assert_eq!(pt.collapse_block(pn(0)), Some(Tier::Dram));
+        assert!(pt.is_huge(pn(0)));
+        assert!(pt.is_huge(pn(511)));
+        assert!(!pt.is_huge(pn(512)));
+        assert_eq!(pt.collapse_block(pn(0)), None);
+    }
+
+    #[test]
+    fn collapse_split_round_trip_preserves_metadata() {
+        let mut pt = PageTable::new();
+        fill_block(&mut pt, 0, Tier::Nvm);
+        for i in 0..HUGE_SLOTS as u64 {
+            pt.update(pn(i), |p| {
+                p.scan_time = 10 + i;
+                p.last_access = 100 + i;
+                if i % 3 == 0 {
+                    p.flags.insert(PageFlags::ACTIVE);
+                }
+            });
+        }
+        let before: Vec<_> = pt.iter().collect();
+        assert_eq!(pt.collapse_block(pn(0)), Some(Tier::Nvm));
+        assert_eq!(pt.split_block(pn(77)), Some(pn(0)));
+        let after: Vec<_> = pt.iter().collect();
+        assert_eq!(before, after, "collapse→split must restore per-4K metadata exactly");
+        assert!(!pt.is_huge(pn(77)));
+        // Split of a non-huge page is a no-op.
+        assert_eq!(pt.split_block(pn(0)), None);
+    }
+
+    #[test]
+    fn remove_implicitly_splits_the_block() {
+        let mut pt = PageTable::new();
+        fill_block(&mut pt, 0, Tier::Dram);
+        assert_eq!(pt.collapse_block(pn(0)), Some(Tier::Dram));
+        pt.remove(pn(200));
+        assert!(!pt.is_huge(pn(0)));
+        assert!(!pt.is_huge(pn(511)));
+        assert_eq!(pt.total_resident(), HUGE_SLOTS as u64 - 1);
+    }
+
+    #[test]
+    fn window_uniform_excludes_huge_blocks() {
+        let mut pt = PageTable::new();
+        fill_block(&mut pt, 0, Tier::Dram);
+        assert_eq!(pt.window_uniform(pn(0), 16), Some(Tier::Dram));
+        assert_eq!(pt.collapse_block(pn(0)), Some(Tier::Dram));
+        assert_eq!(pt.window_uniform(pn(0), 16), None);
+        assert_eq!(pt.window_uniform(pn(500), 12), None);
+        assert_eq!(pt.split_block(pn(0)), Some(pn(0)));
+        assert_eq!(pt.window_uniform(pn(0), 16), Some(Tier::Dram));
+    }
+
+    #[test]
+    fn access_touch_and_update_report_but_never_write_huge() {
+        let mut pt = PageTable::new();
+        fill_block(&mut pt, 0, Tier::Dram);
+        assert_eq!(pt.access_touch(pn(5), 1), Some((Tier::Dram, false, 0, false)));
+        pt.collapse_block(pn(0));
+        assert_eq!(pt.access_touch(pn(5), 2), Some((Tier::Dram, false, 0, true)));
+        // A snapshot edit cannot clear (or set) huge membership.
+        pt.update(pn(5), |p| p.huge = false);
+        assert!(pt.is_huge(pn(5)));
+        pt.split_block(pn(5));
+        pt.update(pn(5), |p| p.huge = true);
+        assert!(!pt.is_huge(pn(5)));
     }
 
     #[test]

@@ -244,6 +244,9 @@ impl MemorySystem {
                     self.frames[info.tier.index()].free();
                     report.freed_pages[info.tier.index()] += 1;
                     self.tlb.invalidate(pn);
+                    if info.huge {
+                        self.tlb.invalidate(pn.huge_head());
+                    }
                 }
                 pn = pn.next();
             }
@@ -310,6 +313,11 @@ impl MemorySystem {
         let info = self.pages.remove(pn).ok_or(MemError::PageNotResident { page: pn })?;
         self.frames[info.tier.index()].free();
         self.tlb.invalidate(pn);
+        if info.huge {
+            // Removing any base page implicitly split the block; the
+            // shared PMD-level entry is stale for the survivors too.
+            self.tlb.invalidate(pn.huge_head());
+        }
         Ok(info.tier)
     }
 
@@ -321,12 +329,19 @@ impl MemorySystem {
     /// - [`MemError::PageNotResident`] if the page is not resident.
     /// - [`MemError::TierFull`] if the destination has no free frames.
     /// - [`MemError::PageAlreadyResident`] if the page is already on `to`.
+    /// - [`MemError::HugeMapped`] if the page is part of a collapsed
+    ///   2 MiB mapping (split it first, as the kernel splits a THP before
+    ///   migrating subpages).
     /// - [`MemError::MigrateBusy`] if the fault plan injects an
     ///   EBUSY-style failure (retryable; the page stays where it was).
     pub fn migrate_page(&mut self, pn: PageNum, to: Tier) -> Result<u64, MemError> {
-        let from = self.pages.get(pn).ok_or(MemError::PageNotResident { page: pn })?.tier;
+        let info = self.pages.get(pn).ok_or(MemError::PageNotResident { page: pn })?;
+        let from = info.tier;
         if from == to {
             return Err(MemError::PageAlreadyResident { page: pn });
+        }
+        if info.huge {
+            return Err(MemError::HugeMapped { page: pn });
         }
         if self.faults.migrate_busy(pn) {
             self.trace.record(TraceEvent::FaultInjected { site: FaultSite::MigrateBusy });
@@ -370,6 +385,66 @@ impl MemorySystem {
                 info.scan_time = now;
             })
             .is_some()
+    }
+
+    // ----- huge pages (2 MiB) -------------------------------------------
+
+    /// Returns `true` if `pn` is part of a collapsed 2 MiB mapping.
+    pub fn is_huge(&self, pn: PageNum) -> bool {
+        self.pages.is_huge(pn)
+    }
+
+    /// Collapses the 512-page block headed at `head` into one 2 MiB
+    /// mapping (the khugepaged transition; see
+    /// [`PageTable::collapse_block`] for the eligibility rules). On
+    /// success the base pages' 4K TLB entries are invalidated — the block
+    /// translates under `head` from now on — and the block's tier is
+    /// returned. `None` means the block was ineligible and nothing
+    /// changed.
+    pub fn collapse_huge(&mut self, head: PageNum) -> Option<Tier> {
+        let tier = self.pages.collapse_block(head)?;
+        let mut pn = head;
+        for _ in 0..crate::addr::HUGE_PAGE_PAGES {
+            self.tlb.invalidate(pn);
+            pn = pn.next();
+        }
+        Some(tier)
+    }
+
+    /// Splits the collapsed 2 MiB mapping containing `pn` back into base
+    /// pages, invalidating the shared PMD-level TLB entry. Per-4K
+    /// metadata is restored exactly as it was before the collapse (the
+    /// collapse retained it). Returns the block head, or `None` if `pn`
+    /// is not huge-mapped.
+    pub fn split_huge(&mut self, pn: PageNum) -> Option<PageNum> {
+        let head = self.pages.split_block(pn)?;
+        self.tlb.invalidate(head);
+        Some(head)
+    }
+
+    /// Number of resident pages currently covered by collapsed 2 MiB
+    /// mappings (audit introspection; a multiple of 512 by construction).
+    pub fn huge_mapped_pages(&self) -> u64 {
+        self.pages.iter().filter(|(_, info)| info.huge).count() as u64
+    }
+
+    /// Widest fault-around window for a fault at `pn`: how many
+    /// immediately following, contiguous, *non-resident* pages lie inside
+    /// `pn`'s VMA, up to `max`. The OS maps these alongside the faulting
+    /// page (Linux's fault-around / `MAP_POPULATE`) so regular streams
+    /// re-enter the interval lane instead of faulting once per page. The
+    /// window stops at the first already-resident page, keeping the
+    /// populate order deterministic and fault-free.
+    pub fn fault_around_candidates(&self, pn: PageNum, max: u64) -> u64 {
+        let Some(vma) = self.vmas.find(pn.base()) else { return 0 };
+        let limit = vma.fault_around_limit(pn, max);
+        let mut n = 0;
+        let mut q = pn.next();
+        while n < limit && !self.pages.is_resident(q) {
+            n += 1;
+            q = q.next();
+        }
+        n
     }
 
     /// Iterates `(page, info)` snapshots over resident pages in address
@@ -527,7 +602,7 @@ impl MemorySystem {
     ) -> Result<AccessOutcome, AccessError> {
         let pn = addr.page();
         self.faults.set_now(now);
-        let (tier, hint_fault, hint_scan_time) = match self.pages.access_touch(pn, now) {
+        let (tier, hint_fault, hint_scan_time, huge) = match self.pages.access_touch(pn, now) {
             Some(t) => t,
             None => {
                 let vma = self.vmas.find(addr).ok_or(AccessError::Segfault { addr })?;
@@ -542,7 +617,11 @@ impl MemorySystem {
 
         let mut cycles = 0;
         let mut tlb_miss = false;
-        match self.tlb.lookup(pn) {
+        // A page inside a collapsed 2 MiB mapping translates under its
+        // block head: one PMD-level entry covers all 512 base pages, so
+        // the whole block shares a single TLB tag and a single walk.
+        let tkey = if huge { pn.huge_head() } else { pn };
+        match self.tlb.lookup(tkey) {
             TlbOutcome::L1Hit => {}
             TlbOutcome::L2Hit => cycles += self.cfg.stlb_hit_penalty,
             TlbOutcome::Miss => {
@@ -550,11 +629,12 @@ impl MemorySystem {
                 cycles += self.cfg.walk_base_penalty;
                 // Fetch the leaf PTE through the cache hierarchy: 8 PTEs
                 // share a 64 B line, so walks over scattered pages miss
-                // while walks over nearby pages hit.
-                let pte_line = (PTE_BASE + pn.index() * 8) >> LINE_SHIFT;
+                // while walks over nearby pages hit. For a huge page the
+                // fetched entry is the PMD entry, addressed by the head.
+                let pte_line = (PTE_BASE + tkey.index() * 8) >> LINE_SHIFT;
                 let (_, pte_cycles) = self.cache_path(pte_line, false, Tier::Dram);
                 cycles += pte_cycles;
-                self.tlb.insert(pn);
+                self.tlb.insert(tkey);
             }
         }
 
@@ -1510,6 +1590,166 @@ mod tests {
         assert_eq!(out_late, out_late_ref);
         assert_eq!(fingerprint(&late), fingerprint(&late_ref));
         assert_eq!(late.interval_stats(), IntervalStats { runs: 1, pages: 16 });
+    }
+
+    /// A system with one whole 2 MiB block (512 pages) mapped on `tier`,
+    /// starting exactly at a huge-page boundary (the arena base is one).
+    fn huge_region(tier: Tier) -> (MemorySystem, VirtAddr) {
+        let mut s = MemorySystem::new(
+            MemConfig::builder()
+                .dram_capacity(1024 * PAGE_SIZE)
+                .nvm_capacity(1024 * PAGE_SIZE)
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        let a = s.mmap(crate::addr::HUGE_PAGE_SIZE, MemPolicy::Default, "thp").unwrap();
+        assert!(a.page().is_huge_head(), "arena base must be 2 MiB aligned");
+        for i in 0..crate::addr::HUGE_PAGE_PAGES {
+            s.map_page((a + i * PAGE_SIZE).page(), tier, 0).unwrap();
+        }
+        (s, a)
+    }
+
+    #[test]
+    fn huge_block_shares_one_tlb_entry_across_the_block() {
+        let (mut base, a) = huge_region(Tier::Dram);
+        let mut huge = base.clone();
+        assert_eq!(huge.collapse_huge(a.page()), Some(Tier::Dram));
+        assert_eq!(huge.huge_mapped_pages(), crate::addr::HUGE_PAGE_PAGES);
+        // One load per page across the whole block.
+        for i in 0..crate::addr::HUGE_PAGE_PAGES {
+            base.access(a + i * PAGE_SIZE, AccessKind::Load, i).unwrap();
+            huge.access(a + i * PAGE_SIZE, AccessKind::Load, i).unwrap();
+        }
+        // 4K pages: every page walks. Huge: one walk for the PMD entry,
+        // then every other page hits the shared head tag.
+        assert_eq!(base.tlb_stats().misses, crate::addr::HUGE_PAGE_PAGES);
+        assert_eq!(huge.tlb_stats().misses, 1);
+        assert_eq!(huge.tlb_stats().l1_hits, crate::addr::HUGE_PAGE_PAGES - 1);
+        let cycles = |s: &MemorySystem| s.stats().level_cycles.iter().sum::<u64>();
+        assert!(cycles(&huge) < cycles(&base), "shared translation must be cheaper");
+    }
+
+    #[test]
+    fn collapse_invalidates_stale_4k_tags_and_split_restores_per_page_walks() {
+        let (mut s, a) = huge_region(Tier::Nvm);
+        // Warm a 4K translation, then collapse: the old tag must not
+        // serve the block.
+        s.access(a + 3 * PAGE_SIZE, AccessKind::Load, 0).unwrap();
+        assert_eq!(s.tlb_stats().misses, 1);
+        assert_eq!(s.collapse_huge(a.page()), Some(Tier::Nvm));
+        let out = s.access(a + 3 * PAGE_SIZE, AccessKind::Load, 1).unwrap();
+        assert!(out.tlb_miss, "collapse must flush stale 4K tags");
+        // Split: the PMD tag is flushed, pages translate per-4K again.
+        assert_eq!(s.split_huge(a.page()), Some(a.page()));
+        assert_eq!(s.huge_mapped_pages(), 0);
+        let m0 = s.tlb_stats().misses;
+        s.access(a, AccessKind::Load, 2).unwrap();
+        s.access(a + PAGE_SIZE, AccessKind::Load, 2).unwrap();
+        assert_eq!(s.tlb_stats().misses, m0 + 2, "split must flush the shared PMD tag");
+    }
+
+    #[test]
+    fn migrate_rejects_huge_until_split() {
+        let (mut s, a) = huge_region(Tier::Nvm);
+        assert_eq!(s.collapse_huge(a.page()), Some(Tier::Nvm));
+        let pn = (a + 7 * PAGE_SIZE).page();
+        assert_eq!(s.migrate_page(pn, Tier::Dram), Err(MemError::HugeMapped { page: pn }));
+        assert_eq!(s.page(pn).unwrap().tier, Tier::Nvm);
+        s.split_huge(pn).unwrap();
+        s.migrate_page(pn, Tier::Dram).unwrap();
+        assert_eq!(s.page(pn).unwrap().tier, Tier::Dram);
+    }
+
+    #[test]
+    fn unmap_of_a_huge_member_splits_and_flushes_the_block() {
+        let (mut s, a) = huge_region(Tier::Dram);
+        assert_eq!(s.collapse_huge(a.page()), Some(Tier::Dram));
+        s.access(a + 9 * PAGE_SIZE, AccessKind::Load, 0).unwrap(); // head tag in
+        s.unmap_page((a + 9 * PAGE_SIZE).page()).unwrap();
+        assert_eq!(s.huge_mapped_pages(), 0);
+        // The survivors translate per-4K and must re-walk (no stale PMD
+        // tag may serve them).
+        let m0 = s.tlb_stats().misses;
+        s.access(a, AccessKind::Load, 1).unwrap();
+        assert_eq!(s.tlb_stats().misses, m0 + 1);
+    }
+
+    #[test]
+    fn fault_around_candidates_respects_vma_and_residency() {
+        let mut s = sys();
+        let a = s.mmap(8 * PAGE_SIZE, MemPolicy::Default, "fa").unwrap();
+        // Nothing resident: window runs to the VMA end, capped by max.
+        assert_eq!(s.fault_around_candidates(a.page(), 64), 7);
+        assert_eq!(s.fault_around_candidates(a.page(), 3), 3);
+        // A resident page mid-window stops it.
+        s.map_page((a + 4 * PAGE_SIZE).page(), Tier::Dram, 0).unwrap();
+        assert_eq!(s.fault_around_candidates(a.page(), 64), 3);
+        // Outside any VMA: no window.
+        assert_eq!(s.fault_around_candidates(VirtAddr::new(0x42).page(), 64), 0);
+    }
+
+    /// Services a full pass over `pages` pages with the chosen populate
+    /// regime and returns the finished system (for satellite bit-equality
+    /// checks across {demand, fault-around, pre-populated} mappings).
+    /// The tier of each page is a pure function of its index so every
+    /// regime places identically; a uniform tier keeps the populated
+    /// spans interval-eligible.
+    fn run_regime(pages: u64, window: u64, prepopulate: bool) -> MemorySystem {
+        let tier_of = |_pn: PageNum| Tier::Dram;
+        let (mut s, a) = {
+            let mut s = MemorySystem::new(
+                MemConfig::builder()
+                    .dram_capacity(256 * PAGE_SIZE)
+                    .nvm_capacity(256 * PAGE_SIZE)
+                    .trace(tiersim_trace::TraceConfig::on())
+                    .build()
+                    .unwrap(),
+            )
+            .unwrap();
+            let a = s.mmap(pages * PAGE_SIZE, MemPolicy::Default, "regime").unwrap();
+            (s, a)
+        };
+        if prepopulate {
+            for i in 0..pages {
+                let pn = (a + i * PAGE_SIZE).page();
+                s.map_page(pn, tier_of(pn), 0).unwrap();
+            }
+        }
+        let stride = 8u32;
+        let count = pages * PAGE_SIZE / 8;
+        let mut start = 0u64;
+        while start < count {
+            match s.access_run(a + start * 8, stride, count - start, AccessKind::Load, 5) {
+                Ok(_) => break,
+                Err(rf) => {
+                    let AccessError::Fault(pf) = rf.error else { panic!("unexpected segfault") };
+                    s.map_page(pf.page, tier_of(pf.page), 5).unwrap();
+                    for j in 0..s.fault_around_candidates(pf.page, window) {
+                        let q = PageNum::new(pf.page.index() + 1 + j);
+                        s.map_page(q, tier_of(q), 5).unwrap();
+                    }
+                    start += rf.done;
+                }
+            }
+        }
+        s
+    }
+
+    #[test]
+    fn populate_regimes_are_observation_equivalent_and_only_populate_engages_interval() {
+        let demand = run_regime(64, 0, false);
+        let around = run_regime(64, 512, false);
+        let prepop = run_regime(64, 0, true);
+        assert_eq!(fingerprint(&demand), fingerprint(&around), "demand vs fault-around");
+        assert_eq!(fingerprint(&demand), fingerprint(&prepop), "demand vs pre-populated");
+        // Demand paging faults at every page boundary, so no window is
+        // ever uniformly resident; bulk populate removes the phase
+        // boundaries and the closed-form engine takes over.
+        assert_eq!(demand.interval_stats().runs, 0);
+        assert!(around.interval_stats().pages >= 32, "fault-around must engage the engine");
+        assert!(prepop.interval_stats().pages >= 32, "pre-populate must engage the engine");
     }
 
     #[test]

@@ -151,6 +151,14 @@ impl TlbLevel {
 /// for the per-core TLBs; the geometry defaults approximate one Skylake-SP
 /// core (64-entry DTLB, 1536-entry STLB).
 ///
+/// **Huge pages** use a *unified* TLB with representative keys (matching
+/// Skylake's shared STLB for 4K/2M entries): the access path translates a
+/// page inside a collapsed 2 MiB mapping under its block head's page
+/// number, so all 512 base pages share one entry and one walk. The `Tlb`
+/// itself is page-size agnostic — callers pick the key — which keeps
+/// `invalidate`/`cached_pages` exact (the head is always resident while
+/// the block is huge).
+///
 /// # Examples
 ///
 /// ```

@@ -1,6 +1,6 @@
 //! Virtual memory areas (VMAs) and NUMA memory policies.
 
-use crate::addr::{pages_for, VirtAddr, PAGE_SIZE};
+use crate::addr::{pages_for, PageNum, VirtAddr, PAGE_SIZE};
 use crate::error::MemError;
 use crate::tier::Tier;
 use std::collections::BTreeMap;
@@ -67,9 +67,25 @@ impl Vma {
         addr >= self.base && addr < self.end()
     }
 
+    /// Returns `true` if every address of `pn` lies inside this VMA.
+    pub fn contains_page(&self, pn: PageNum) -> bool {
+        pn >= self.base.page() && pn < self.end().page()
+    }
+
     /// Number of pages spanned.
     pub fn pages(&self) -> u64 {
         pages_for(self.len)
+    }
+
+    /// Pages of this VMA in `[pn, pn + max)` beyond `pn` itself — the
+    /// widest fault-around window a fault at `pn` may populate without
+    /// leaving its mapping. Returns 0 when `pn` is outside the VMA or is
+    /// its last page.
+    pub fn fault_around_limit(&self, pn: PageNum, max: u64) -> u64 {
+        if !self.contains_page(pn) {
+            return 0;
+        }
+        (self.end().page().index() - pn.index() - 1).min(max)
     }
 }
 
@@ -287,6 +303,22 @@ mod tests {
         assert!(t.find(a).is_some());
         assert!(t.find(a + PAGE_SIZE).is_none()); // guard page
         assert!(t.find(VirtAddr::new(0)).is_none());
+    }
+
+    #[test]
+    fn fault_around_limit_clamps_to_the_vma() {
+        let mut t = VmaTable::new();
+        let a = t.map(4 * PAGE_SIZE, MemPolicy::Default, "a").unwrap();
+        let vma = t.find(a).unwrap();
+        assert!(vma.contains_page(a.page()));
+        assert!(!vma.contains_page(vma.end().page()));
+        // Fault at page 0 of 4: three more pages available, capped by max.
+        assert_eq!(vma.fault_around_limit(a.page(), 16), 3);
+        assert_eq!(vma.fault_around_limit(a.page(), 2), 2);
+        // Last page: nothing ahead. Outside: nothing at all.
+        assert_eq!(vma.fault_around_limit(vma.end().page(), 16), 0);
+        let last = PageNum::new(vma.end().page().index() - 1);
+        assert_eq!(vma.fault_around_limit(last, 16), 0);
     }
 
     #[test]

@@ -12,7 +12,7 @@
 
 use crate::config::OsConfig;
 use crate::counters::VmCounters;
-use tiersim_mem::{MemorySystem, PageNum, Tier};
+use tiersim_mem::{MemorySystem, PageNum, Tier, HUGE_PAGE_PAGES};
 
 /// What a violated invariant is about.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -68,6 +68,7 @@ pub fn run(mem: &MemorySystem, counters: &VmCounters, cfg: &OsConfig) -> AuditRe
     check_residency(mem, &mut report);
     check_tlb(mem, &mut report);
     check_vma_coverage(mem, &mut report);
+    check_huge(mem, &mut report);
     check_counters(counters, cfg, &mut report);
     report
 }
@@ -147,6 +148,46 @@ fn check_vma_coverage(mem: &MemorySystem, report: &mut AuditReport) {
     }
 }
 
+/// Huge-mapping integrity: every page marked huge must belong to a
+/// 2 MiB-aligned block whose 512 pages are all resident, all huge, and
+/// all on the same tier — a collapsed block moves and splits as a unit,
+/// so a partial or mixed-tier block means collapse/split bookkeeping
+/// diverged from the page table.
+fn check_huge(mem: &MemorySystem, report: &mut AuditReport) {
+    let mut heads: Vec<PageNum> =
+        mem.resident_pages().filter(|(_, info)| info.huge).map(|(pn, _)| pn.huge_head()).collect();
+    heads.sort_unstable();
+    heads.dedup();
+    for head in heads {
+        report.checks += 1;
+        let mut tier = None;
+        let mut problem = None;
+        let mut pn = head;
+        for _ in 0..HUGE_PAGE_PAGES {
+            match mem.page(pn) {
+                Some(info) if info.huge => {
+                    if *tier.get_or_insert(info.tier) != info.tier {
+                        problem = Some(format!("page {pn} is on a different tier than its head"));
+                        break;
+                    }
+                }
+                Some(_) => {
+                    problem = Some(format!("page {pn} is resident but not huge inside the block"));
+                    break;
+                }
+                None => {
+                    problem = Some(format!("page {pn} is not resident inside the block"));
+                    break;
+                }
+            }
+            pn = pn.next();
+        }
+        if let Some(detail) = problem {
+            fail(report, "huge-block-integrity", AuditSubject::Page(head), detail);
+        }
+    }
+}
+
 /// Conservation laws over the vmstat counters, each derived from the
 /// engine's code paths (see DESIGN.md §9 for the per-counter table).
 fn check_counters(c: &VmCounters, cfg: &OsConfig, report: &mut AuditReport) {
@@ -180,14 +221,19 @@ fn check_counters(c: &VmCounters, cfg: &OsConfig, report: &mut AuditReport) {
             c.pgdemote_total()
         ),
     );
-    // Promotions only happen while servicing a hint fault.
+    // Promotions only happen while servicing a hint fault. A hint fault
+    // on a collapsed block promotes up to 512 pages after one recorded
+    // split, so each thp_split raises the bound by the 511 extra pages.
     law(
         "promotion-causality",
         "pgpromote_success",
-        c.pgpromote_success <= c.numa_hint_faults,
+        c.pgpromote_success <= c.numa_hint_faults + (HUGE_PAGE_PAGES - 1) * c.thp_split,
         format!(
-            "pgpromote_success {} > numa_hint_faults {}",
-            c.pgpromote_success, c.numa_hint_faults
+            "pgpromote_success {} > numa_hint_faults {} + {} * thp_split {}",
+            c.pgpromote_success,
+            c.numa_hint_faults,
+            HUGE_PAGE_PAGES - 1,
+            c.thp_split
         ),
     );
     // The rate limiter only drops pages already counted as candidates.
@@ -259,6 +305,41 @@ fn check_counters(c: &VmCounters, cfg: &OsConfig, report: &mut AuditReport) {
             c.kswapd_runs, c.pgdemote_kswapd, c.page_cache_dropped
         ),
     );
+    // A block must be collapsed before it can be split: every OS-recorded
+    // split (promotion or demotion of a huge page) consumes one earlier
+    // khugepaged collapse.
+    law(
+        "thp-conservation",
+        "thp_split",
+        c.thp_split <= c.thp_collapse_alloc,
+        format!("thp_split {} > thp_collapse_alloc {}", c.thp_split, c.thp_collapse_alloc),
+    );
+    // Every serviced fault and every fault-around extra placed exactly one
+    // page, so the allocation counters bound the fault counters.
+    law(
+        "alloc-covers-faults",
+        "pgfault",
+        c.pgfault + c.pgfault_around <= c.pgalloc_dram + c.pgalloc_nvm,
+        format!(
+            "pgfault {} + pgfault_around {} > pgalloc_dram {} + pgalloc_nvm {}",
+            c.pgfault, c.pgfault_around, c.pgalloc_dram, c.pgalloc_nvm
+        ),
+    );
+    // Fault-around maps at most `fault_around_pages - 1` extras per
+    // serviced fault, and none at all when the window is a single page.
+    law(
+        "fault-around-bound",
+        "pgfault_around",
+        if cfg.fault_around_pages <= 1 {
+            c.pgfault_around == 0
+        } else {
+            c.pgfault_around <= (cfg.fault_around_pages - 1) * c.pgfault
+        },
+        format!(
+            "pgfault_around {} exceeds (fault_around_pages {} - 1) * pgfault {}",
+            c.pgfault_around, cfg.fault_around_pages, c.pgfault
+        ),
+    );
     // Every page-cache fill is an allocation (the kernel counts page-cache
     // pages in pgalloc too), so the allocation counters bound the fills.
     law(
@@ -295,6 +376,10 @@ mod tests {
             page_cache_filled: 6,
             page_cache_dropped: 2,
             kswapd_runs: 2,
+            pgfault: 7,
+            pgfault_around: 0,
+            thp_collapse_alloc: 2,
+            thp_split: 1,
         }
     }
 
@@ -356,6 +441,88 @@ mod tests {
         let mut c = clean_counters();
         c.kswapd_runs = c.pgdemote_kswapd + c.page_cache_dropped + 1;
         assert!(counter_violations(&c).contains(&"kswapd-effectiveness"));
+    }
+
+    #[test]
+    fn thp_conservation_catches_phantom_split() {
+        let mut c = clean_counters();
+        c.thp_split = c.thp_collapse_alloc + 1;
+        assert!(counter_violations(&c).contains(&"thp-conservation"));
+    }
+
+    #[test]
+    fn alloc_covers_faults_catches_unplaced_fault() {
+        let mut c = clean_counters();
+        c.pgfault = c.pgalloc_dram + c.pgalloc_nvm + 1;
+        assert!(counter_violations(&c).contains(&"alloc-covers-faults"));
+    }
+
+    #[test]
+    fn fault_around_bound_catches_extras_with_window_disabled() {
+        let mut c = clean_counters();
+        // The default config's window is one page: no extras allowed.
+        c.pgfault_around = 1;
+        c.pgalloc_dram += 1; // keep alloc-covers-faults satisfied
+        assert!(counter_violations(&c).contains(&"fault-around-bound"));
+    }
+
+    #[test]
+    fn fault_around_bound_scales_with_window() {
+        let cfg = OsConfig { fault_around_pages: 4, ..Default::default() };
+        let mut c = clean_counters();
+        c.pgfault_around = 3 * c.pgfault; // exactly at the bound
+        c.pgalloc_dram += c.pgfault_around;
+        let mut report = AuditReport::default();
+        check_counters(&c, &cfg, &mut report);
+        assert!(report.is_clean(), "{:?}", report.violations);
+        c.pgfault_around += 1;
+        c.pgalloc_dram += 1;
+        let mut report = AuditReport::default();
+        check_counters(&c, &cfg, &mut report);
+        assert!(report.violations.iter().any(|v| v.invariant == "fault-around-bound"));
+    }
+
+    #[test]
+    fn promotion_causality_accounts_for_split_blocks() {
+        let mut c = clean_counters();
+        // One recorded split (fixture) raises the bound by 511 pages.
+        c.pgpromote_success = c.numa_hint_faults + 511;
+        c.pgmigrate_success = c.pgpromote_success + c.pgdemote_total();
+        assert!(!counter_violations(&c).contains(&"promotion-causality"));
+        c.pgpromote_success += 1;
+        c.pgmigrate_success += 1;
+        assert!(counter_violations(&c).contains(&"promotion-causality"));
+    }
+
+    #[test]
+    fn huge_block_integrity_catches_mixed_tier_block() {
+        use tiersim_mem::{MemConfig, MemPolicy, PAGE_SIZE};
+        let mut m = MemorySystem::new(
+            MemConfig::builder()
+                .dram_capacity(1024 * PAGE_SIZE)
+                .nvm_capacity(1024 * PAGE_SIZE)
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        let a = m.mmap(HUGE_PAGE_PAGES * PAGE_SIZE, MemPolicy::Default, "big").unwrap();
+        for i in 0..HUGE_PAGE_PAGES {
+            m.map_page((a + i * PAGE_SIZE).page(), Tier::Dram, 0).unwrap();
+        }
+        assert!(m.collapse_huge(a.page()).is_some());
+        let clean = run(&m, &VmCounters::default(), &OsConfig::default());
+        assert!(clean.is_clean(), "{:?}", clean.violations);
+        // Planted bug: flip one member's tier snapshot so the collapsed
+        // block is no longer uniform — exactly the corruption
+        // huge-block-integrity exists to catch (frame accounting trips on
+        // the same corruption, which is fine: both name it).
+        m.page_update((a + PAGE_SIZE).page(), |p| p.tier = Tier::Nvm).unwrap();
+        let report = run(&m, &VmCounters::default(), &OsConfig::default());
+        assert!(
+            report.violations.iter().any(|v| v.invariant == "huge-block-integrity"),
+            "{:?}",
+            report.violations
+        );
     }
 
     #[test]

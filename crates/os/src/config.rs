@@ -89,6 +89,25 @@ pub struct OsConfig {
     /// Disk read cost per 4 KiB page, in cycles (≈ 2 GB/s NVMe).
     pub disk_read_cycles_per_page: u64,
 
+    // ----- huge pages (THP) and bulk population ------------------------
+    /// Master switch for transparent huge pages: when on, a periodic
+    /// khugepaged pass collapses 512-page-aligned, fully resident,
+    /// uniform-tier blocks into 2 MiB mappings that share one TLB entry
+    /// and one page walk.
+    pub thp_enabled: bool,
+    /// Cycles between khugepaged wakeups (kernel:
+    /// `khugepaged/scan_sleep_millisecs`, default 10 s).
+    pub khugepaged_period_cycles: u64,
+    /// Maximum 2 MiB blocks khugepaged collapses per wakeup (its
+    /// `pages_to_scan` analogue, expressed in blocks).
+    pub thp_collapse_scan_blocks: u64,
+    /// Pages mapped per first-touch fault: `1` services only the faulting
+    /// page (fault-around off); `n > 1` additionally bulk-maps up to
+    /// `n - 1` following non-resident pages of the same VMA (the kernel's
+    /// fault-around / `MAP_POPULATE`), re-enabling the sequential interval
+    /// lane on demand-paged streams.
+    pub fault_around_pages: u64,
+
     // ----- fault costs ----------------------------------------------------
     /// Kernel overhead of servicing a hint page fault, charged to the
     /// faulting thread.
@@ -142,6 +161,10 @@ impl Default for OsConfig {
             kswapd_batch_pages: 4096,
             lru_quantum_cycles: hz,         // 1 s (scan period)
             kswapd_period_cycles: hz / 100, // 10 ms
+            thp_enabled: false,
+            khugepaged_period_cycles: hz * 10, // 10 s
+            thp_collapse_scan_blocks: 8,
+            fault_around_pages: 1, // fault-around off
             page_cache_enabled: true,
             disk_read_cycles_per_page: 52_000, // ≈ 20 µs / page (parse-bound load)
             hint_fault_cost_cycles: 2_000,
@@ -181,6 +204,7 @@ impl OsConfig {
         self.threshold_adjust_period_cycles = scale(self.threshold_adjust_period_cycles);
         self.kswapd_period_cycles = scale(self.kswapd_period_cycles);
         self.lru_quantum_cycles = scale(self.lru_quantum_cycles);
+        self.khugepaged_period_cycles = scale(self.khugepaged_period_cycles);
         // The rate limit is bytes per *second*; dilating time means more
         // bytes may flow per simulated second.
         self.promo_rate_limit_bytes_per_sec =
@@ -250,6 +274,23 @@ impl OsConfig {
         }
         if self.freq_hz == 0 {
             return Err(OsError::InvalidConfig { what: "frequency", got: "0 Hz".to_string() });
+        }
+        if self.khugepaged_period_cycles == 0 || self.thp_collapse_scan_blocks == 0 {
+            return Err(OsError::InvalidConfig {
+                what: "khugepaged",
+                got: format!(
+                    "period {} cycles, scan {} blocks (both must be nonzero)",
+                    self.khugepaged_period_cycles, self.thp_collapse_scan_blocks
+                ),
+            });
+        }
+        if self.fault_around_pages == 0 {
+            return Err(OsError::InvalidConfig {
+                what: "fault-around window",
+                got: "0 pages (a fault always maps at least the faulting page; use 1 to disable \
+                      fault-around)"
+                    .to_string(),
+            });
         }
         Ok(())
     }
@@ -321,6 +362,25 @@ impl OsConfigBuilder {
         self
     }
 
+    /// Enables or disables transparent huge pages (khugepaged collapse).
+    pub fn thp_enabled(mut self, enabled: bool) -> Self {
+        self.cfg.thp_enabled = enabled;
+        self
+    }
+
+    /// Sets the khugepaged wakeup period in cycles.
+    pub fn khugepaged_period_cycles(mut self, cycles: u64) -> Self {
+        self.cfg.khugepaged_period_cycles = cycles;
+        self
+    }
+
+    /// Sets the pages mapped per first-touch fault (`1` disables
+    /// fault-around; larger values bulk-map up to `n - 1` extra pages).
+    pub fn fault_around_pages(mut self, pages: u64) -> Self {
+        self.cfg.fault_around_pages = pages;
+        self
+    }
+
     /// Runs the tiersim-audit invariant checks every `ticks` engine ticks
     /// in debug builds (`0` disables the checkpoints).
     pub fn audit_every_ticks(mut self, ticks: u64) -> Self {
@@ -353,6 +413,7 @@ mod tests {
         let base = OsConfig::default();
         let d = base.clone().with_time_dilation(100.0);
         assert_eq!(d.scan_period_cycles, base.scan_period_cycles / 100);
+        assert_eq!(d.khugepaged_period_cycles, base.khugepaged_period_cycles / 100);
         assert_eq!(d.promo_rate_limit_bytes_per_sec, base.promo_rate_limit_bytes_per_sec * 100);
         // Costs untouched.
         assert_eq!(d.hint_fault_cost_cycles, base.hint_fault_cost_cycles);
@@ -375,6 +436,20 @@ mod tests {
     #[should_panic(expected = "dilation must be positive")]
     fn dilation_rejects_nonpositive() {
         let _ = OsConfig::default().with_time_dilation(0.0);
+    }
+
+    #[test]
+    fn builder_rejects_zero_fault_around_window() {
+        let err = OsConfig::builder().fault_around_pages(0).build().unwrap_err();
+        assert!(matches!(err, OsError::InvalidConfig { what: "fault-around window", .. }));
+        // 1 means "just the faulting page" and is the valid off state.
+        OsConfig::builder().fault_around_pages(1).build().unwrap();
+    }
+
+    #[test]
+    fn builder_rejects_zero_khugepaged_period() {
+        let err = OsConfig::builder().khugepaged_period_cycles(0).build().unwrap_err();
+        assert!(matches!(err, OsError::InvalidConfig { what: "khugepaged", .. }));
     }
 
     #[test]

@@ -47,6 +47,19 @@ pub struct VmCounters {
     pub page_cache_filled: u64,
     /// kswapd wakeups that demoted at least one page.
     pub kswapd_runs: u64,
+    /// First-touch (minor) faults serviced, regardless of placement tier
+    /// (the kernel's `pgfault` restricted to this simulator's anonymous
+    /// and page-cache mappings).
+    pub pgfault: u64,
+    /// Extra pages bulk-mapped around a faulting page by fault-around /
+    /// `MAP_POPULATE`; these never raise a fault of their own.
+    pub pgfault_around: u64,
+    /// 2 MiB blocks collapsed into huge mappings by khugepaged (the
+    /// kernel's `thp_collapse_alloc`).
+    pub thp_collapse_alloc: u64,
+    /// Huge mappings split back into 4 KiB pages (promotion, demotion or
+    /// partial unmap; the kernel's `thp_split_pmd`).
+    pub thp_split: u64,
 }
 
 impl VmCounters {
@@ -82,6 +95,10 @@ impl VmCounters {
             page_cache_dropped: d(self.page_cache_dropped, earlier.page_cache_dropped),
             page_cache_filled: d(self.page_cache_filled, earlier.page_cache_filled),
             kswapd_runs: d(self.kswapd_runs, earlier.kswapd_runs),
+            pgfault: d(self.pgfault, earlier.pgfault),
+            pgfault_around: d(self.pgfault_around, earlier.pgfault_around),
+            thp_collapse_alloc: d(self.thp_collapse_alloc, earlier.thp_collapse_alloc),
+            thp_split: d(self.thp_split, earlier.thp_split),
         }
     }
 
@@ -154,6 +171,8 @@ mod tests {
             pgdemote_kswapd: 4,
             pgmigrate_fail: 2,
             pgmigrate_retry: 3,
+            pgfault: 100,
+            thp_collapse_alloc: 2,
             ..Default::default()
         };
         let mut b = a;
@@ -161,12 +180,16 @@ mod tests {
         b.pgdemote_kswapd = 9;
         b.pgmigrate_fail = 6;
         b.pgmigrate_retry = 10;
+        b.pgfault = 160;
+        b.thp_collapse_alloc = 5;
         let d = b.delta(&a);
         assert_eq!(d.pgpromote_success, 15);
         assert_eq!(d.pgdemote_kswapd, 5);
         assert_eq!(d.pgdemote_total(), 5);
         assert_eq!(d.pgmigrate_fail, 4);
         assert_eq!(d.pgmigrate_retry, 7);
+        assert_eq!(d.pgfault, 60);
+        assert_eq!(d.thp_collapse_alloc, 3);
     }
 
     #[test]

@@ -10,8 +10,8 @@ use crate::scanner::Scanner;
 use crate::threshold::ThresholdController;
 use crate::OsError;
 use tiersim_mem::{
-    AccessOutcome, MemError, MemPolicy, MemorySystem, PageFault, PageFlags, RejectReason, Tier,
-    TraceEvent, VirtAddr, PAGE_SIZE,
+    AccessOutcome, MemError, MemPolicy, MemorySystem, PageFault, PageFlags, PageNum, RejectReason,
+    Tier, TraceEvent, VirtAddr, HUGE_PAGE_PAGES, HUGE_PAGE_SIZE, PAGE_SIZE,
 };
 
 /// How a page fault was resolved.
@@ -63,6 +63,9 @@ pub struct AutoNuma {
     next_scan: u64,
     next_adjust: u64,
     next_kswapd: u64,
+    next_khugepaged: u64,
+    /// Page index where the next khugepaged wakeup resumes its block scan.
+    khugepaged_cursor: u64,
     candidate_bytes_interval: u64,
     /// Current (possibly backed-off) scan period under adaptive scanning.
     cur_scan_period: u64,
@@ -97,6 +100,8 @@ impl AutoNuma {
             next_scan: cfg.scan_period_cycles,
             next_adjust: cfg.threshold_adjust_period_cycles,
             next_kswapd: cfg.kswapd_period_cycles,
+            next_khugepaged: cfg.khugepaged_period_cycles,
+            khugepaged_cursor: 0,
             candidate_bytes_interval: 0,
             cur_scan_period: cfg.scan_period_cycles,
             hint_faults_at_last_scan: 0,
@@ -142,10 +147,15 @@ impl AutoNuma {
 
     /// The earliest cycle time at which [`AutoNuma::tick`] has work to do.
     pub fn next_event(&self) -> u64 {
-        if self.cfg.autonuma_enabled {
+        let base = if self.cfg.autonuma_enabled {
             self.next_scan.min(self.next_adjust).min(self.next_kswapd)
         } else {
             self.next_kswapd
+        };
+        if self.cfg.thp_enabled {
+            base.min(self.next_khugepaged)
+        } else {
+            base
         }
     }
 
@@ -215,11 +225,53 @@ impl AutoNuma {
     ) -> Result<FaultResolution, OsError> {
         let mut cost = self.cfg.minor_fault_cost_cycles;
         let tier = self.place(mem, fault, now, &mut cost)?;
+        self.counters.pgfault += 1;
         match tier {
             Tier::Dram => self.counters.pgalloc_dram += 1,
             Tier::Nvm => self.counters.pgalloc_nvm += 1,
         }
+        if self.cfg.fault_around_pages > 1 {
+            self.fault_around(mem, fault, now, &mut cost);
+        }
         Ok(FaultResolution { tier, cost_cycles: cost })
+    }
+
+    /// Bulk-maps up to `fault_around_pages - 1` non-resident pages
+    /// following the faulting one within its VMA (the kernel's
+    /// fault-around / `MAP_POPULATE`). Each extra page goes through the
+    /// normal policy placement but is charged only a fraction of a minor
+    /// fault, and never faults on first touch — which is what lets
+    /// sequential streams re-enter the interval fast lane under demand
+    /// paging.
+    fn fault_around(&mut self, mem: &mut MemorySystem, fault: PageFault, now: u64, cost: &mut u64) {
+        let want = self.cfg.fault_around_pages - 1;
+        let limit = mem.fault_around_candidates(fault.page, want);
+        let mut mapped = 0;
+        let mut pn = fault.page.next();
+        while mapped < limit {
+            let extra =
+                PageFault { page: pn, addr: pn.base(), policy: fault.policy, vma: fault.vma };
+            match self.place(mem, extra, now, cost) {
+                Ok(tier) => {
+                    match tier {
+                        Tier::Dram => self.counters.pgalloc_dram += 1,
+                        Tier::Nvm => self.counters.pgalloc_nvm += 1,
+                    }
+                    self.counters.pgfault_around += 1;
+                    *cost += self.cfg.minor_fault_cost_cycles / 8;
+                    mapped += 1;
+                }
+                // Best effort: memory pressure ends the window early and
+                // the remaining pages fault normally later.
+                Err(_) => break,
+            }
+            pn = pn.next();
+        }
+        if mapped > 0 {
+            mem.trace_mut().set_now(now);
+            mem.trace_mut()
+                .record(TraceEvent::FaultAround { page: fault.page.index(), pages: mapped });
+        }
     }
 
     fn place(
@@ -333,9 +385,21 @@ impl AutoNuma {
 
         let free = mem.free_pages(Tier::Dram);
         let high = self.dram_watermark_pages(mem, self.cfg.wmark_high_frac);
+        // A hint fault on a collapsed block's head speaks for all of its
+        // 512 pages: the scanner marks only the head, promotion decisions
+        // (threshold, rate limiter, candidate bytes) are charged at 2 MiB
+        // granularity, and an accepted block is split back to 4 KiB pages
+        // before the per-page migrations (the kernel cannot migrate a THP
+        // across nodes without splitting it first).
+        let huge = mem.is_huge(outcome.page);
+        let promo_bytes = if huge { HUGE_PAGE_SIZE } else { PAGE_SIZE };
         if free > high {
             // Plenty of fast memory: promote unconditionally (paper §2.2).
-            self.promote(mem, outcome.page, now, &mut cost);
+            if huge {
+                self.promote_huge(mem, outcome.page, now, &mut cost);
+            } else {
+                self.promote(mem, outcome.page, now, &mut cost);
+            }
             return cost;
         }
 
@@ -349,20 +413,20 @@ impl AutoNuma {
             return cost;
         }
         self.counters.pgpromote_candidate += 1;
-        self.candidate_bytes_interval += PAGE_SIZE;
+        self.candidate_bytes_interval += promo_bytes;
         mem.trace_mut()
             .record(TraceEvent::PromoteCandidate { page: outcome.page.index(), latency });
-        if !self.rate.try_consume(PAGE_SIZE, now) {
+        if !self.rate.try_consume(promo_bytes, now) {
             self.counters.promo_rate_limited += 1;
             let available = self.rate.available(now);
-            mem.trace_mut().record(TraceEvent::RateLimitDeny { bytes: PAGE_SIZE, available });
+            mem.trace_mut().record(TraceEvent::RateLimitDeny { bytes: promo_bytes, available });
             mem.trace_mut().record(TraceEvent::PromoteReject {
                 page: outcome.page.index(),
                 reason: RejectReason::RateLimited,
             });
             return cost;
         }
-        mem.trace_mut().record(TraceEvent::RateLimitConsume { bytes: PAGE_SIZE });
+        mem.trace_mut().record(TraceEvent::RateLimitConsume { bytes: promo_bytes });
         if free == 0 {
             self.counters.promo_no_space += 1;
             mem.trace_mut().record(TraceEvent::PromoteReject {
@@ -372,8 +436,34 @@ impl AutoNuma {
             self.kswapd_pending = true;
             return cost;
         }
-        self.promote(mem, outcome.page, now, &mut cost);
+        if huge {
+            self.promote_huge(mem, outcome.page, now, &mut cost);
+        } else {
+            self.promote(mem, outcome.page, now, &mut cost);
+        }
         cost
+    }
+
+    /// Promotes a whole collapsed block: splits it back into 4 KiB pages,
+    /// then migrates each one through the ordinary per-page path (so
+    /// every accepted page still emits its own `PromoteAccept` and the
+    /// migration-conservation law stays exact), stopping early if DRAM
+    /// runs out — the remainder stays on NVM and kswapd has been woken.
+    fn promote_huge(&mut self, mem: &mut MemorySystem, page: PageNum, now: u64, cost: &mut u64) {
+        let head = page.huge_head();
+        if mem.split_huge(page).is_some() {
+            self.counters.thp_split += 1;
+            mem.trace_mut().record(TraceEvent::ThpSplit { page: head.index() });
+        }
+        let mut pn = head;
+        for _ in 0..HUGE_PAGE_PAGES {
+            let no_space_before = self.counters.promo_no_space;
+            self.promote(mem, pn, now, cost);
+            if self.counters.promo_no_space > no_space_before {
+                break;
+            }
+            pn = pn.next();
+        }
     }
 
     fn promote(
@@ -494,6 +584,10 @@ impl AutoNuma {
                 bg += out.cost_cycles;
             }
         }
+        if self.cfg.thp_enabled && now >= self.next_khugepaged {
+            self.next_khugepaged = now + self.cfg.khugepaged_period_cycles;
+            bg += self.khugepaged(mem, now);
+        }
         self.background_cycles += bg;
         self.tick_count += 1;
         if cfg!(debug_assertions)
@@ -509,6 +603,47 @@ impl AutoNuma {
                 report.violations
             );
         }
+        bg
+    }
+
+    /// One khugepaged wakeup: scans up to `thp_collapse_scan_blocks`
+    /// 2 MiB-aligned blocks of process address space from a persistent
+    /// cursor (wrapping), collapsing every block that qualifies — fully
+    /// resident, uniform tier, no pending hint marks, not page cache.
+    /// Kernel-internal regions (`[bracketed]` labels) are skipped like
+    /// the NUMA scanner skips them. Returns background cycles spent.
+    fn khugepaged(&mut self, mem: &mut MemorySystem, now: u64) -> u64 {
+        let mut heads: Vec<u64> = Vec::new();
+        for v in mem.vmas().filter(|v| !v.label.starts_with('[')) {
+            let base = v.base.page().index();
+            let end = v.end().page().index();
+            let mut h = base.next_multiple_of(HUGE_PAGE_PAGES);
+            while h + HUGE_PAGE_PAGES <= end {
+                heads.push(h);
+                h += HUGE_PAGE_PAGES;
+            }
+        }
+        let mut bg = 100; // wakeup overhead
+        if heads.is_empty() {
+            return bg;
+        }
+        let start = heads.iter().position(|&h| h >= self.khugepaged_cursor).unwrap_or(0);
+        let budget = (self.cfg.thp_collapse_scan_blocks as usize).min(heads.len());
+        let mut resume = self.khugepaged_cursor;
+        mem.trace_mut().set_now(now);
+        for &h in heads.iter().cycle().skip(start).take(budget) {
+            bg += 50; // per-block eligibility scan
+            let head = PageNum::new(h);
+            if !mem.is_huge(head) && mem.collapse_huge(head).is_some() {
+                self.counters.thp_collapse_alloc += 1;
+                mem.trace_mut().record(TraceEvent::ThpCollapse { page: h });
+                // Collapsing rewrites one PMD: charge roughly a PTE's
+                // worth of work per page folded in.
+                bg += HUGE_PAGE_PAGES * 4;
+            }
+            resume = h + HUGE_PAGE_PAGES;
+        }
+        self.khugepaged_cursor = resume;
         bg
     }
 
@@ -935,6 +1070,89 @@ mod tests {
         // munmap of a region with cached translations must stay coherent.
         m.munmap(a).unwrap();
         assert!(e.audit(&m).is_clean());
+    }
+
+    #[test]
+    fn fault_around_bulk_maps_following_pages() {
+        let mut m = mem(100, 100);
+        let mut e = AutoNuma::new(
+            OsConfig::builder().watermarks(0.05, 0.1, 0.2).fault_around_pages(16).build().unwrap(),
+        )
+        .unwrap();
+        let a = m.mmap(32 * PAGE_SIZE, MemPolicy::Default, "x").unwrap();
+        touch(&mut m, &mut e, a, 0);
+        let c = e.counters();
+        assert_eq!(c.pgfault, 1);
+        assert_eq!(c.pgfault_around, 15, "one fault maps the next 15 pages too");
+        assert_eq!(c.pgalloc_dram, 16);
+        // The populated pages are resident: touching them faults nothing.
+        touch(&mut m, &mut e, a + 15 * PAGE_SIZE, 1);
+        assert_eq!(e.counters().pgfault, 1);
+        // The next unpopulated page faults and populates the VMA's rest.
+        touch(&mut m, &mut e, a + 16 * PAGE_SIZE, 2);
+        let c = e.counters();
+        assert_eq!(c.pgfault, 2);
+        assert_eq!(c.pgfault_around, 30);
+        assert_eq!(m.used_pages(Tier::Dram), 32);
+        assert!(e.audit(&m).is_clean(), "{:?}", e.audit(&m).violations);
+    }
+
+    #[test]
+    fn khugepaged_collapses_eligible_blocks() {
+        let mut m = mem(HUGE_PAGE_PAGES + 64, 2 * HUGE_PAGE_PAGES);
+        let mut e = AutoNuma::new(
+            OsConfig::builder()
+                .autonuma_enabled(false) // no scanner: hint marks would veto collapse
+                .thp_enabled(true)
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        let a = m.mmap(HUGE_PAGE_PAGES * PAGE_SIZE, MemPolicy::Default, "big").unwrap();
+        for i in 0..HUGE_PAGE_PAGES {
+            touch(&mut m, &mut e, a + i * PAGE_SIZE, i);
+        }
+        assert!(!m.is_huge(a.page()));
+        while e.counters().thp_collapse_alloc == 0 {
+            let now = e.next_event();
+            e.tick(&mut m, now);
+        }
+        let c = e.counters();
+        assert_eq!(c.thp_collapse_alloc, 1);
+        assert!(m.is_huge(a.page()) && m.is_huge((a + 511 * PAGE_SIZE).page()));
+        assert_eq!(m.huge_mapped_pages(), HUGE_PAGE_PAGES);
+        assert!(e.audit(&m).is_clean(), "{:?}", e.audit(&m).violations);
+    }
+
+    #[test]
+    fn hint_fault_on_huge_head_splits_and_promotes_whole_block() {
+        let mut m = mem(2 * HUGE_PAGE_PAGES, 2 * HUGE_PAGE_PAGES);
+        let mut e = os();
+        let a = m.mmap(HUGE_PAGE_PAGES * PAGE_SIZE, MemPolicy::Bind(Tier::Nvm), "big").unwrap();
+        for i in 0..HUGE_PAGE_PAGES {
+            touch(&mut m, &mut e, a + i * PAGE_SIZE, i);
+        }
+        assert!(m.collapse_huge(a.page()).is_some());
+        assert!(m.mark_hint(a.page(), 5));
+        let out = touch(&mut m, &mut e, a, 10);
+        assert!(out.hint_fault);
+        let c = e.counters();
+        // One hint fault on the head promoted the whole block: one split,
+        // then 512 ordinary per-page promotions.
+        assert_eq!(c.numa_hint_faults, 1);
+        assert_eq!(c.thp_split, 1);
+        assert_eq!(c.pgpromote_success, HUGE_PAGE_PAGES);
+        assert_eq!(c.pgmigrate_success, HUGE_PAGE_PAGES);
+        assert_eq!(m.page(a.page()).unwrap().tier, Tier::Dram);
+        assert_eq!(m.page((a + 511 * PAGE_SIZE).page()).unwrap().tier, Tier::Dram);
+        assert_eq!(m.huge_mapped_pages(), 0, "the block was split before migrating");
+        // The collapse was done by hand through the memory API, so credit
+        // it before auditing: the OS split must balance against exactly
+        // one collapse.
+        let mut audited = c;
+        audited.thp_collapse_alloc += 1;
+        let report = crate::audit::run(&m, &audited, e.config());
+        assert!(report.is_clean(), "{:?}", report.violations);
     }
 
     #[test]

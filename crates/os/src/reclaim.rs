@@ -46,6 +46,16 @@ fn reclaim_one(
     let info = mem.page(pn)?;
     let mut attempts = 0;
     let mut retry_cost = 0;
+    if info.huge {
+        // A collapsed 2 MiB mapping cannot be migrated whole: split it
+        // back into 4 KiB pages first (the kernel splits THPs ahead of
+        // demotion), then demote this one victim like any other page.
+        if mem.split_huge(pn).is_some() {
+            counters.thp_split += 1;
+            mem.trace_mut().record(TraceEvent::ThpSplit { page: pn.huge_head().index() });
+            retry_cost += cfg.migration_overhead_cycles / 4;
+        }
+    }
     let migrated = loop {
         match mem.migrate_page(pn, Tier::Nvm) {
             Err(e) if e.is_transient() => {
@@ -346,6 +356,23 @@ mod tests {
         let out = kswapd_reclaim(&mut m, &mut c, &cfg());
         assert!(out.cost_cycles >= 123_456, "stall charged: {}", out.cost_cycles);
         assert_eq!(m.fault_stats().reclaim_stalls, 1);
+    }
+
+    #[test]
+    fn huge_victim_is_split_before_demotion() {
+        use tiersim_mem::HUGE_PAGE_PAGES;
+        let mut m = setup(HUGE_PAGE_PAGES, 2 * HUGE_PAGE_PAGES);
+        let a = fill_dram(&mut m, HUGE_PAGE_PAGES);
+        let head = a.page();
+        assert!(m.collapse_huge(head).is_some());
+        let mut c = VmCounters::default();
+        let out = kswapd_reclaim(&mut m, &mut c, &cfg());
+        // The first victim forced exactly one split; demotion then
+        // proceeded page by page up to the high watermark.
+        assert_eq!(c.thp_split, 1);
+        assert!(out.demoted > 0);
+        assert_eq!(c.pgdemote_kswapd, out.demoted);
+        assert!(!m.is_huge(head), "the block must no longer be huge");
     }
 
     #[test]

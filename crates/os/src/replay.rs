@@ -13,8 +13,9 @@ use tiersim_mem::{RejectReason, TraceEvent, TraceRecord};
 /// Accumulates the [`VmCounters`] deltas implied by a trace.
 ///
 /// Only counters that have a corresponding trace event are populated;
-/// allocation-path counters (`pgalloc_*`, `page_cache_filled`) and
-/// `kswapd_runs` have no event and stay zero. Rate-limiter bookkeeping
+/// allocation-path counters (`pgalloc_*`, `pgfault`, `page_cache_filled`)
+/// and `kswapd_runs` have no event and stay zero (`pgfault_around` *is*
+/// replayable: each `FaultAround` event carries the extras it mapped). Rate-limiter bookkeeping
 /// events (`RateLimitConsume`/`RateLimitDeny`) deliberately map to
 /// nothing: the deny is already counted via
 /// `PromoteReject { reason: RateLimited }`.
@@ -55,6 +56,9 @@ pub fn replay_counters(records: &[TraceRecord]) -> VmCounters {
             TraceEvent::MigrateRetry { .. } => c.pgmigrate_retry += 1,
             TraceEvent::MigrateFail { .. } => c.pgmigrate_fail += 1,
             TraceEvent::PageCacheDrop { .. } => c.page_cache_dropped += 1,
+            TraceEvent::ThpCollapse { .. } => c.thp_collapse_alloc += 1,
+            TraceEvent::ThpSplit { .. } => c.thp_split += 1,
+            TraceEvent::FaultAround { pages, .. } => c.pgfault_around += pages,
             // Bookkeeping events that carry no vmstat field of their own.
             // The cell lifecycle events belong to the sweep journal layer
             // (`tiersim-core`), which never mixes into an OS trace.
@@ -90,6 +94,9 @@ pub fn replay_matches(records: &[TraceRecord], observed: &VmCounters) -> bool {
         && r.pgmigrate_fail == observed.pgmigrate_fail
         && r.pgmigrate_retry == observed.pgmigrate_retry
         && r.page_cache_dropped == observed.page_cache_dropped
+        && r.pgfault_around == observed.pgfault_around
+        && r.thp_collapse_alloc == observed.thp_collapse_alloc
+        && r.thp_split == observed.thp_split
 }
 
 #[cfg(test)]
@@ -112,6 +119,9 @@ mod tests {
             ev(TraceEvent::MigrateRetry { page: 7 }),
             ev(TraceEvent::MigrateFail { page: 7 }),
             ev(TraceEvent::PageCacheDrop { page: 8 }),
+            ev(TraceEvent::ThpCollapse { page: 512 }),
+            ev(TraceEvent::ThpSplit { page: 512 }),
+            ev(TraceEvent::FaultAround { page: 9, pages: 15 }),
         ];
         let c = replay_counters(&records);
         assert_eq!(c.numa_hint_faults, 1);
@@ -127,6 +137,9 @@ mod tests {
         assert_eq!(c.pgmigrate_retry, 1);
         assert_eq!(c.pgmigrate_fail, 1);
         assert_eq!(c.page_cache_dropped, 1);
+        assert_eq!(c.thp_collapse_alloc, 1);
+        assert_eq!(c.thp_split, 1);
+        assert_eq!(c.pgfault_around, 15, "FaultAround carries its page count");
         assert!(replay_matches(&records, &c));
     }
 

@@ -1,6 +1,6 @@
 //! NUMA-balancing page-table scanner.
 
-use tiersim_mem::{MemorySystem, VirtAddr, PAGE_SIZE};
+use tiersim_mem::{MemorySystem, PageNum, VirtAddr, HUGE_PAGE_PAGES, PAGE_SIZE};
 
 /// Result of one scanner wakeup.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -77,6 +77,20 @@ impl Scanner {
             let mut pn = VirtAddr::new(self.cursor.max(base)).page();
             let end_pn = VirtAddr::new(end).page();
             while pn < end_pn && report.visited < budget {
+                if mem.is_huge(pn) {
+                    // One PMD maps the whole collapsed block: mark the
+                    // head once (its hint fault then speaks for all 512
+                    // pages) and account the full block's address space
+                    // against the scan budget, as the kernel does.
+                    let head = pn.huge_head();
+                    if mem.mark_hint(head, now) {
+                        report.marked += 1;
+                    }
+                    let block_end = PageNum::new(head.index() + HUGE_PAGE_PAGES).min(end_pn);
+                    report.visited += block_end.index() - pn.index();
+                    pn = block_end;
+                    continue;
+                }
                 if mem.mark_hint(pn, now) {
                     report.marked += 1;
                 }
@@ -162,6 +176,31 @@ mod tests {
         assert_eq!(r.visited, 0);
         assert_eq!(r.marked, 0);
         assert!(!m.page(pc.page()).unwrap().flags.contains(PageFlags::HINT));
+    }
+
+    #[test]
+    fn huge_block_is_marked_once_at_its_head() {
+        let mut m = MemorySystem::new(
+            MemConfig::builder()
+                .dram_capacity(1024 * PAGE_SIZE)
+                .nvm_capacity(1024 * PAGE_SIZE)
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        let a = m.mmap(HUGE_PAGE_PAGES * PAGE_SIZE, MemPolicy::Default, "big").unwrap();
+        for i in 0..HUGE_PAGE_PAGES {
+            m.map_page((a + i * PAGE_SIZE).page(), Tier::Nvm, 0).unwrap();
+        }
+        assert!(m.collapse_huge(a.page()).is_some());
+        let mut s = Scanner::new();
+        let r = s.scan(&mut m, 2 * HUGE_PAGE_PAGES, 7);
+        // The whole block is one PMD: visited jumps by the block size,
+        // only the head is hint-marked.
+        assert_eq!(r.visited, HUGE_PAGE_PAGES);
+        assert_eq!(r.marked, 1);
+        assert!(m.page(a.page()).unwrap().flags.contains(PageFlags::HINT));
+        assert!(!m.page((a + PAGE_SIZE).page()).unwrap().flags.contains(PageFlags::HINT));
     }
 
     #[test]

@@ -143,6 +143,26 @@ pub enum TraceEvent {
         /// Dropped page number.
         page: u64,
     },
+    /// khugepaged collapsed the 512-page block headed by `page` into one
+    /// 2 MiB mapping (the kernel's `thp_collapse_alloc`).
+    ThpCollapse {
+        /// Head page number of the collapsed block (2 MiB aligned).
+        page: u64,
+    },
+    /// A 2 MiB mapping was split back into 4 KiB pages, e.g. ahead of a
+    /// promotion or demotion (the kernel's `thp_split_pmd`).
+    ThpSplit {
+        /// Head page number of the split block.
+        page: u64,
+    },
+    /// A fault on `page` bulk-mapped `pages` extra pages around it
+    /// (fault-around / `MAP_POPULATE`).
+    FaultAround {
+        /// The page whose fault triggered the bulk mapping.
+        page: u64,
+        /// Extra pages mapped beyond the faulting one.
+        pages: u64,
+    },
     /// A journaled sweep cell began an attempt (`tiersim-core`'s crash-safe
     /// sweep runner; cell lifecycle events carry the cell's index in the
     /// sweep, not a page number).
@@ -195,6 +215,9 @@ impl TraceEvent {
             TraceEvent::FaultInjected { .. } => "fault_injected",
             TraceEvent::ReclaimStall { .. } => "reclaim_stall",
             TraceEvent::PageCacheDrop { .. } => "page_cache_drop",
+            TraceEvent::ThpCollapse { .. } => "thp_collapse",
+            TraceEvent::ThpSplit { .. } => "thp_split",
+            TraceEvent::FaultAround { .. } => "fault_around",
             TraceEvent::CellStart { .. } => "cell_start",
             TraceEvent::CellDone { .. } => "cell_done",
             TraceEvent::CellRetry { .. } => "cell_retry",
@@ -228,6 +251,9 @@ mod tests {
             TraceEvent::PromoteReject { page: 1, reason: RejectReason::RateLimited }.name(),
             "promote_reject"
         );
+        assert_eq!(TraceEvent::ThpCollapse { page: 512 }.name(), "thp_collapse");
+        assert_eq!(TraceEvent::ThpSplit { page: 512 }.name(), "thp_split");
+        assert_eq!(TraceEvent::FaultAround { page: 1, pages: 15 }.name(), "fault_around");
         assert_eq!(RejectReason::NoSpace.name(), "no_space");
         assert_eq!(FaultSite::MigrateBusy.name(), "migrate_busy");
     }

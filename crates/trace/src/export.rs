@@ -61,8 +61,13 @@ fn push_record_json(out: &mut String, rec: &TraceRecord) {
         | TraceEvent::PromoteDemoted { page }
         | TraceEvent::MigrateRetry { page }
         | TraceEvent::MigrateFail { page }
-        | TraceEvent::PageCacheDrop { page } => {
+        | TraceEvent::PageCacheDrop { page }
+        | TraceEvent::ThpCollapse { page }
+        | TraceEvent::ThpSplit { page } => {
             out.push_str(&format!(",\"page\":{page}"));
+        }
+        TraceEvent::FaultAround { page, pages } => {
+            out.push_str(&format!(",\"page\":{page},\"pages\":{pages}"));
         }
         TraceEvent::PromoteCandidate { page, latency } => {
             out.push_str(&format!(",\"page\":{page},\"latency\":{latency}"));
@@ -101,7 +106,7 @@ fn push_record_json(out: &mut String, rec: &TraceRecord) {
 /// trailing `recorded`/`dropped` columns are only populated by the final
 /// `trace_summary` row.
 pub const CSV_HEADER: &str =
-    "t,seq,event,page,latency,reason,before,after,candidate_bytes,limit_bytes,bytes,available,site,cycles,cell,attempt,recorded,dropped";
+    "t,seq,event,page,latency,reason,before,after,candidate_bytes,limit_bytes,bytes,available,site,cycles,cell,attempt,pages,recorded,dropped";
 
 /// Serializes `log` as CSV with [`CSV_HEADER`] columns. Cells that do
 /// not apply to an event are left empty.
@@ -115,7 +120,7 @@ pub fn to_csv(log: &TraceLog) -> String {
         last_now = rec.now;
     }
     out.push_str(&format!(
-        "{},{},trace_summary,,,,,,,,,,,,,,{},{}\n",
+        "{},{},trace_summary,,,,,,,,,,,,,,,{},{}\n",
         last_now, log.recorded, log.recorded, log.dropped
     ));
     out
@@ -123,9 +128,9 @@ pub fn to_csv(log: &TraceLog) -> String {
 
 fn push_record_csv(out: &mut String, rec: &TraceRecord) {
     // Columns: page, latency, reason, before, after, candidate_bytes,
-    // limit_bytes, bytes, available, site, cycles, cell, attempt,
+    // limit_bytes, bytes, available, site, cycles, cell, attempt, pages,
     // recorded, dropped.
-    let mut cells: [String; 15] = Default::default();
+    let mut cells: [String; 16] = Default::default();
     match rec.event {
         TraceEvent::HintFault { page }
         | TraceEvent::PromoteAccept { page }
@@ -134,8 +139,14 @@ fn push_record_csv(out: &mut String, rec: &TraceRecord) {
         | TraceEvent::PromoteDemoted { page }
         | TraceEvent::MigrateRetry { page }
         | TraceEvent::MigrateFail { page }
-        | TraceEvent::PageCacheDrop { page } => {
+        | TraceEvent::PageCacheDrop { page }
+        | TraceEvent::ThpCollapse { page }
+        | TraceEvent::ThpSplit { page } => {
             cells[0] = page.to_string();
+        }
+        TraceEvent::FaultAround { page, pages } => {
+            cells[0] = page.to_string();
+            cells[13] = pages.to_string();
         }
         TraceEvent::PromoteCandidate { page, latency } => {
             cells[0] = page.to_string();
@@ -268,6 +279,25 @@ mod tests {
             assert_eq!(line.split(',').count(), width, "{line}");
         }
         assert!(csv.lines().any(|l| l.contains("cell_quarantine") && l.contains(",5,3,")), "{csv}");
+    }
+
+    #[test]
+    fn thp_and_fault_around_events_export_their_fields() {
+        let mut t = TraceState::new(TraceConfig::on().with_capacity(16));
+        t.record(TraceEvent::ThpCollapse { page: 512 });
+        t.record(TraceEvent::ThpSplit { page: 512 });
+        t.record(TraceEvent::FaultAround { page: 9, pages: 15 });
+        let log = t.log();
+        let jsonl = to_jsonl(&log);
+        assert!(jsonl.contains("\"event\":\"thp_collapse\",\"page\":512"), "{jsonl}");
+        assert!(jsonl.contains("\"event\":\"thp_split\",\"page\":512"), "{jsonl}");
+        assert!(jsonl.contains("\"event\":\"fault_around\",\"page\":9,\"pages\":15"), "{jsonl}");
+        let csv = to_csv(&log);
+        let width = CSV_HEADER.split(',').count();
+        for line in csv.lines() {
+            assert_eq!(line.split(',').count(), width, "{line}");
+        }
+        assert!(csv.lines().any(|l| l.contains("fault_around") && l.ends_with("15,,")), "{csv}");
     }
 
     #[test]

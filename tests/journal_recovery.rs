@@ -158,6 +158,7 @@ fn suite_config(jobs: usize) -> ExperimentConfig {
         jobs,
         trace: TraceConfig::on(),
         tick_budget: 0,
+        thp: false,
     }
 }
 
@@ -234,6 +235,7 @@ fn panicking_and_stuck_cells_quarantine_in_degraded_summary() {
                     jobs: 1,
                     trace: TraceConfig::off(),
                     tick_budget: 1,
+                    thp: false,
                 };
                 let w = exp.workloads().into_iter().next().expect("workload");
                 let mut mc = exp.machine_for(&w, TieringMode::AutoNuma);

@@ -23,6 +23,7 @@ fn tiny(jobs: usize) -> ExperimentConfig {
         jobs,
         trace: TraceConfig::off(),
         tick_budget: 0,
+        thp: false,
     }
 }
 

@@ -117,8 +117,11 @@ enum Matcher {
     /// truncates toward zero silently.
     UnroundedIntCast,
     /// Direct construction of `PageInfo` — the literal `PageInfo {` or a
-    /// `PageInfo::new` call. Plain type mentions (returns, parameters,
-    /// field reads) stay legal.
+    /// `PageInfo::new` call — or a write to the view's `huge` field
+    /// (`.huge = ...`). Plain type mentions (returns, parameters, field
+    /// reads, `==`/`=>` comparisons) stay legal. `huge` is block-level
+    /// SoA state: `PageTable::update` deliberately does not persist it,
+    /// so an outside write is silently dropped at best.
     PageInfoConstruct,
     /// A direct `fs::write` call (the `fs`/`write` token pair): not
     /// crash-safe — a crash mid-call leaves a truncated file.
@@ -184,7 +187,7 @@ const RULES: &[Rule] = &[
         scope: Scope::PageMetadataOwners,
         matcher: Matcher::PageInfoConstruct,
         exempt_tests: true,
-        hint: "PageInfo is a view over the SoA page metadata: go through PageTable (map/migrate/info accessors) instead of building one by hand",
+        hint: "PageInfo is a view over the SoA page metadata: go through PageTable (map/migrate/info accessors, collapse/split for `huge`) instead of building or mutating one by hand",
     },
     Rule {
         id: "atomic-write",
@@ -314,9 +317,38 @@ fn match_unrounded_int_cast(code: &str) -> Option<String> {
 /// Detects direct `PageInfo` construction: the struct literal
 /// `PageInfo {` (any whitespace before the brace) or `PageInfo::new`.
 /// A bare `PageInfo` token (type position, field access) does not match.
+/// Also detects writes to the view's huge-page SoA field (`.huge = ...`):
+/// `huge` mirrors block-level state the view cannot own, so only the SoA
+/// module may flip it. Reads and `==`/`=>` comparisons stay legal.
 fn match_pageinfo_construct(code: &str) -> Option<String> {
     let chars: Vec<char> = code.chars().collect();
     let needle: Vec<char> = "PageInfo".chars().collect();
+    if chars.len() >= needle.len() {
+        for start in 0..=(chars.len() - needle.len()) {
+            if chars[start..start + needle.len()] != needle[..] {
+                continue;
+            }
+            if start > 0 && is_ident_char(chars[start - 1]) {
+                continue;
+            }
+            let rest: String = chars[start + needle.len()..].iter().collect();
+            let trimmed = rest.trim_start();
+            if trimmed.starts_with('{') {
+                return Some("PageInfo {".to_string());
+            }
+            if trimmed.starts_with("::new") {
+                return Some("PageInfo::new".to_string());
+            }
+        }
+    }
+    match_huge_field_write(&chars)
+}
+
+/// Detects `.huge = <expr>` — an assignment to the `huge` view field.
+/// Requires the leading `.` (so `let huge = ...` locals stay legal) and a
+/// single `=` (so `.huge ==` and the match-guard `.huge =>` do not fire).
+fn match_huge_field_write(chars: &[char]) -> Option<String> {
+    let needle: Vec<char> = ".huge".chars().collect();
     if chars.len() < needle.len() {
         return None;
     }
@@ -324,16 +356,16 @@ fn match_pageinfo_construct(code: &str) -> Option<String> {
         if chars[start..start + needle.len()] != needle[..] {
             continue;
         }
-        if start > 0 && is_ident_char(chars[start - 1]) {
+        // The field name must end here (`.hugepage` is some other field),
+        // and what follows must be a lone `=`.
+        let after = chars.get(start + needle.len()).copied();
+        if after.map(is_ident_char).unwrap_or(false) {
             continue;
         }
         let rest: String = chars[start + needle.len()..].iter().collect();
         let trimmed = rest.trim_start();
-        if trimmed.starts_with('{') {
-            return Some("PageInfo {".to_string());
-        }
-        if trimmed.starts_with("::new") {
-            return Some("PageInfo::new".to_string());
+        if trimmed.starts_with('=') && !trimmed.starts_with("==") && !trimmed.starts_with("=>") {
+            return Some(".huge =".to_string());
         }
     }
     None
@@ -486,6 +518,30 @@ mod tests {
         // Tests are exempt (they build fixtures by hand).
         let test_code = lex("#[cfg(test)]\nmod tests {\n let p = PageInfo { tier };\n}");
         assert!(lint_file("crates/os/src/engine.rs", &test_code).is_empty());
+    }
+
+    #[test]
+    fn huge_field_write_confined_to_soa_module() {
+        // Flipping the huge view field outside the SoA module is lost on
+        // write-back (PageTable::update does not persist it) — flagged.
+        let write = lex("info.huge = true;");
+        assert!(lint_file("crates/os/src/engine.rs", &write)
+            .iter()
+            .any(|v| v.rule == "pageinfo-construct" && v.token == ".huge ="));
+        assert!(lint_file("crates/mem/src/system.rs", &write)
+            .iter()
+            .any(|v| v.rule == "pageinfo-construct"));
+        // The owning SoA module manages the column directly.
+        assert!(lint_file("crates/mem/src/page_table.rs", &write).is_empty());
+        // Reads, comparisons, and match guards stay legal everywhere.
+        let legal = lex(
+            "let h = info.huge;\nif info.huge == other {}\nmatch p { Some(i) if i.huge => {} _ => {} }",
+        );
+        assert!(lint_file("crates/os/src/engine.rs", &legal).is_empty());
+        // Other fields that merely start with the same letters are fine,
+        // as are plain locals named `huge`.
+        let near = lex("self.hugepage = 1;\nlet huge = mem.is_huge(pn);");
+        assert!(lint_file("crates/os/src/engine.rs", &near).is_empty());
     }
 
     #[test]

@@ -32,6 +32,9 @@ pub const KNOWN_EVENTS: &[&str] = &[
     "fault_injected",
     "reclaim_stall",
     "page_cache_drop",
+    "thp_collapse",
+    "thp_split",
+    "fault_around",
     "cell_start",
     "cell_done",
     "cell_retry",
