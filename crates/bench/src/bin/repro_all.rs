@@ -16,9 +16,16 @@
 //! completed experiment, and produce byte-identical reports to an
 //! uninterrupted run.
 
-use tiersim_bench::{banner, run_repro_suite, run_suite_journaled, Cli};
+//! `repro_all tune ...` dispatches to the AutoNUMA knob auto-tuner
+//! service instead (DESIGN.md §16); see `tiersim_bench::tune_cli`.
+
+use tiersim_bench::{banner, run_repro_suite, run_suite_journaled, run_tune_cli, Cli};
 
 fn main() {
+    let mut args = std::env::args().skip(1).peekable();
+    if args.peek().map(String::as_str) == Some("tune") {
+        std::process::exit(run_tune_cli(args.skip(1)));
+    }
     let cli = Cli::from_env();
     banner("full paper reproduction", &cli);
     // Stderr only: stdout stays byte-identical across --jobs values and

@@ -36,9 +36,16 @@
 //! --max-attempts N    attempts per cell per session before quarantine
 //!                     (default 3)
 //! ```
+//!
+//! `repro_all tune` runs the AutoNUMA knob auto-tuner service instead
+//! of the reproduction suite; see [`tune_cli`] and DESIGN.md §16.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
+
+pub mod tune_cli;
+
+pub use tune_cli::{run_tune_cli, TuneCli, TUNE_USAGE};
 
 use std::path::{Path, PathBuf};
 use tiersim_core::experiments::{AutonumaTrace, Characterization, Comparison, ObjectAnalysis};

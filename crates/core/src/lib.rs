@@ -41,6 +41,7 @@ mod report;
 mod runner;
 pub mod sweep;
 mod timeline;
+pub mod tune;
 mod workload;
 
 pub use config::{FaultConfig, MachineConfig};

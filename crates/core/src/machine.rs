@@ -143,6 +143,12 @@ impl Machine {
         self.cfg.mem.cycles_to_secs(self.clock_cycles)
     }
 
+    /// OS engine ticks taken so far — the deterministic progress meter
+    /// behind the stuck-cell watchdog and the tuner's rung budgets.
+    pub fn os_ticks(&self) -> u64 {
+        self.os_ticks
+    }
+
     /// The memory system (read-only observability).
     pub fn mem(&self) -> &MemorySystem {
         &self.mem

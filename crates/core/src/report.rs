@@ -36,6 +36,11 @@ pub struct RunReport {
     pub fault_stats: FaultStats,
     /// NVM write-amplification factor over the run.
     pub nvm_write_amplification: f64,
+    /// OS engine ticks the run took — the deterministic progress meter
+    /// the tuner uses as its throughput objective and rung budget unit
+    /// (wall-clock-free, unlike `total_secs` it never divides away small
+    /// differences).
+    pub os_ticks: u64,
     /// Event trace and metrics snapshots (empty unless the machine ran
     /// with tracing enabled).
     pub trace: TraceLog,
@@ -166,6 +171,7 @@ mod tests {
             mem_stats: AccessStats::default(),
             fault_stats: FaultStats::default(),
             nvm_write_amplification: 0.0,
+            os_ticks: 0,
             trace: TraceLog::default(),
         }
     }

@@ -193,6 +193,7 @@ fn run_workload_inner(
     let mem_stats = *m.mem().stats();
     let fault_stats = m.mem().fault_stats();
     let nvm_write_amplification = m.mem().nvm_write_amplification();
+    let os_ticks = m.os_ticks();
     let (samples, tracker, timeline, trace) = m.into_artifacts();
     Ok(RunReport {
         workload,
@@ -208,6 +209,7 @@ fn run_workload_inner(
         mem_stats,
         fault_stats,
         nvm_write_amplification,
+        os_ticks,
         trace,
     })
 }

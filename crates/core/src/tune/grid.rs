@@ -1,0 +1,252 @@
+//! The knob search space: rational multipliers over the machine's
+//! post-dilation AutoNUMA defaults.
+//!
+//! The three paper knobs — `hot_threshold_cycles`, `scan_period_cycles`
+//! and `promo_rate_limit_bytes_per_sec` — span orders of magnitude, so
+//! the grid sweeps *multipliers* of the already-dilated defaults rather
+//! than absolute values: the same grid is meaningful at every scale and
+//! frequency. Multipliers are exact rationals evaluated in `u128`, so
+//! cell configurations (and therefore cell names, journal ids and
+//! report bytes) never depend on float rounding.
+
+use crate::config::MachineConfig;
+use tiersim_mem::PAGE_SIZE;
+
+/// An exact rational multiplier `num/den`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Mult {
+    /// Numerator (never zero).
+    pub num: u32,
+    /// Denominator (never zero).
+    pub den: u32,
+}
+
+impl Mult {
+    /// The identity multiplier: the machine's default knob value.
+    pub const ONE: Mult = Mult { num: 1, den: 1 };
+
+    /// `v * num / den` in `u128`, floored, clamped to at least 1 so a
+    /// small default divided by a large denominator can never produce
+    /// the degenerate zero knob that `OsConfig::validate` rejects.
+    #[must_use]
+    pub fn apply(self, v: u64) -> u64 {
+        let num = u128::from(self.num.max(1));
+        let den = u128::from(self.den.max(1));
+        let scaled = (u128::from(v) * num) / den;
+        u64::try_from(scaled).unwrap_or(u64::MAX).max(1)
+    }
+
+    /// Compact stable token for cell names and report keys: `"2"` for
+    /// ×2, `"1d4"` for ×1/4.
+    #[must_use]
+    pub fn key(self) -> String {
+        if self.den == 1 {
+            format!("{}", self.num)
+        } else {
+            format!("{}d{}", self.num, self.den)
+        }
+    }
+}
+
+/// One grid cell: a multiplier per paper knob.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KnobPoint {
+    /// Multiplier on `hot_threshold_cycles`.
+    pub hot: Mult,
+    /// Multiplier on `scan_period_cycles`.
+    pub scan: Mult,
+    /// Multiplier on `promo_rate_limit_bytes_per_sec`.
+    pub rate: Mult,
+}
+
+impl KnobPoint {
+    /// The untouched-defaults point — the baseline every Pareto report
+    /// compares against.
+    pub const DEFAULT: KnobPoint = KnobPoint { hot: Mult::ONE, scan: Mult::ONE, rate: Mult::ONE };
+
+    /// Whether this is the defaults point.
+    #[must_use]
+    pub fn is_default(self) -> bool {
+        self == KnobPoint::DEFAULT
+    }
+
+    /// Stable key naming this point in cell names, reports and traces:
+    /// `h<hot>.s<scan>.r<rate>`.
+    #[must_use]
+    pub fn key(self) -> String {
+        format!("h{}.s{}.r{}", self.hot.key(), self.scan.key(), self.rate.key())
+    }
+
+    /// Applies the multipliers to `base`'s OS knobs, keeping the derived
+    /// constraints (`validate`) satisfiable: the adaptive scan ceiling
+    /// never drops below the swept period and the promotion rate never
+    /// goes below one page per second.
+    ///
+    /// The hot multiplier scales the *whole* threshold band — initial
+    /// value and both clamps. The dynamic controller walks the threshold
+    /// away from any initial value within a few adjust periods, so
+    /// scaling only `hot_threshold_cycles` is a dead knob: the controller
+    /// converges to the same trajectory regardless. Scaling the
+    /// `[min, max]` band moves the region the controller is *allowed* to
+    /// live in, which is the lever that actually changes promotion
+    /// behavior (and is how the paper pins the threshold for its sweeps).
+    #[must_use]
+    pub fn apply(self, base: &MachineConfig) -> MachineConfig {
+        let mut cfg = base.clone();
+        cfg.os.hot_threshold_cycles = self.hot.apply(base.os.hot_threshold_cycles);
+        cfg.os.hot_threshold_min_cycles =
+            self.hot.apply(base.os.hot_threshold_min_cycles).min(cfg.os.hot_threshold_cycles);
+        cfg.os.hot_threshold_max_cycles =
+            self.hot.apply(base.os.hot_threshold_max_cycles).max(cfg.os.hot_threshold_cycles);
+        cfg.os.scan_period_cycles = self.scan.apply(base.os.scan_period_cycles);
+        cfg.os.scan_period_max_cycles =
+            cfg.os.scan_period_max_cycles.max(cfg.os.scan_period_cycles);
+        cfg.os.promo_rate_limit_bytes_per_sec =
+            self.rate.apply(base.os.promo_rate_limit_bytes_per_sec).max(PAGE_SIZE);
+        cfg
+    }
+}
+
+/// Which grid seeds the search.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GridSpec {
+    /// 2×2×2 = 8 cells — the CI smoke grid.
+    Tiny,
+    /// 6×6×6 = 216 cells — the paper-style search.
+    Paper,
+}
+
+/// Paper-grid hot-threshold band multipliers. The band is swept in
+/// powers of four on both sides of the default: the controller's
+/// dynamics (×0.8 / ×1.2 steps) cross a ×4 band shift in a handful of
+/// adjust periods, so finer steps collapse to identical trajectories.
+const PAPER_HOT: [Mult; 6] = [
+    Mult { num: 1, den: 16 },
+    Mult { num: 1, den: 4 },
+    Mult::ONE,
+    Mult { num: 4, den: 1 },
+    Mult { num: 16, den: 1 },
+    Mult { num: 64, den: 1 },
+];
+
+/// Paper-grid scan-period multipliers, symmetric around the default —
+/// the cadence knob the paper sweeps most finely.
+const PAPER_SCAN: [Mult; 6] = [
+    Mult { num: 1, den: 4 },
+    Mult { num: 1, den: 2 },
+    Mult::ONE,
+    Mult { num: 2, den: 1 },
+    Mult { num: 4, den: 1 },
+    Mult { num: 8, den: 1 },
+];
+
+/// Paper-grid promotion-rate multipliers. The kernel default is
+/// effectively unlimited (65536 MB/s), so — like the paper, which sweeps
+/// absolute MB/s values decades below it — the ladder only descends, in
+/// powers of four down to ×1/65536, bracketing the regime where the
+/// token bucket and the threshold controller's candidate budget bind on
+/// a scaled workload's promotion demand.
+const PAPER_RATE: [Mult; 6] = [
+    Mult { num: 1, den: 65_536 },
+    Mult { num: 1, den: 16_384 },
+    Mult { num: 1, den: 4096 },
+    Mult { num: 1, den: 1024 },
+    Mult { num: 1, den: 256 },
+    Mult::ONE,
+];
+
+/// Tiny-grid ladders: one non-default value per knob, picked from the
+/// binding regime so even the smoke search sees differentiated scores.
+const TINY_HOT: [Mult; 2] = [Mult { num: 1, den: 4 }, Mult::ONE];
+const TINY_SCAN: [Mult; 2] = [Mult { num: 1, den: 2 }, Mult::ONE];
+const TINY_RATE: [Mult; 2] = [Mult { num: 1, den: 16_384 }, Mult::ONE];
+
+impl GridSpec {
+    /// Stable name for fingerprints and CLI flags.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            GridSpec::Tiny => "tiny",
+            GridSpec::Paper => "paper",
+        }
+    }
+
+    /// The grid's cells in their canonical (hot-major) order. Always
+    /// contains [`KnobPoint::DEFAULT`].
+    #[must_use]
+    pub fn points(self) -> Vec<KnobPoint> {
+        let (hots, scans, rates): (&[Mult], &[Mult], &[Mult]) = match self {
+            GridSpec::Tiny => (&TINY_HOT, &TINY_SCAN, &TINY_RATE),
+            GridSpec::Paper => (&PAPER_HOT, &PAPER_SCAN, &PAPER_RATE),
+        };
+        let mut v = Vec::with_capacity(hots.len() * scans.len() * rates.len());
+        for &hot in hots {
+            for &scan in scans {
+                for &rate in rates {
+                    v.push(KnobPoint { hot, scan, rate });
+                }
+            }
+        }
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tiersim_policy::TieringMode;
+
+    #[test]
+    fn mult_applies_exactly_and_never_zeroes() {
+        assert_eq!(Mult::ONE.apply(7), 7);
+        assert_eq!(Mult { num: 2, den: 1 }.apply(7), 14);
+        assert_eq!(Mult { num: 1, den: 2 }.apply(7), 3, "floors");
+        assert_eq!(Mult { num: 1, den: 4 }.apply(2), 1, "clamped to >= 1");
+        assert_eq!(Mult { num: 1, den: 4 }.apply(0), 1);
+        assert_eq!(Mult { num: 8, den: 1 }.apply(u64::MAX), u64::MAX, "saturates");
+    }
+
+    #[test]
+    fn keys_are_stable_and_unique_per_grid() {
+        assert_eq!(Mult::ONE.key(), "1");
+        assert_eq!(Mult { num: 1, den: 4 }.key(), "1d4");
+        assert_eq!(KnobPoint::DEFAULT.key(), "h1.s1.r1");
+        for grid in [GridSpec::Tiny, GridSpec::Paper] {
+            let points = grid.points();
+            let mut keys: Vec<String> = points.iter().map(|p| p.key()).collect();
+            keys.sort();
+            keys.dedup();
+            assert_eq!(keys.len(), points.len(), "{} keys collide", grid.name());
+        }
+    }
+
+    #[test]
+    fn grids_have_expected_shape_and_contain_default() {
+        assert_eq!(GridSpec::Tiny.points().len(), 8);
+        assert_eq!(GridSpec::Paper.points().len(), 216);
+        for grid in [GridSpec::Tiny, GridSpec::Paper] {
+            assert!(grid.points().iter().any(|p| p.is_default()), "{}", grid.name());
+        }
+    }
+
+    #[test]
+    fn apply_scales_knobs_and_keeps_config_valid() {
+        let base = MachineConfig::scaled_default(64 << 20, TieringMode::AutoNuma);
+        for point in GridSpec::Paper.points() {
+            let cfg = point.apply(&base);
+            cfg.validate().unwrap_or_else(|e| panic!("{} invalid: {e}", point.key()));
+            assert_eq!(cfg.os.hot_threshold_cycles, point.hot.apply(base.os.hot_threshold_cycles));
+            assert_eq!(cfg.os.scan_period_cycles, point.scan.apply(base.os.scan_period_cycles));
+            assert!(cfg.os.scan_period_max_cycles >= cfg.os.scan_period_cycles);
+            assert!(cfg.os.hot_threshold_min_cycles <= cfg.os.hot_threshold_cycles);
+            assert!(cfg.os.hot_threshold_max_cycles >= cfg.os.hot_threshold_cycles);
+        }
+        let default_cfg = KnobPoint::DEFAULT.apply(&base);
+        assert_eq!(default_cfg.os.hot_threshold_cycles, base.os.hot_threshold_cycles);
+        assert_eq!(default_cfg.os.scan_period_cycles, base.os.scan_period_cycles);
+        assert_eq!(
+            default_cfg.os.promo_rate_limit_bytes_per_sec,
+            base.os.promo_rate_limit_bytes_per_sec
+        );
+    }
+}

@@ -1,0 +1,99 @@
+//! Pareto dominance over the tuner's objective vectors.
+//!
+//! All objectives are minimized. A point *dominates* another when it is
+//! no worse on every objective and strictly better on at least one —
+//! the report's "strictly dominating" claim uses exactly this
+//! definition, so a front member that merely ties the default everywhere
+//! does not count as beating it.
+
+/// One cell's objective vector (all minimized).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Objectives {
+    /// OS engine ticks to completion.
+    pub ticks: u64,
+    /// Promotion traffic in bytes.
+    pub promo_bytes: u64,
+    /// Degraded-mode events under the fault plan.
+    pub degraded: u64,
+}
+
+impl Objectives {
+    /// Whether `self` dominates `other`: `<=` everywhere, `<` somewhere.
+    #[must_use]
+    pub fn dominates(self, other: Objectives) -> bool {
+        let le = self.ticks <= other.ticks
+            && self.promo_bytes <= other.promo_bytes
+            && self.degraded <= other.degraded;
+        le && self != other
+    }
+}
+
+/// Indices of the non-dominated members of `objs`, in input order.
+/// Duplicate vectors are all kept: equal points never dominate each
+/// other.
+#[must_use]
+pub fn front_indices(objs: &[Objectives]) -> Vec<usize> {
+    objs.iter()
+        .enumerate()
+        .filter(|(i, a)| !objs.iter().enumerate().any(|(j, b)| j != *i && b.dominates(**a)))
+        .map(|(i, _)| i)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn o(ticks: u64, promo_bytes: u64, degraded: u64) -> Objectives {
+        Objectives { ticks, promo_bytes, degraded }
+    }
+
+    #[test]
+    fn dominance_requires_strict_improvement_somewhere() {
+        assert!(o(1, 1, 1).dominates(o(2, 1, 1)));
+        assert!(o(1, 1, 1).dominates(o(2, 2, 2)));
+        assert!(!o(1, 1, 1).dominates(o(1, 1, 1)), "ties do not dominate");
+        assert!(!o(1, 2, 1).dominates(o(2, 1, 1)), "trade-offs do not dominate");
+        assert!(!o(2, 1, 1).dominates(o(1, 2, 1)));
+    }
+
+    #[test]
+    fn front_keeps_tradeoffs_and_drops_dominated() {
+        let objs = [o(10, 5, 0), o(5, 10, 0), o(10, 10, 0), o(11, 11, 11), o(10, 5, 0)];
+        // The third point ties the first on ticks but loses on promo
+        // traffic; the fourth loses everywhere; the fifth duplicates the
+        // first and stays.
+        assert_eq!(front_indices(&objs), vec![0, 1, 4]);
+    }
+
+    #[test]
+    fn empty_and_singleton_fronts() {
+        assert!(front_indices(&[]).is_empty());
+        assert_eq!(front_indices(&[o(1, 2, 3)]), vec![0]);
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn front_members_are_mutually_nondominating_and_cover(
+            v in proptest::collection::vec((0u64..50, 0u64..50, 0u64..50), 1..40)
+        ) {
+            let objs: Vec<Objectives> =
+                v.iter().map(|&(t, p, d)| o(t, p, d)).collect();
+            let front = front_indices(&objs);
+            proptest::prop_assert!(!front.is_empty(), "a finite set always has a front");
+            for &i in &front {
+                for &j in &front {
+                    if i != j {
+                        proptest::prop_assert!(!objs[i].dominates(objs[j]));
+                    }
+                }
+            }
+            // Every non-front member is dominated by some front member.
+            for (i, a) in objs.iter().enumerate() {
+                if !front.contains(&i) {
+                    proptest::prop_assert!(front.iter().any(|&f| objs[f].dominates(*a)));
+                }
+            }
+        }
+    }
+}

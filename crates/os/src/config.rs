@@ -143,26 +143,42 @@ pub struct OsConfig {
 
 impl Default for OsConfig {
     fn default() -> Self {
-        let hz: u64 = 2_600_000_000;
+        OsConfig::default_for_freq(2_600_000_000)
+    }
+}
+
+impl OsConfig {
+    /// The kernel-default time constants expressed for a machine running
+    /// at `hz` cycles per second (the plain [`Default`] is this at the
+    /// paper testbed's 2.6 GHz).
+    ///
+    /// Every derived period and threshold is clamped to at least one
+    /// cycle: the millisecond-scale derivations divide `hz`, and below
+    /// `hz = 1000` the old unclamped `hz / 1000` truncated
+    /// `hot_threshold_min_cycles` to 0 — a floor the dynamic controller
+    /// could then reach, where `is_hot` (strictly below the threshold)
+    /// can never fire again and promotion silently dies.
+    #[must_use]
+    pub fn default_for_freq(hz: u64) -> Self {
         OsConfig {
             autonuma_enabled: true,
-            scan_period_cycles: hz,  // 1 s
-            scan_size_pages: 65_536, // 256 MB
+            scan_period_cycles: hz.max(1), // 1 s
+            scan_size_pages: 65_536,       // 256 MB
             scan_period_adaptive: false,
-            scan_period_max_cycles: hz * 60,              // 60 s
-            hot_threshold_cycles: hz,                     // 1 s
-            hot_threshold_min_cycles: hz / 1000,          // 1 ms
-            hot_threshold_max_cycles: hz * 10,            // 10 s
-            threshold_adjust_period_cycles: hz,           // 1 s
-            promo_rate_limit_bytes_per_sec: 65_536 << 20, // 65536 MB/s
+            scan_period_max_cycles: hz.saturating_mul(60).max(1), // 60 s
+            hot_threshold_cycles: hz.max(1),                      // 1 s
+            hot_threshold_min_cycles: (hz / 1000).max(1),         // 1 ms
+            hot_threshold_max_cycles: hz.saturating_mul(10).max(1), // 10 s
+            threshold_adjust_period_cycles: hz.max(1),            // 1 s
+            promo_rate_limit_bytes_per_sec: 65_536 << 20,         // 65536 MB/s
             wmark_min_frac: 0.02,
             wmark_low_frac: 0.04,
             wmark_high_frac: 0.08,
             kswapd_batch_pages: 4096,
-            lru_quantum_cycles: hz,         // 1 s (scan period)
-            kswapd_period_cycles: hz / 100, // 10 ms
+            lru_quantum_cycles: hz.max(1), // 1 s (scan period)
+            kswapd_period_cycles: (hz / 100).max(1), // 10 ms
             thp_enabled: false,
-            khugepaged_period_cycles: hz * 10, // 10 s
+            khugepaged_period_cycles: hz.saturating_mul(10).max(1), // 10 s
             thp_collapse_scan_blocks: 8,
             fault_around_pages: 1, // fault-around off
             page_cache_enabled: true,
@@ -176,9 +192,7 @@ impl Default for OsConfig {
             audit_every_ticks: 0,
         }
     }
-}
 
-impl OsConfig {
     /// Starts building a configuration from the defaults.
     pub fn builder() -> OsConfigBuilder {
         OsConfigBuilder { cfg: OsConfig::default() }
@@ -205,10 +219,15 @@ impl OsConfig {
         self.kswapd_period_cycles = scale(self.kswapd_period_cycles);
         self.lru_quantum_cycles = scale(self.lru_quantum_cycles);
         self.khugepaged_period_cycles = scale(self.khugepaged_period_cycles);
-        // The rate limit is bytes per *second*; dilating time means more
-        // bytes may flow per simulated second.
-        self.promo_rate_limit_bytes_per_sec =
-            (self.promo_rate_limit_bytes_per_sec as f64 * factor) as u64;
+        // The rate limit stays untouched: it is bytes per *simulated*
+        // second, a bandwidth relative to the (undilated) application,
+        // exactly like kswapd's demotion bandwidth. Multiplying it by the
+        // dilation factor inflated the limiter's budget thousands of
+        // times over any scaled workload's promotion demand, so the knob
+        // could never bind and the threshold controller — which steers
+        // candidate volume toward this limit — saw a bottomless budget
+        // and pinned itself at `hot_threshold_max_cycles`. Both control
+        // loops were degenerate under dilation.
         self
     }
 
@@ -249,6 +268,28 @@ impl OsConfig {
                     self.scan_period_max_cycles, self.scan_period_cycles
                 ),
             });
+        }
+        // Zero-valued threshold knobs are degenerate, not strict: a zero
+        // minimum lets the dynamic controller reach threshold 0, where
+        // `is_hot` (latency strictly below the threshold) can never fire
+        // and promotion silently dies; a zero adjust period divides the
+        // control interval away. Reject them at build time, naming the
+        // offending value.
+        let threshold_knobs = [
+            ("hot threshold", self.hot_threshold_cycles),
+            ("hot threshold min clamp", self.hot_threshold_min_cycles),
+            ("threshold adjust period", self.threshold_adjust_period_cycles),
+        ];
+        for (what, v) in threshold_knobs {
+            if v == 0 {
+                return Err(OsError::InvalidConfig {
+                    what,
+                    got: format!(
+                        "{v} cycles (must be >= 1: at threshold 0 no latency is \
+                                  strictly below it, so no page can ever be hot)"
+                    ),
+                });
+            }
         }
         if self.hot_threshold_min_cycles > self.hot_threshold_max_cycles {
             return Err(OsError::InvalidConfig {
@@ -324,6 +365,19 @@ impl OsConfigBuilder {
     /// Sets the initial hot threshold in cycles.
     pub fn hot_threshold_cycles(mut self, cycles: u64) -> Self {
         self.cfg.hot_threshold_cycles = cycles;
+        self
+    }
+
+    /// Sets the dynamic threshold's clamp range `[min, max]` in cycles.
+    pub fn hot_threshold_clamps(mut self, min_cycles: u64, max_cycles: u64) -> Self {
+        self.cfg.hot_threshold_min_cycles = min_cycles;
+        self.cfg.hot_threshold_max_cycles = max_cycles;
+        self
+    }
+
+    /// Sets the period between dynamic-threshold adjustments in cycles.
+    pub fn threshold_adjust_period_cycles(mut self, cycles: u64) -> Self {
+        self.cfg.threshold_adjust_period_cycles = cycles;
         self
     }
 
@@ -409,20 +463,81 @@ mod tests {
     }
 
     #[test]
-    fn dilation_shrinks_periods_and_raises_rate() {
+    fn dilation_shrinks_periods_and_preserves_rate() {
         let base = OsConfig::default();
         let d = base.clone().with_time_dilation(100.0);
         assert_eq!(d.scan_period_cycles, base.scan_period_cycles / 100);
         assert_eq!(d.khugepaged_period_cycles, base.khugepaged_period_cycles / 100);
-        assert_eq!(d.promo_rate_limit_bytes_per_sec, base.promo_rate_limit_bytes_per_sec * 100);
         // Costs untouched.
         assert_eq!(d.hint_fault_cost_cycles, base.hint_fault_cost_cycles);
+        // Regression: scaling the rate limit *up* by the dilation factor
+        // handed the limiter (and the threshold controller comparing
+        // candidate volume against it) a budget thousands of times above
+        // any scaled workload's promotion demand — the knob could never
+        // bind. Bandwidth relative to the undilated app must not change.
+        assert_eq!(d.promo_rate_limit_bytes_per_sec, base.promo_rate_limit_bytes_per_sec);
     }
 
     #[test]
     fn dilation_never_reaches_zero() {
         let d = OsConfig::default().with_time_dilation(1e18);
         assert!(d.scan_period_cycles >= 1);
+        assert!(d.hot_threshold_min_cycles >= 1);
+        assert!(d.threshold_adjust_period_cycles >= 1);
+    }
+
+    #[test]
+    fn extreme_dilation_factors_keep_rate_workable() {
+        // The rate limit is dilation-invariant in both directions: an
+        // extreme factor must never scale a valid rate below one page per
+        // second (where every promotion would stall forever).
+        for factor in [1e-18, 1e18] {
+            let d = OsConfig::default().with_time_dilation(factor);
+            assert_eq!(
+                d.promo_rate_limit_bytes_per_sec,
+                OsConfig::default().promo_rate_limit_bytes_per_sec
+            );
+            d.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn builder_rejects_zero_threshold_knobs() {
+        // Regression: threshold 0 means `is_hot` (strictly below) can
+        // never fire — promotion silently dies instead of erroring.
+        let err = OsConfig::builder().hot_threshold_cycles(0).build().unwrap_err();
+        assert!(matches!(err, OsError::InvalidConfig { what: "hot threshold", .. }));
+        assert!(err.to_string().contains("0 cycles"), "error carries the value: {err}");
+
+        let err = OsConfig::builder().hot_threshold_clamps(0, 1000).build().unwrap_err();
+        assert!(matches!(err, OsError::InvalidConfig { what: "hot threshold min clamp", .. }));
+
+        let err = OsConfig::builder().threshold_adjust_period_cycles(0).build().unwrap_err();
+        assert!(matches!(err, OsError::InvalidConfig { what: "threshold adjust period", .. }));
+    }
+
+    #[test]
+    fn builder_rejects_inverted_threshold_clamps() {
+        let err = OsConfig::builder().hot_threshold_clamps(100, 10).build().unwrap_err();
+        assert!(matches!(err, OsError::InvalidConfig { what: "threshold clamps", .. }));
+        OsConfig::builder().hot_threshold_clamps(10, 100).build().unwrap();
+    }
+
+    #[test]
+    fn low_frequency_defaults_stay_nonzero() {
+        // Regression: `hz / 1000` truncated `hot_threshold_min_cycles` to
+        // 0 for every hz below 1000, handing the dynamic controller a
+        // floor at which no page can ever be hot. All derived constants
+        // must clamp to >= 1 and the result must validate.
+        for hz in 1..1000u64 {
+            let cfg = OsConfig::default_for_freq(hz);
+            assert!(cfg.hot_threshold_min_cycles >= 1, "min clamp truncated at hz={hz}");
+            assert!(cfg.scan_period_cycles >= 1, "scan period truncated at hz={hz}");
+            assert!(cfg.kswapd_period_cycles >= 1, "kswapd period truncated at hz={hz}");
+            assert!(cfg.threshold_adjust_period_cycles >= 1, "adjust period at hz={hz}");
+            assert!(cfg.lru_quantum_cycles >= 1, "lru quantum truncated at hz={hz}");
+            cfg.validate().unwrap();
+        }
     }
 
     #[test]

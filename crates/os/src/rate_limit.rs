@@ -23,8 +23,14 @@
 pub struct TokenBucket {
     bytes_per_sec: u64,
     freq_hz: u64,
-    /// Available tokens in bytes.
-    tokens: f64,
+    /// Whole available tokens, in bytes.
+    tokens_bytes: u64,
+    /// Fractional-token remainder in byte·cycles: the true token count is
+    /// `tokens_bytes + carry / freq_hz` bytes, with `carry < freq_hz`.
+    /// Integer fixed-point keeps multi-billion-cycle runs exact — the old
+    /// `f64` accumulator drifted by accumulation order once refills
+    /// numbered in the millions.
+    carry: u64,
     last_refill_cycles: u64,
 }
 
@@ -37,7 +43,13 @@ impl TokenBucket {
     /// Panics if `freq_hz == 0`.
     pub fn new(bytes_per_sec: u64, freq_hz: u64) -> Self {
         assert!(freq_hz > 0, "frequency must be positive");
-        TokenBucket { bytes_per_sec, freq_hz, tokens: bytes_per_sec as f64, last_refill_cycles: 0 }
+        TokenBucket {
+            bytes_per_sec,
+            freq_hz,
+            tokens_bytes: bytes_per_sec,
+            carry: 0,
+            last_refill_cycles: 0,
+        }
     }
 
     /// The configured rate in bytes per second.
@@ -47,9 +59,26 @@ impl TokenBucket {
 
     fn refill(&mut self, now_cycles: u64) {
         if now_cycles > self.last_refill_cycles {
-            let dt = (now_cycles - self.last_refill_cycles) as f64 / self.freq_hz as f64;
-            self.tokens =
-                (self.tokens + dt * self.bytes_per_sec as f64).min(self.bytes_per_sec as f64);
+            // Earned tokens since the last refill, in byte·cycles; u128
+            // so dt × rate cannot overflow even at u64-extreme knobs.
+            let earned = u128::from(now_cycles - self.last_refill_cycles)
+                * u128::from(self.bytes_per_sec)
+                + u128::from(self.carry);
+            let freq = u128::from(self.freq_hz);
+            let whole = u128::from(self.tokens_bytes) + earned / freq;
+            if whole >= u128::from(self.bytes_per_sec) {
+                // Burst capacity is one second of rate; at the cap the
+                // fractional remainder is forfeit (the f64 model's `min`
+                // landed on exactly the integer rate too).
+                self.tokens_bytes = self.bytes_per_sec;
+                self.carry = 0;
+            } else {
+                // Integer narrowings, not float truncation: `whole` < rate
+                // ≤ u64::MAX and `earned % freq` < freq ≤ u64::MAX, so both
+                // are exact. tiersim-lint: allow(float-trunc)
+                self.tokens_bytes = whole as u64;
+                self.carry = (earned % freq) as u64; // tiersim-lint: allow(float-trunc)
+            }
             self.last_refill_cycles = now_cycles;
         }
     }
@@ -64,20 +93,21 @@ impl TokenBucket {
     /// forever, silently.
     pub fn try_consume(&mut self, bytes: u64, now_cycles: u64) -> bool {
         self.refill(now_cycles);
-        if self.tokens >= bytes as f64 {
-            self.tokens -= bytes as f64;
+        // `tokens_bytes + carry/freq >= bytes` iff `tokens_bytes >= bytes`
+        // (the carry is strictly less than one byte).
+        if self.tokens_bytes >= bytes {
+            self.tokens_bytes -= bytes;
             true
         } else {
             false
         }
     }
 
-    /// Tokens currently available, in bytes.
+    /// Tokens currently available, in bytes, rounded down: a fractional
+    /// token (held in the carry) is not a spendable byte.
     pub fn available(&mut self, now_cycles: u64) -> u64 {
         self.refill(now_cycles);
-        // Round down explicitly: a fractional token is not a spendable
-        // byte, and the bare `as u64` truncation reads like an accident.
-        self.tokens.floor() as u64
+        self.tokens_bytes
     }
 }
 
@@ -125,6 +155,187 @@ mod tests {
             assert!(!tb.try_consume(101, t), "t={t}");
             assert_eq!(tb.available(t), 100, "denied requests consume nothing");
         }
+    }
+
+    /// The pre-fix accumulator, verbatim: tokens in `f64`, refill via
+    /// seconds, burst-capped with `min`. In the regime where every f64
+    /// operation is exact (power-of-two frequency, magnitudes below
+    /// 2^53), this *is* the model the fixed-point bucket must reproduce
+    /// decision-for-decision.
+    struct FloatBucket {
+        bytes_per_sec: u64,
+        freq_hz: u64,
+        tokens: f64,
+        last_refill_cycles: u64,
+    }
+
+    impl FloatBucket {
+        fn new(bytes_per_sec: u64, freq_hz: u64) -> Self {
+            FloatBucket {
+                bytes_per_sec,
+                freq_hz,
+                tokens: bytes_per_sec as f64,
+                last_refill_cycles: 0,
+            }
+        }
+
+        fn refill(&mut self, now_cycles: u64) {
+            if now_cycles > self.last_refill_cycles {
+                let dt = (now_cycles - self.last_refill_cycles) as f64 / self.freq_hz as f64;
+                self.tokens =
+                    (self.tokens + dt * self.bytes_per_sec as f64).min(self.bytes_per_sec as f64);
+                self.last_refill_cycles = now_cycles;
+            }
+        }
+
+        fn try_consume(&mut self, bytes: u64, now_cycles: u64) -> bool {
+            self.refill(now_cycles);
+            if self.tokens >= bytes as f64 {
+                self.tokens -= bytes as f64;
+                true
+            } else {
+                false
+            }
+        }
+
+        fn available(&mut self, now_cycles: u64) -> u64 {
+            self.refill(now_cycles);
+            self.tokens.floor() as u64
+        }
+    }
+
+    /// An independent exact reference: the whole token balance as one
+    /// byte·cycle numerator over `freq_hz`, never split into a
+    /// whole/carry pair — a different factoring of the same rational
+    /// arithmetic, so a slip in the bucket's carry algebra cannot hide.
+    struct RationalBucket {
+        bytes_per_sec: u64,
+        freq_hz: u64,
+        /// Tokens in byte·cycles (value = numerator / freq_hz bytes).
+        numerator: u128,
+        last_refill_cycles: u64,
+    }
+
+    impl RationalBucket {
+        fn new(bytes_per_sec: u64, freq_hz: u64) -> Self {
+            RationalBucket {
+                bytes_per_sec,
+                freq_hz,
+                numerator: u128::from(bytes_per_sec) * u128::from(freq_hz),
+                last_refill_cycles: 0,
+            }
+        }
+
+        fn refill(&mut self, now_cycles: u64) {
+            if now_cycles > self.last_refill_cycles {
+                let burst = u128::from(self.bytes_per_sec) * u128::from(self.freq_hz);
+                self.numerator += u128::from(now_cycles - self.last_refill_cycles)
+                    * u128::from(self.bytes_per_sec);
+                if self.numerator >= burst {
+                    self.numerator = burst;
+                }
+                self.last_refill_cycles = now_cycles;
+            }
+        }
+
+        fn try_consume(&mut self, bytes: u64, now_cycles: u64) -> bool {
+            self.refill(now_cycles);
+            let want = u128::from(bytes) * u128::from(self.freq_hz);
+            if self.numerator >= want {
+                self.numerator -= want;
+                true
+            } else {
+                false
+            }
+        }
+
+        fn available(&mut self, now_cycles: u64) -> u64 {
+            self.refill(now_cycles);
+            (self.numerator / u128::from(self.freq_hz)) as u64
+        }
+    }
+
+    proptest::proptest! {
+        /// Fixed-point bucket ≡ pre-fix f64 bucket, decision for decision,
+        /// in the regime where f64 arithmetic is exact: power-of-two
+        /// frequency (1/freq is a binary fraction) and sub-2^53 products.
+        /// This pins the replacement to the old model's semantics —
+        /// including `available`'s floor — before the regimes diverge.
+        #[test]
+        fn prop_fixed_point_matches_f64_model_where_f64_is_exact(
+            rate in 1u64..1_000_000,
+            freq_shift in 0u32..20,
+            steps in proptest::collection::vec(
+                (1u64..10_000, 0u64..2_000_000, proptest::bool::ANY),
+                1..200,
+            ),
+        ) {
+            let freq = 1u64 << freq_shift;
+            let mut fixed = TokenBucket::new(rate, freq);
+            let mut float = FloatBucket::new(rate, freq);
+            let mut now = 0u64;
+            for (dt, bytes, query) in steps {
+                now += dt;
+                if query {
+                    proptest::prop_assert_eq!(fixed.available(now), float.available(now));
+                } else {
+                    proptest::prop_assert_eq!(
+                        fixed.try_consume(bytes, now),
+                        float.try_consume(bytes, now)
+                    );
+                }
+            }
+            proptest::prop_assert_eq!(fixed.available(now), float.available(now));
+        }
+
+        /// Against the independent exact rational reference the bucket is
+        /// equivalent for *arbitrary* frequencies and multi-billion-cycle
+        /// schedules — exactly where the f64 accumulator started to
+        /// drift by accumulation order.
+        #[test]
+        fn prop_fixed_point_matches_exact_rational_reference(
+            rate in 1u64..u64::MAX / 2,
+            freq in 1u64..u64::MAX / 2,
+            steps in proptest::collection::vec(
+                (1u64..4_000_000_000, 0u64..u64::MAX / 2, proptest::bool::ANY),
+                1..200,
+            ),
+        ) {
+            let mut fixed = TokenBucket::new(rate, freq);
+            let mut exact = RationalBucket::new(rate, freq);
+            let mut now = 0u64;
+            for (dt, bytes, query) in steps {
+                now += dt;
+                if query {
+                    proptest::prop_assert_eq!(fixed.available(now), exact.available(now));
+                } else {
+                    proptest::prop_assert_eq!(
+                        fixed.try_consume(bytes, now),
+                        exact.try_consume(bytes, now)
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn long_horizon_has_no_accumulation_drift() {
+        // Regression: many tiny refills vs one big refill must agree
+        // exactly. The f64 accumulator answered these differently once
+        // enough fractional refills stacked up.
+        let rate = 999_983u64; // prime: every cycle carries a remainder
+        let freq = 2_600_000_000u64;
+        let mut dribble = TokenBucket::new(rate, freq);
+        let mut leap = TokenBucket::new(rate, freq);
+        assert!(dribble.try_consume(rate, 0));
+        assert!(leap.try_consume(rate, 0));
+        let mut now = 0u64;
+        for step in 1..=50_000u64 {
+            now += step % 97 + 1;
+            dribble.refill(now);
+        }
+        assert_eq!(dribble.available(now), leap.available(now));
+        assert_eq!(dribble.carry, leap.carry, "remainders agree byte·cycle-exactly");
     }
 
     #[test]

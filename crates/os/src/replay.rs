@@ -70,7 +70,10 @@ pub fn replay_counters(records: &[TraceRecord]) -> VmCounters {
             | TraceEvent::CellStart { .. }
             | TraceEvent::CellDone { .. }
             | TraceEvent::CellRetry { .. }
-            | TraceEvent::CellQuarantine { .. } => {}
+            | TraceEvent::CellQuarantine { .. }
+            | TraceEvent::RungStart { .. }
+            | TraceEvent::CellScored { .. }
+            | TraceEvent::ParetoUpdate { .. } => {}
         }
     }
     c

@@ -60,15 +60,27 @@ impl ThresholdController {
         // left any threshold ≤ 4 stuck forever (4 × 1.2 = 4.8 → 4), so
         // after one burst of overshoot the controller stayed maximally
         // picky and promotions starved.
+        //
+        // The ×4/5 and ×6/5 products are integer, rounded to nearest in
+        // u128: routing them through `f64` loses integer precision above
+        // 2^53, and a tuner sweeping `hot_threshold_max_cycles` can push
+        // the threshold there. Halves never occur (a fifth's fractional
+        // part is 0, .2, .4, .6 or .8), so nearest is unambiguous and
+        // matches what the old `f64::round` produced below 2^53.
         if candidate_bytes > limit_bytes {
-            let next = (self.threshold as f64 * 0.8).round() as u64;
+            let next = round_div_5(u128::from(self.threshold) * 4);
             self.threshold = next.min(self.threshold.saturating_sub(1));
         } else {
-            let next = (self.threshold as f64 * 1.2).round() as u64;
+            let next = round_div_5(u128::from(self.threshold) * 6);
             self.threshold = next.max(self.threshold.saturating_add(1));
         }
         self.threshold = self.threshold.clamp(self.min, self.max);
     }
+}
+
+/// `n / 5` rounded to nearest, saturating at `u64::MAX`.
+fn round_div_5(n: u128) -> u64 {
+    u64::try_from((n + 2) / 5).unwrap_or(u64::MAX)
 }
 
 #[cfg(test)]
@@ -127,6 +139,38 @@ mod tests {
             tc.adjust(0, u64::MAX);
         }
         assert_eq!(tc.threshold_cycles(), 1000, "sustained undershoot reaches the ceiling");
+    }
+
+    #[test]
+    fn adjust_is_exact_above_f64_integer_precision() {
+        // Regression: the old `threshold as f64 * 0.8` path loses integer
+        // precision above 2^53 (f64 has a 53-bit mantissa), so a tuner
+        // sweeping `hot_threshold_max_cycles` into that range got silently
+        // perturbed thresholds. The integer path must be exact everywhere.
+        let t = (1u64 << 62) + 3;
+        let mut tc = ThresholdController::new(t, 1, u64::MAX);
+        tc.adjust(u64::MAX, 0); // overshoot: ×4/5, rounded to nearest
+        assert_eq!(tc.threshold_cycles(), ((u128::from(t) * 4 + 2) / 5) as u64);
+        let up_from = tc.threshold_cycles();
+        tc.adjust(0, u64::MAX); // undershoot: ×6/5, rounded to nearest
+        assert_eq!(tc.threshold_cycles(), ((u128::from(up_from) * 6 + 2) / 5) as u64);
+        // Near the top of the u64 range ×6/5 saturates instead of wrapping.
+        let mut top = ThresholdController::new(u64::MAX - 1, 1, u64::MAX);
+        top.adjust(0, u64::MAX);
+        assert_eq!(top.threshold_cycles(), u64::MAX);
+    }
+
+    #[test]
+    fn integer_adjust_matches_f64_model_below_2_53() {
+        // The PR 5 behavior is pinned: in the range where f64 products are
+        // exact, the integer rounding is bit-identical to the old
+        // `(t as f64 * k).round()` model.
+        for t in [1u64, 2, 3, 4, 5, 7, 80, 96, 100, 12_345, 1 << 40, (1 << 44) - 7] {
+            let down = ((u128::from(t) * 4 + 2) / 5) as u64;
+            let up = ((u128::from(t) * 6 + 2) / 5) as u64;
+            assert_eq!(down, (t as f64 * 0.8).round() as u64, "down at {t}");
+            assert_eq!(up, (t as f64 * 1.2).round() as u64, "up at {t}");
+        }
     }
 
     #[test]

@@ -193,6 +193,33 @@ pub enum TraceEvent {
         /// The final attempt number.
         attempt: u64,
     },
+    /// The parameter tuner opened a successive-halving rung (`tiersim-core`'s
+    /// `tune` driver; tuner lifecycle events carry search-space indices,
+    /// not page numbers).
+    RungStart {
+        /// Zero-based rung number within the search.
+        rung: u64,
+        /// Candidate configurations entering the rung.
+        cells: u64,
+        /// Simulated-tick budget each candidate runs under.
+        budget_ticks: u64,
+    },
+    /// A tuner cell finished its measurement and was scored.
+    CellScored {
+        /// Cell index within the tuner's search space.
+        cell: u64,
+        /// Simulated OS ticks the run took to complete.
+        ticks: u64,
+        /// Promotion traffic the run generated, in bytes.
+        promo_bytes: u64,
+    },
+    /// The per-workload Pareto front changed: `cell` entered it.
+    ParetoUpdate {
+        /// Cell index that joined the front.
+        cell: u64,
+        /// Size of the front after the update.
+        front: u64,
+    },
 }
 
 impl TraceEvent {
@@ -222,6 +249,9 @@ impl TraceEvent {
             TraceEvent::CellDone { .. } => "cell_done",
             TraceEvent::CellRetry { .. } => "cell_retry",
             TraceEvent::CellQuarantine { .. } => "cell_quarantine",
+            TraceEvent::RungStart { .. } => "rung_start",
+            TraceEvent::CellScored { .. } => "cell_scored",
+            TraceEvent::ParetoUpdate { .. } => "pareto_update",
         }
     }
 }

@@ -98,6 +98,19 @@ fn push_record_json(out: &mut String, rec: &TraceRecord) {
         | TraceEvent::CellQuarantine { cell, attempt } => {
             out.push_str(&format!(",\"cell\":{cell},\"attempt\":{attempt}"));
         }
+        TraceEvent::RungStart { rung, cells, budget_ticks } => {
+            out.push_str(&format!(
+                ",\"rung\":{rung},\"cells\":{cells},\"budget_ticks\":{budget_ticks}"
+            ));
+        }
+        TraceEvent::CellScored { cell, ticks, promo_bytes } => {
+            out.push_str(&format!(
+                ",\"cell\":{cell},\"ticks\":{ticks},\"promo_bytes\":{promo_bytes}"
+            ));
+        }
+        TraceEvent::ParetoUpdate { cell, front } => {
+            out.push_str(&format!(",\"cell\":{cell},\"front\":{front}"));
+        }
     }
     out.push_str("}\n");
 }
@@ -106,7 +119,7 @@ fn push_record_json(out: &mut String, rec: &TraceRecord) {
 /// trailing `recorded`/`dropped` columns are only populated by the final
 /// `trace_summary` row.
 pub const CSV_HEADER: &str =
-    "t,seq,event,page,latency,reason,before,after,candidate_bytes,limit_bytes,bytes,available,site,cycles,cell,attempt,pages,recorded,dropped";
+    "t,seq,event,page,latency,reason,before,after,candidate_bytes,limit_bytes,bytes,available,site,cycles,cell,attempt,pages,rung,cells,budget_ticks,ticks,promo_bytes,front,recorded,dropped";
 
 /// Serializes `log` as CSV with [`CSV_HEADER`] columns. Cells that do
 /// not apply to an event are left empty.
@@ -120,7 +133,7 @@ pub fn to_csv(log: &TraceLog) -> String {
         last_now = rec.now;
     }
     out.push_str(&format!(
-        "{},{},trace_summary,,,,,,,,,,,,,,,{},{}\n",
+        "{},{},trace_summary,,,,,,,,,,,,,,,,,,,,,{},{}\n",
         last_now, log.recorded, log.recorded, log.dropped
     ));
     out
@@ -129,8 +142,9 @@ pub fn to_csv(log: &TraceLog) -> String {
 fn push_record_csv(out: &mut String, rec: &TraceRecord) {
     // Columns: page, latency, reason, before, after, candidate_bytes,
     // limit_bytes, bytes, available, site, cycles, cell, attempt, pages,
-    // recorded, dropped.
-    let mut cells: [String; 16] = Default::default();
+    // rung, cells, budget_ticks, ticks, promo_bytes, front, recorded,
+    // dropped.
+    let mut cells: [String; 22] = Default::default();
     match rec.event {
         TraceEvent::HintFault { page }
         | TraceEvent::PromoteAccept { page }
@@ -181,6 +195,20 @@ fn push_record_csv(out: &mut String, rec: &TraceRecord) {
         | TraceEvent::CellQuarantine { cell, attempt } => {
             cells[11] = cell.to_string();
             cells[12] = attempt.to_string();
+        }
+        TraceEvent::RungStart { rung, cells: in_rung, budget_ticks } => {
+            cells[14] = rung.to_string();
+            cells[15] = in_rung.to_string();
+            cells[16] = budget_ticks.to_string();
+        }
+        TraceEvent::CellScored { cell, ticks, promo_bytes } => {
+            cells[11] = cell.to_string();
+            cells[17] = ticks.to_string();
+            cells[18] = promo_bytes.to_string();
+        }
+        TraceEvent::ParetoUpdate { cell, front } => {
+            cells[11] = cell.to_string();
+            cells[19] = front.to_string();
         }
     }
     out.push_str(&format!("{},{},{},{}\n", rec.now, rec.seq, rec.event.name(), cells.join(",")));
@@ -297,7 +325,46 @@ mod tests {
         for line in csv.lines() {
             assert_eq!(line.split(',').count(), width, "{line}");
         }
-        assert!(csv.lines().any(|l| l.contains("fault_around") && l.ends_with("15,,")), "{csv}");
+        let pages_col = CSV_HEADER.split(',').position(|c| c == "pages").unwrap();
+        assert!(
+            csv.lines()
+                .any(|l| l.contains("fault_around") && l.split(',').nth(pages_col) == Some("15")),
+            "{csv}"
+        );
+    }
+
+    #[test]
+    fn tuner_lifecycle_events_export_their_fields() {
+        let mut t = TraceState::new(TraceConfig::on().with_capacity(16));
+        t.record(TraceEvent::RungStart { rung: 0, cells: 216, budget_ticks: 50_000 });
+        t.record(TraceEvent::CellScored { cell: 42, ticks: 1234, promo_bytes: 8192 });
+        t.record(TraceEvent::ParetoUpdate { cell: 42, front: 3 });
+        let log = t.log();
+        let jsonl = to_jsonl(&log);
+        assert!(
+            jsonl.contains(
+                "\"event\":\"rung_start\",\"rung\":0,\"cells\":216,\"budget_ticks\":50000"
+            ),
+            "{jsonl}"
+        );
+        assert!(
+            jsonl.contains(
+                "\"event\":\"cell_scored\",\"cell\":42,\"ticks\":1234,\"promo_bytes\":8192"
+            ),
+            "{jsonl}"
+        );
+        assert!(jsonl.contains("\"event\":\"pareto_update\",\"cell\":42,\"front\":3"), "{jsonl}");
+        let csv = to_csv(&log);
+        let width = CSV_HEADER.split(',').count();
+        for line in csv.lines() {
+            assert_eq!(line.split(',').count(), width, "{line}");
+        }
+        let ticks_col = CSV_HEADER.split(',').position(|c| c == "ticks").unwrap();
+        assert!(
+            csv.lines()
+                .any(|l| l.contains("cell_scored") && l.split(',').nth(ticks_col) == Some("1234")),
+            "{csv}"
+        );
     }
 
     #[test]

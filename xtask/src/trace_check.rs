@@ -39,6 +39,9 @@ pub const KNOWN_EVENTS: &[&str] = &[
     "cell_done",
     "cell_retry",
     "cell_quarantine",
+    "rung_start",
+    "cell_scored",
+    "pareto_update",
     "metrics_snapshot",
     "trace_summary",
 ];
